@@ -1,0 +1,98 @@
+"""Ablation: the DFS heuristics of Section 4.3.
+
+Two design choices are benchmarked:
+
+* child ordering — "while precomputing the list of children for all
+  nodes, we sort them in the descending order of edge weights.  This
+  will ensure that the children connected with edges of high weight
+  are considered first" (better min-k earlier, better pruning);
+* pruning itself — CanPrune with visited-unmarking vs exhaustive
+  memoized DFS.
+
+Both are measured by node reads (the paper's I/O unit), not wall
+clock, so the comparison is noise-free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DFSStats, dfs_stable_clusters
+from repro.datagen import synthetic_cluster_graph
+
+M, N, D, G, K = 8, 150, 4, 1, 5
+
+
+def _graph(sort_children: bool):
+    return synthetic_cluster_graph(m=M, n=N, d=D, g=G, seed=97,
+                                   sort_children=sort_children)
+
+
+@pytest.mark.parametrize("sort_children", [True, False],
+                         ids=["weight-sorted", "arbitrary-order"])
+def test_dfs_child_ordering(benchmark, series, sort_children):
+    graph = _graph(sort_children)
+    stats = DFSStats()
+    paths = benchmark.pedantic(
+        lambda: dfs_stable_clusters(graph, l=M - 1, k=K, stats=stats),
+        rounds=1, iterations=1)
+    assert len(paths) == K
+    label = "sorted" if sort_children else "arbitrary"
+    series("Ablation: DFS heuristics",
+           f"child order {label}: reads={stats.node_reads} "
+           f"prunes={stats.prunes}", benchmark.stats["mean"])
+
+
+@pytest.mark.parametrize("prune", [True, False],
+                         ids=["pruned", "exhaustive"])
+def test_dfs_pruning(benchmark, series, prune):
+    graph = _graph(sort_children=True)
+    stats = DFSStats()
+    paths = benchmark.pedantic(
+        lambda: dfs_stable_clusters(graph, l=M - 1, k=K, prune=prune,
+                                    stats=stats),
+        rounds=1, iterations=1)
+    assert len(paths) == K
+    series("Ablation: DFS heuristics",
+           f"pruning {'on' if prune else 'off'}: "
+           f"reads={stats.node_reads} pops={stats.pops}",
+           benchmark.stats["mean"])
+
+
+def test_ordering_and_pruning_shapes(series, shape):
+    """Results are identical across configurations; work differs."""
+
+    def check():
+        results = {}
+        reads = {}
+        for sort_children in (True, False):
+            for prune in (True, False):
+                graph = _graph(sort_children)
+                stats = DFSStats()
+                paths = dfs_stable_clusters(graph, l=M - 1, k=K,
+                                            prune=prune, stats=stats)
+                results[(sort_children, prune)] = \
+                    [p.nodes for p in paths]
+                reads[(sort_children, prune)] = stats.node_reads
+        answers = list(results.values())
+        assert all(answer == answers[0] for answer in answers)
+        # The child-ordering heuristic pays off: fewer reads under
+        # the weight-sorted order (both with and without pruning).
+        assert reads[(True, True)] < reads[(False, True)]
+        series("Ablation: DFS heuristics",
+               f"shape: reads sorted+pruned={reads[(True, True)]} vs "
+               f"sorted+exhaustive={reads[(True, False)]} vs "
+               f"arbitrary+pruned={reads[(False, True)]}", "")
+        # Reproduction finding (see EXPERIMENTS.md): with the
+        # correctness-preserving pruning semantics — visited flags
+        # unmarked on every prune so cut subtrees are re-explored on
+        # later arrivals — the re-exploration tax exceeds the savings
+        # on these dense workloads, so pruning *costs* reads here.
+        # The paper's Example 2 regime (high min-k, sparse arrivals)
+        # is where it wins; we record rather than assert the sign.
+        series("Ablation: DFS heuristics",
+               f"finding: pruning {'saved' if reads[(True, True)] <= reads[(True, False)] else 'cost'} "
+               f"reads on this workload "
+               f"({reads[(True, True)]} vs {reads[(True, False)]})", "")
+
+    shape(check)

@@ -1,0 +1,52 @@
+"""Figure 10: BFS seeking top-5 subpaths of length l.
+
+Paper: m=15, d=5, g=2, n from 500 to 2500, l varying; "running times
+increase as l increases due to the larger number of heaps maintained
+with each node", and stay linear in n.
+
+Scaled to n in {50, 100, 200}.  Asserted shapes: cost grows with l at
+fixed n, and grows with n at fixed l.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BFSStats, bfs_stable_clusters
+from repro.datagen import synthetic_cluster_graph
+
+NS = [50, 100, 200]
+LS = [3, 5, 7]
+M, D, G, K = 15, 5, 2, 5
+
+_TIMES = {}
+
+
+@pytest.mark.parametrize("l", LS)
+@pytest.mark.parametrize("n", NS)
+def test_fig10_bfs_subpaths(benchmark, series, n, l):
+    graph = synthetic_cluster_graph(m=M, n=n, d=D, g=G, seed=1010)
+    stats = BFSStats()
+    paths = benchmark.pedantic(
+        lambda: bfs_stable_clusters(graph, l=l, k=K, stats=stats),
+        rounds=1, iterations=1)
+    assert len(paths) == K
+    _TIMES[(n, l)] = benchmark.stats["mean"]
+    series("Figure 10 (BFS subpaths, seconds)",
+           f"n={n} l={l} ({stats.paths_generated} paths generated)",
+           benchmark.stats["mean"])
+
+
+def test_fig10_shapes(shape):
+    if len(_TIMES) < len(NS) * len(LS):
+        pytest.skip("run the full module to check shapes")
+
+    def check():
+        for n in NS:
+            assert _TIMES[(n, LS[-1])] > _TIMES[(n, LS[0])], \
+                f"cost should grow with l at n={n}"
+        for l in LS:
+            assert _TIMES[(NS[-1], l)] > _TIMES[(NS[0], l)], \
+                f"cost should grow with n at l={l}"
+
+    shape(check)

@@ -1,0 +1,50 @@
+"""Figure 11: DFS running time vs m and n (top-5 full paths).
+
+Paper: g=1, d=5, m and n varying; DFS grows with both, and much more
+steeply than BFS does (the number of edges is proportional to n*d and
+every edge costs a random node-store read).
+
+Scaled to n in {50, 100, 200}, m in {3, 6, 9}, d=3.  Asserted shapes:
+cost grows with n at fixed m and with m at fixed n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DFSStats, dfs_stable_clusters
+from repro.datagen import synthetic_cluster_graph
+
+NS = [50, 100, 200]
+MS = [3, 6, 9]
+D, G, K = 3, 1, 5
+
+_TIMES = {}
+
+
+@pytest.mark.parametrize("m", MS)
+@pytest.mark.parametrize("n", NS)
+def test_fig11_dfs(benchmark, series, m, n):
+    graph = synthetic_cluster_graph(m=m, n=n, d=D, g=G, seed=1111)
+    stats = DFSStats()
+    paths = benchmark.pedantic(
+        lambda: dfs_stable_clusters(graph, l=m - 1, k=K, stats=stats),
+        rounds=1, iterations=1)
+    assert len(paths) == K
+    _TIMES[(m, n)] = benchmark.stats["mean"]
+    series("Figure 11 (DFS vs m and n, seconds)",
+           f"m={m} n={n} ({stats.node_reads} node reads, "
+           f"{stats.prunes} prunes)",
+           benchmark.stats["mean"])
+
+
+def test_fig11_shapes(shape):
+    if len(_TIMES) < len(NS) * len(MS):
+        pytest.skip("run the full module to check shapes")
+
+    def check():
+        for m in MS:
+            assert _TIMES[(m, NS[-1])] > _TIMES[(m, NS[0])]
+        assert _TIMES[(MS[-1], NS[-1])] > _TIMES[(MS[0], NS[-1])]
+
+    shape(check)

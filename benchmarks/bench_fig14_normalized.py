@@ -1,0 +1,69 @@
+"""Figure 14: BFS seeking normalized stable clusters.
+
+Paper: top-5 normalized stable clusters of length >= lmin, n=400, d=3,
+g=0, m varying; "the algorithm ... needs to maintain paths of all
+lengths (those which survive pruning).  This leads to an increase in
+running times as m increases.  Running times are positively correlated
+with lmin as larger values of lmin result in more paths being
+maintained with each node."
+
+Scaled to n=50.  Asserted shapes: cost grows with m at fixed lmin and
+with lmin at fixed m; Theorem-1 reductions fire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NormalizedStats, normalized_stable_clusters
+from repro.datagen import synthetic_cluster_graph
+
+N, D, G, K = 50, 3, 0, 5
+M_SWEEP = [4, 5, 6, 7]     # at lmin=2
+LMIN_SWEEP = [2, 3, 4]     # at m=6
+
+_TIMES = {}
+
+
+@pytest.mark.parametrize("m", M_SWEEP)
+def test_fig14_vs_m(benchmark, series, m):
+    graph = synthetic_cluster_graph(m=m, n=N, d=D, g=G, seed=1414)
+    stats = NormalizedStats()
+    paths = benchmark.pedantic(
+        lambda: normalized_stable_clusters(graph, lmin=2, k=K,
+                                           stats=stats),
+        rounds=1, iterations=1)
+    assert len(paths) == K
+    _TIMES[("m", m)] = benchmark.stats["mean"]
+    series("Figure 14 (normalized stable clusters, seconds)",
+           f"lmin=2 m={m} ({stats.best_paths_held} best paths held, "
+           f"{stats.theorem1_reductions} reductions)",
+           benchmark.stats["mean"])
+
+
+@pytest.mark.parametrize("lmin", LMIN_SWEEP)
+def test_fig14_vs_lmin(benchmark, series, lmin):
+    graph = synthetic_cluster_graph(m=6, n=N, d=D, g=G, seed=1414)
+    stats = NormalizedStats()
+    paths = benchmark.pedantic(
+        lambda: normalized_stable_clusters(graph, lmin=lmin, k=K,
+                                           stats=stats),
+        rounds=1, iterations=1)
+    assert len(paths) == K
+    _TIMES[("lmin", lmin)] = benchmark.stats["mean"]
+    series("Figure 14 (normalized stable clusters, seconds)",
+           f"m=6 lmin={lmin} ({stats.small_paths_held} small paths "
+           f"held)",
+           benchmark.stats["mean"])
+
+
+def test_fig14_shapes(shape):
+    if len(_TIMES) < len(M_SWEEP) + len(LMIN_SWEEP):
+        pytest.skip("run the full module to check shapes")
+
+    def check():
+        assert _TIMES[("m", M_SWEEP[-1])] > _TIMES[("m", M_SWEEP[0])]
+        assert _TIMES[("lmin", LMIN_SWEEP[-1])] > \
+            _TIMES[("lmin", LMIN_SWEEP[0])]
+
+    shape(check)

@@ -1,0 +1,103 @@
+"""Figure 6: running time of cluster generation vs the ρ threshold.
+
+Paper: the whole procedure (read raw data, chi-square test, ρ pruning,
+Art algorithm for biconnected components) on the Jan 6 graph; "as ρ
+increases, time decreases drastically since the number of edges and
+vertices remaining in the graph decreases due to pruning".
+
+At the paper's scale (138M raw edges) the Art phase on the surviving
+graph dominates, which is what makes the curve fall.  At our synthetic
+scale the constant-in-ρ chi-square/ρ pass dominates instead, so this
+benchmark times the two parts separately: the full procedure (for the
+record) and the ρ-dependent tail (graph materialization + Art), whose
+falling shape is asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cooccur import KeywordGraph
+from repro.cooccur.keyword_graph import PruneReport
+from repro.datagen import (
+    BlogosphereGenerator,
+    Event,
+    EventSchedule,
+    ZipfVocabulary,
+)
+from repro.graph import extract_clusters
+
+RHOS = [0.2, 0.3, 0.5, 0.7, 0.9]
+
+_ART_TIMES = {}
+_SURVIVORS = {}
+
+
+@pytest.fixture(scope="module")
+def keyword_graph():
+    schedule = (EventSchedule()
+                .add(Event.burst("somalia",
+                                 ["somalia", "mogadishu", "ethiopian",
+                                  "islamist"], 0, 80))
+                .add(Event.burst("beckham",
+                                 ["beckham", "galaxy", "madrid",
+                                  "soccer"], 0, 80)))
+    vocab = ZipfVocabulary(4000, seed=661)
+    generator = BlogosphereGenerator(vocab, schedule,
+                                     background_posts=900, seed=662)
+    corpus = generator.generate_corpus(1)
+    keyword_sets = [doc.keywords() for doc in corpus.documents(0)]
+    return KeywordGraph.from_keyword_sets(keyword_sets)
+
+
+@pytest.fixture(scope="module")
+def pruned_graphs(keyword_graph):
+    graphs = {}
+    for rho in RHOS:
+        report = PruneReport()
+        graphs[rho] = (keyword_graph.prune(rho_threshold=rho,
+                                           report=report), report)
+    return graphs
+
+
+@pytest.mark.parametrize("rho", RHOS)
+def test_fig6_full_procedure(benchmark, series, keyword_graph, rho):
+    """Chi-square + rho pruning + Art, end to end (the paper's y-axis)."""
+    report = PruneReport()
+
+    def full():
+        pruned = keyword_graph.prune(rho_threshold=rho, report=report)
+        return extract_clusters(pruned)
+
+    clusters = benchmark.pedantic(full, rounds=3, iterations=1)
+    series("Figure 6 (cluster generation vs rho)",
+           f"full: rho={rho} edges_after_rho={report.after_rho} "
+           f"clusters={len(clusters)}", benchmark.stats["mean"])
+    _SURVIVORS[rho] = report.after_rho
+
+
+@pytest.mark.parametrize("rho", RHOS)
+def test_fig6_art_phase(benchmark, series, pruned_graphs, rho):
+    """The rho-dependent tail: Art on the surviving graph — the part
+    whose cost falls 'drastically' in the paper's figure."""
+    pruned, report = pruned_graphs[rho]
+    clusters = benchmark(lambda: extract_clusters(pruned))
+    _ART_TIMES[rho] = benchmark.stats["mean"]
+    series("Figure 6 (cluster generation vs rho)",
+           f"Art only: rho={rho} vertices={pruned.num_vertices} "
+           f"edges={pruned.num_edges}", benchmark.stats["mean"])
+
+
+def test_fig6_shapes(shape):
+    if len(_ART_TIMES) < len(RHOS) or len(_SURVIVORS) < len(RHOS):
+        pytest.skip("run the full module to check shapes")
+
+    def check():
+        survivors = [_SURVIVORS[rho] for rho in RHOS]
+        assert survivors == sorted(survivors, reverse=True)
+        assert survivors[-1] < survivors[0]
+        # Art cost falls as rho rises (paper's drastically-decreasing
+        # curve); compare the extremes for robustness to timer noise.
+        assert _ART_TIMES[RHOS[-1]] < _ART_TIMES[RHOS[0]]
+
+    shape(check)

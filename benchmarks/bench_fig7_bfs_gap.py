@@ -1,0 +1,53 @@
+"""Figure 7: BFS running time vs m for different gap sizes.
+
+Paper: top-5 full paths, n=1000 nodes/interval, d=5, m from 5 to 25,
+g in {0, 1, 2}; running times grow with m and (mildly) with g, since a
+larger gap adds edges.
+
+Scaled to n=100 (pure Python).  Asserted shapes: time grows with m at
+every g, and the g=2 series dominates the g=0 series (more interval
+pairs, more edges).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BFSStats, bfs_stable_clusters
+from repro.datagen import synthetic_cluster_graph
+
+MS = [5, 10, 15, 20, 25]
+GAPS = [0, 1, 2]
+N, D, K = 100, 5, 5
+
+_TIMES = {}
+
+
+@pytest.mark.parametrize("g", GAPS)
+@pytest.mark.parametrize("m", MS)
+def test_fig7_bfs_full_paths(benchmark, series, m, g):
+    graph = synthetic_cluster_graph(m=m, n=N, d=D, g=g, seed=707)
+    stats = BFSStats()
+    paths = benchmark.pedantic(
+        lambda: bfs_stable_clusters(graph, l=m - 1, k=K, stats=stats),
+        rounds=2, iterations=1)
+    assert len(paths) == K
+    _TIMES[(g, m)] = benchmark.stats["mean"]
+    series("Figure 7 (BFS vs m per gap, seconds)",
+           f"g={g} m={m} ({graph.num_edges} edges)",
+           benchmark.stats["mean"])
+
+
+def test_fig7_shapes(shape):
+    if len(_TIMES) < len(MS) * len(GAPS):
+        pytest.skip("run the full module to check shapes")
+
+    def check():
+        for g in GAPS:
+            # Growing m grows cost (compare the extremes to stay
+            # robust to timer noise at the small end).
+            assert _TIMES[(g, MS[-1])] > _TIMES[(g, MS[0])]
+        # Larger gap -> more edges -> more work at the largest m.
+        assert _TIMES[(2, MS[-1])] > _TIMES[(0, MS[-1])]
+
+    shape(check)

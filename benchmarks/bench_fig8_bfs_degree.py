@@ -1,0 +1,47 @@
+"""Figure 8: BFS running time vs m for different average out degrees.
+
+Paper: top-5 full paths, n=1000, g=2, m from 5 to 25, d in {3, 5, 7};
+running times positively correlated with d (more edges).
+
+Scaled to n=100.  Asserted shapes: cost grows with m at every d, and
+the d=7 series dominates d=3 at the largest m.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import bfs_stable_clusters
+from repro.datagen import synthetic_cluster_graph
+
+MS = [5, 10, 15, 20, 25]
+DEGREES = [3, 5, 7]
+N, G, K = 100, 2, 5
+
+_TIMES = {}
+
+
+@pytest.mark.parametrize("d", DEGREES)
+@pytest.mark.parametrize("m", MS)
+def test_fig8_bfs_degree(benchmark, series, m, d):
+    graph = synthetic_cluster_graph(m=m, n=N, d=d, g=G, seed=808)
+    paths = benchmark.pedantic(
+        lambda: bfs_stable_clusters(graph, l=m - 1, k=K),
+        rounds=2, iterations=1)
+    assert len(paths) == K
+    _TIMES[(d, m)] = benchmark.stats["mean"]
+    series("Figure 8 (BFS vs m per degree, seconds)",
+           f"d={d} m={m} ({graph.num_edges} edges)",
+           benchmark.stats["mean"])
+
+
+def test_fig8_shapes(shape):
+    if len(_TIMES) < len(MS) * len(DEGREES):
+        pytest.skip("run the full module to check shapes")
+
+    def check():
+        for d in DEGREES:
+            assert _TIMES[(d, MS[-1])] > _TIMES[(d, MS[0])]
+        assert _TIMES[(7, MS[-1])] > _TIMES[(3, MS[-1])]
+
+    shape(check)

@@ -1,0 +1,58 @@
+"""Figure 9: BFS scalability — running time linear in n.
+
+Paper: top-5 full paths, d=5, g=1, m in {25, 50}, n from 2000 to
+14000; "running times are linear in the number of nodes, establishing
+scalability".
+
+Scaled to n from 50 to 400 (pure Python).  Asserted shape: time grows
+close to linearly — the measured time ratio between the largest and
+smallest n stays well below the quadratic ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import bfs_stable_clusters
+from repro.datagen import synthetic_cluster_graph
+
+NS = [50, 100, 200, 400]
+MS = [15, 25]
+D, G, K = 5, 1, 5
+
+_TIMES = {}
+
+
+@pytest.mark.parametrize("m", MS)
+@pytest.mark.parametrize("n", NS)
+def test_fig9_bfs_scalability(benchmark, series, m, n):
+    graph = synthetic_cluster_graph(m=m, n=n, d=D, g=G, seed=909)
+    paths = benchmark.pedantic(
+        lambda: bfs_stable_clusters(graph, l=m - 1, k=K),
+        rounds=1, iterations=1)
+    assert len(paths) == K
+    _TIMES[(m, n)] = benchmark.stats["mean"]
+    series("Figure 9 (BFS vs n, seconds)",
+           f"m={m} n={n} ({graph.num_edges} edges)",
+           benchmark.stats["mean"])
+
+
+def test_fig9_linear_shape(shape):
+    if len(_TIMES) < len(NS) * len(MS):
+        pytest.skip("run the full module to check shapes")
+
+    def check():
+        for m in MS:
+            small = _TIMES[(m, NS[0])]
+            large = _TIMES[(m, NS[-1])]
+            n_ratio = NS[-1] / NS[0]           # 8x nodes
+            time_ratio = large / max(small, 1e-9)
+            # Linear would be ~8x; quadratic ~64x.  Allow a wide band
+            # for constant overheads but rule out superlinear blowup.
+            assert time_ratio < n_ratio * 3.5, (
+                f"m={m}: {time_ratio:.1f}x time for {n_ratio:.0f}x "
+                f"nodes")
+        # The m=25 series should dominate m=15 at equal n.
+        assert _TIMES[(25, NS[-1])] > _TIMES[(15, NS[-1])]
+
+    shape(check)

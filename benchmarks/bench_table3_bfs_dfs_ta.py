@@ -1,0 +1,107 @@
+"""Table 3: BFS vs DFS vs TA, top-5 full paths, growing m.
+
+Paper (n=400, g=0, d=5; seconds):
+
+    m      3      6      9      12     15
+    BFS    0.65   2.09   4.49   7.95   12.49
+    DFS    60.3   368.8  754.8  805.94 792.05
+    TA     0.35   11.11  133.89 > 10 hours
+
+Scaled to n=100, d=3 and m in {3, 6, 9} (pure Python); the DFS runs
+against a real on-disk node store, which is the paper's configuration
+(annotations on disk, page cache disabled).  Shapes reproduced and
+asserted:
+
+* BFS is roughly linear in m;
+* DFS costs far more I/O (one random read per child consideration);
+* TA is competitive at m=3 and explodes by m=9 (its probe count is
+  exponential in m).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DFSStats,
+    TAStats,
+    bfs_stable_clusters,
+    dfs_stable_clusters,
+    ta_stable_clusters,
+)
+from repro.datagen import synthetic_cluster_graph
+from repro.storage import DiskDict
+
+MS = [3, 6, 9]
+N, D, G, K = 100, 3, 0, 5
+
+_TIMES = {}
+
+
+def _graph(m):
+    return synthetic_cluster_graph(m=m, n=N, d=D, g=G, seed=303)
+
+
+@pytest.mark.parametrize("m", MS)
+def test_table3_bfs(benchmark, series, m):
+    graph = _graph(m)
+    paths = benchmark(lambda: bfs_stable_clusters(graph, l=m - 1, k=K))
+    assert len(paths) == K
+    _TIMES[("BFS", m)] = benchmark.stats["mean"]
+    series("Table 3 (top-5 full paths, seconds)",
+           f"BFS m={m}", benchmark.stats["mean"])
+
+
+@pytest.mark.parametrize("m", MS)
+def test_table3_dfs_disk(benchmark, series, tmp_path, m):
+    graph = _graph(m)
+    stats = DFSStats()
+
+    def run():
+        with DiskDict(str(tmp_path / f"dfs-{m}.bin")) as store:
+            return dfs_stable_clusters(graph, l=m - 1, k=K,
+                                       store=store, stats=stats)
+
+    paths = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(paths) == K
+    _TIMES[("DFS", m)] = benchmark.stats["mean"]
+    series("Table 3 (top-5 full paths, seconds)",
+           f"DFS m={m} (disk store, {stats.node_reads} random reads)",
+           benchmark.stats["mean"])
+
+
+@pytest.mark.parametrize("m", MS)
+def test_table3_ta(benchmark, series, m):
+    graph = _graph(m)
+    stats = TAStats()
+    paths = benchmark.pedantic(
+        lambda: ta_stable_clusters(graph, k=K, stats=stats),
+        rounds=1, iterations=1)
+    assert len(paths) == K
+    _TIMES[("TA", m)] = benchmark.stats["mean"]
+    series("Table 3 (top-5 full paths, seconds)",
+           f"TA  m={m} ({stats.random_probes} random probes)",
+           benchmark.stats["mean"])
+
+
+def test_table3_shapes(series, shape):
+    """The paper's qualitative claims, asserted on the measurements."""
+    if len(_TIMES) < 9:
+        pytest.skip("run the full module to check shapes")
+
+    def check():
+        # BFS beats DFS-on-disk at every m (paper: by 1-2 orders).
+        for m in MS:
+            assert _TIMES[("BFS", m)] < _TIMES[("DFS", m)]
+        # TA explodes with m: by m=9 it is far slower than BFS
+        # (paper: 133.89s vs 4.49s; > 10 hours by m=12).
+        assert _TIMES[("TA", 9)] > 5 * _TIMES[("BFS", 9)]
+        # TA's exponential growth dwarfs BFS's linear growth.
+        ta_growth = _TIMES[("TA", 9)] / max(_TIMES[("TA", 3)], 1e-9)
+        bfs_growth = _TIMES[("BFS", 9)] / max(_TIMES[("BFS", 3)], 1e-9)
+        assert ta_growth > bfs_growth
+        series("Table 3 (top-5 full paths, seconds)",
+               f"shape: TA grew {ta_growth:.0f}x vs BFS "
+               f"{bfs_growth:.0f}x from m=3 to m=9", "")
+
+    shape(check)

@@ -1,0 +1,57 @@
+"""Shared fixtures and reporting helpers for the paper benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's
+Section 5, scaled down from the paper's 2007-server workloads so the
+whole suite runs in minutes of pure Python.  Shapes — who wins, how
+costs scale with m, n, d, g, l — are asserted; absolute times are
+reported for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import atexit
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import pytest
+
+# (experiment, row-label) -> value; printed at session end so every
+# benchmark leaves a paper-style table in the terminal output.
+_SERIES: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
+
+
+def record(experiment: str, label: str, value) -> None:
+    """Record one row of an experiment's paper-style table."""
+    if isinstance(value, float):
+        value = f"{value:.4f}"
+    _SERIES[experiment].append((label, str(value)))
+
+
+@pytest.fixture
+def series():
+    """Fixture handing benchmarks the row recorder."""
+    return record
+
+
+@pytest.fixture
+def shape(benchmark):
+    """Run a shape-assertion callable so it executes (and fails
+    loudly) even under ``--benchmark-only``, which skips tests that
+    never invoke the benchmark fixture."""
+
+    def runner(check):
+        return benchmark.pedantic(check, rounds=1, iterations=1)
+
+    return runner
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _SERIES:
+        return
+    terminalreporter.section("paper-series output")
+    for experiment in sorted(_SERIES):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"== {experiment} ==")
+        width = max(len(label) for label, _ in _SERIES[experiment])
+        for label, value in _SERIES[experiment]:
+            terminalreporter.write_line(f"  {label:<{width}}  {value}")

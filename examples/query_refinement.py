@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Query refinement from keyword clusters (the paper's Section 1 use).
+
+"If a search query for a specific interval falls in a cluster, the
+rest of the keywords in that cluster are good candidates for query
+refinement.  [...] for a query keyword we may suggest the strongest
+correlation as a refinement."
+
+This example builds one day's keyword clusters, then answers queries:
+for a query term, report the cluster it falls into (refinement
+candidates) and the strongest correlated keyword (the paper's top
+suggestion).
+
+Usage::
+
+    python examples/query_refinement.py
+"""
+
+from repro.datagen import (
+    BlogosphereGenerator,
+    Event,
+    EventSchedule,
+    ZipfVocabulary,
+)
+from repro.pipeline import generate_interval_clusters
+from repro.search import QueryRefiner
+
+
+def main() -> None:
+    schedule = (
+        EventSchedule()
+        .add(Event.burst(
+            "beckham",
+            ["beckham", "galaxy", "madrid", "soccer", "contract"],
+            interval=0, posts=80))
+        .add(Event.burst(
+            "stemcell",
+            ["stem", "cell", "amniotic", "research", "atala"],
+            interval=0, posts=80)))
+    vocabulary = ZipfVocabulary(3000, seed=77)
+    generator = BlogosphereGenerator(vocabulary, schedule,
+                                     background_posts=700, seed=78)
+    corpus = generator.generate_corpus(1)
+    clusters = generate_interval_clusters(corpus, 0)
+    print(f"{corpus.num_documents} posts -> {len(clusters)} clusters\n")
+
+    refiner = QueryRefiner(clusters)
+    for query in ["beckham", "stem", "research", "nonexistentword"]:
+        result = refiner.refine(query)
+        print(f"query: {query!r}")
+        if result is None:
+            print("  not in any cluster today — no refinement\n")
+            continue
+        candidates = " ".join(k for k, _ in result.suggestions)
+        print(f"  refinement candidates: {candidates}")
+        print(f"  strongest correlation: {result.strongest}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Streaming monitor: stable clusters maintained as intervals arrive.
+
+The blogosphere never stops — Section 4.6's online algorithms update
+the result set as each new interval lands, without recomputing the
+past.  This example simulates a live feed: each "day", new posts
+arrive, the day's keyword clusters are generated, and the streaming
+pipeline links them to the recent window and refreshes the top-k.
+
+Usage::
+
+    python examples/streaming_monitor.py
+"""
+
+from repro.core.online import StreamingAffinityPipeline
+from repro.datagen import (
+    BlogosphereGenerator,
+    Event,
+    EventSchedule,
+    ZipfVocabulary,
+)
+from repro.pipeline import generate_interval_clusters
+
+
+def main() -> None:
+    schedule = (
+        EventSchedule()
+        .add(Event.persistent(
+            "somalia",
+            ["somalia", "mogadishu", "ethiopian", "islamist"],
+            start=0, duration=6, posts=60))
+        .add(Event.with_gaps(
+            "facup", ["liverpool", "arsenal", "anfield", "goal"],
+            active_intervals=[1, 4], posts=60)))
+    vocabulary = ZipfVocabulary(3000, seed=31)
+    generator = BlogosphereGenerator(vocabulary, schedule,
+                                     background_posts=600, seed=32)
+
+    # Problem 1, paths of length exactly 3, gap tolerance 2.
+    monitor = StreamingAffinityPipeline(l=3, k=3, gap=2, theta=0.1)
+
+    for day in range(6):
+        # A new day of posts arrives...
+        documents = generator.generate_interval(day)
+        corpus_day = _single_interval_corpus(documents, day)
+        clusters = generate_interval_clusters(corpus_day, day)
+        # ...and flows into the online pipeline.
+        monitor.add_interval(clusters)
+
+        print(f"day {day}: {len(documents)} posts -> "
+              f"{len(clusters)} clusters")
+        top = monitor.top_k()
+        if not top:
+            print("  no stable paths yet")
+            continue
+        for rank, path in enumerate(top, start=1):
+            chain = " -> ".join(f"t{i}" for i, _ in path.nodes)
+            print(f"  #{rank} weight={path.weight:.2f} {chain}")
+            latest = monitor.cluster_for(path.nodes[-1])
+            if latest is not None:
+                keywords = " ".join(sorted(latest.keywords)[:6])
+                print(f"      latest keywords: {keywords}")
+
+
+def _single_interval_corpus(documents, day):
+    from repro.text.documents import IntervalCorpus
+    corpus = IntervalCorpus()
+    corpus.extend(documents)
+    return corpus
+
+
+if __name__ == "__main__":
+    main()

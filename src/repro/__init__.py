@@ -1,0 +1,48 @@
+"""repro — reproduction of "Seeking Stable Clusters in the Blogosphere"
+(Bansal, Chiang, Koudas, Tompa; VLDB 2007).
+
+Two-stage pipeline over temporally ordered text:
+
+1. **Cluster generation** (:mod:`repro.cooccur`, :mod:`repro.stats`,
+   :mod:`repro.graph`): per-interval keyword co-occurrence graphs,
+   chi-square + correlation pruning, biconnected-component clusters.
+2. **Stable clusters** (:mod:`repro.core`): the temporal cluster
+   graph and the BFS / DFS / TA / normalized / streaming solvers for
+   the kl-stable and normalized stable cluster problems.
+
+Supporting packages: :mod:`repro.text` (tokenize/stopwords/Porter),
+:mod:`repro.extsort` (external merge sort), :mod:`repro.storage`
+(paged files, disk dicts, I/O accounting), :mod:`repro.affinity`
+(cluster overlap measures and threshold similarity join),
+:mod:`repro.datagen` (synthetic blogosphere and cluster graphs),
+:mod:`repro.baselines` (cut clustering, KwikCluster) and
+:mod:`repro.pipeline` (end-to-end driver).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    ClusterGraph,
+    Path,
+    bfs_stable_clusters,
+    build_cluster_graph,
+    dfs_stable_clusters,
+    normalized_stable_clusters,
+    ta_stable_clusters,
+)
+from repro.cooccur import KeywordGraph
+from repro.graph import KeywordCluster, extract_clusters
+
+__all__ = [
+    "ClusterGraph",
+    "KeywordCluster",
+    "KeywordGraph",
+    "Path",
+    "__version__",
+    "bfs_stable_clusters",
+    "build_cluster_graph",
+    "dfs_stable_clusters",
+    "extract_clusters",
+    "normalized_stable_clusters",
+    "ta_stable_clusters",
+]

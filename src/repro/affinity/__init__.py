@@ -1,0 +1,33 @@
+"""Cluster-affinity measures and the threshold similarity join.
+
+Section 4 quantifies the affinity of two keyword clusters by overlap
+functions — ``|c ∩ c'|`` or ``Jaccard(c, c')`` — optionally weighted
+by the correlation strength of common keyword pairs.  When per-interval
+cluster sets are too large for all-pairs comparison, the paper notes
+the problem "is easily reduced to that of computing similarity between
+all pairs of strings (clusters) for which the similarity is above a
+threshold" [11]; :mod:`repro.affinity.simjoin` implements that join
+with prefix filtering.
+"""
+
+from repro.affinity.measures import (
+    AFFINITY_MEASURES,
+    dice,
+    get_measure,
+    intersection_size,
+    jaccard,
+    overlap_coefficient,
+    weighted_jaccard,
+)
+from repro.affinity.simjoin import threshold_jaccard_join
+
+__all__ = [
+    "AFFINITY_MEASURES",
+    "dice",
+    "get_measure",
+    "intersection_size",
+    "jaccard",
+    "overlap_coefficient",
+    "threshold_jaccard_join",
+    "weighted_jaccard",
+]

@@ -1,0 +1,94 @@
+"""Set-overlap affinity measures between keyword clusters.
+
+All measures accept two objects exposing ``keywords`` (a frozenset) —
+in practice :class:`~repro.graph.clusters.KeywordCluster` — or plain
+sets.  Jaccard, Dice and the overlap coefficient are bounded in
+``[0, 1]``; intersection size is unbounded and must be normalized
+before use as a cluster-graph edge weight (the builder does this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+ClusterLike = Union[frozenset, set, "KeywordClusterLike"]
+
+
+def _keywords(cluster) -> frozenset:
+    keywords = getattr(cluster, "keywords", cluster)
+    return keywords
+
+
+def jaccard(a: ClusterLike, b: ClusterLike) -> float:
+    """|a ∩ b| / |a ∪ b| (the paper's qualitative-study choice)."""
+    ka, kb = _keywords(a), _keywords(b)
+    union = len(ka | kb)
+    if union == 0:
+        return 0.0
+    return len(ka & kb) / union
+
+
+def intersection_size(a: ClusterLike, b: ClusterLike) -> float:
+    """|a ∩ b| — unbounded; normalize before use as an edge weight."""
+    return float(len(_keywords(a) & _keywords(b)))
+
+
+def dice(a: ClusterLike, b: ClusterLike) -> float:
+    """2|a ∩ b| / (|a| + |b|)."""
+    ka, kb = _keywords(a), _keywords(b)
+    denominator = len(ka) + len(kb)
+    if denominator == 0:
+        return 0.0
+    return 2 * len(ka & kb) / denominator
+
+
+def overlap_coefficient(a: ClusterLike, b: ClusterLike) -> float:
+    """|a ∩ b| / min(|a|, |b|)."""
+    ka, kb = _keywords(a), _keywords(b)
+    smaller = min(len(ka), len(kb))
+    if smaller == 0:
+        return 0.0
+    return len(ka & kb) / smaller
+
+
+def weighted_jaccard(a: ClusterLike, b: ClusterLike) -> float:
+    """Correlation-weighted Jaccard over the clusters' edge sets.
+
+    The paper suggests affinity choices "taking into account the
+    strength of the correlation between the common pairs of keywords":
+    here each cluster is viewed as its set of weighted keyword-pair
+    edges, and we compute sum of min weights over sum of max weights
+    (the canonical weighted-Jaccard).  Falls back to plain Jaccard on
+    keyword sets when either cluster carries no edges.
+    """
+    edges_a = {(u, v): w for u, v, w in getattr(a, "edges", ())}
+    edges_b = {(u, v): w for u, v, w in getattr(b, "edges", ())}
+    if not edges_a or not edges_b:
+        return jaccard(a, b)
+    keys = set(edges_a) | set(edges_b)
+    numerator = sum(min(edges_a.get(key, 0.0), edges_b.get(key, 0.0))
+                    for key in keys)
+    denominator = sum(max(edges_a.get(key, 0.0), edges_b.get(key, 0.0))
+                      for key in keys)
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+AFFINITY_MEASURES: Dict[str, Callable[[ClusterLike, ClusterLike], float]] = {
+    "jaccard": jaccard,
+    "intersection": intersection_size,
+    "dice": dice,
+    "overlap": overlap_coefficient,
+    "weighted_jaccard": weighted_jaccard,
+}
+
+
+def get_measure(name: str) -> Callable[[ClusterLike, ClusterLike], float]:
+    """Look up an affinity measure by name."""
+    try:
+        return AFFINITY_MEASURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown affinity measure {name!r}; "
+            f"choose from {sorted(AFFINITY_MEASURES)}") from None

@@ -1,0 +1,21 @@
+"""Baseline graph-clustering algorithms the paper compares against.
+
+Section 2 discusses two alternatives to the biconnected-component
+clustering and dismisses both on practicality grounds:
+
+* Flake et al.'s cut clustering via minimum-cut trees — "required six
+  hours to conduct a graph cut on a graph with a few thousand edges
+  and vertices" (:mod:`repro.baselines.mincut`);
+* correlation clustering — approximation algorithms that are "very
+  interesting theoretically, but far from practical"
+  (:mod:`repro.baselines.correlation_clustering`, implemented as the
+  KwikCluster pivot algorithm, its simplest practical variant).
+
+Both are implemented to reproduce that comparison (quality and speed)
+at laptop scale in ``benchmarks/bench_ablation_baselines.py``.
+"""
+
+from repro.baselines.correlation_clustering import kwik_cluster
+from repro.baselines.mincut import cut_clustering
+
+__all__ = ["cut_clustering", "kwik_cluster"]

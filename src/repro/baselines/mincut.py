@@ -1,0 +1,57 @@
+"""Cut clustering (Flake, Tarjan, Tsioutsiouliklis 2004).
+
+The algorithm connects an artificial sink to every vertex with edge
+capacity α, then computes, for each vertex, the minimum cut between
+the vertex and the sink; the source sides of the cuts form the
+clusters.  The full min-cut-tree construction is simplified to the
+standard iterative form: repeatedly pick an unassigned vertex, solve
+one max-flow (via networkx's preflow-push), and assign the entire
+source-side community.
+
+The paper's complaint — a sensitivity parameter α that must be chosen
+in advance and a prohibitive number of max-flow computations — is
+exactly what the ablation benchmark demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Set
+
+import networkx as nx
+
+from repro.graph.adjacency import Graph
+
+SINK = "__cut_clustering_sink__"
+
+
+def cut_clustering(graph: Graph, alpha: float) -> List[Set[Any]]:
+    """Cluster *graph* with sensitivity *alpha*; returns vertex sets.
+
+    Higher α yields smaller, denser clusters.  Isolated vertices come
+    back as singletons.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    expanded = nx.Graph()
+    expanded.add_nodes_from(graph.vertices())
+    for u, v, weight in graph.edges():
+        expanded.add_edge(u, v, capacity=weight)
+    for v in graph.vertices():
+        if v == SINK:
+            raise ValueError(
+                "graph contains the reserved sink vertex name")
+        expanded.add_edge(v, SINK, capacity=alpha)
+
+    clusters: List[Set[Any]] = []
+    assigned: Set[Any] = set()
+    for v in graph.vertices():
+        if v in assigned:
+            continue
+        cut_value, (source_side, sink_side) = nx.minimum_cut(
+            expanded, v, SINK)
+        community = (source_side if v in source_side else sink_side)
+        community = set(community) - {SINK} - assigned
+        community.add(v)
+        assigned |= community
+        clusters.append(community)
+    return clusters

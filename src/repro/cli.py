@@ -1,0 +1,201 @@
+"""Command-line front end: ``stable-clusters``.
+
+Subcommands:
+
+* ``demo`` — generate a synthetic blogosphere week with scripted
+  events and print the stable clusters it discovers (the qualitative
+  study of Section 5.3 in miniature).
+* ``clusters`` — run Section 3 cluster generation over documents read
+  from a file (one JSON object per line: ``{"interval": 0, "text":
+  "..."}``) and print the per-interval keyword clusters.
+* ``stable`` — full pipeline over the same input format, printing the
+  top-k stable paths.
+* ``bench-graph`` — generate a Section 5.2 synthetic cluster graph and
+  time the BFS/DFS solvers on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.core import bfs_stable_clusters, dfs_stable_clusters
+from repro.datagen import (
+    BlogosphereGenerator,
+    Event,
+    EventSchedule,
+    ZipfVocabulary,
+    synthetic_cluster_graph,
+)
+from repro.datagen.events import drifting_event
+from repro.pipeline import (
+    find_stable_clusters,
+    generate_interval_clusters,
+    render_stable_path,
+)
+from repro.text.documents import IntervalCorpus
+
+
+def _demo_schedule() -> EventSchedule:
+    schedule = EventSchedule()
+    schedule.add(Event.burst(
+        "stemcell", ["stem", "cell", "amniotic", "research", "atala"],
+        interval=2, posts=60))
+    schedule.add(Event.persistent(
+        "somalia", ["somalia", "mogadishu", "ethiopian", "islamist",
+                    "kamboni"],
+        start=0, duration=7, posts=45, ramp=[1, 1, 1.6, 1.6, 1.2, 1, 1]))
+    schedule.add(Event.with_gaps(
+        "facup", ["liverpool", "arsenal", "anfield", "goal"],
+        active_intervals=[0, 3, 4], posts=50))
+    schedule.extend(drifting_event(
+        "iphone", shared=["apple", "iphone"],
+        first_phase=["touchscreen", "keynote", "features"],
+        second_phase=["cisco", "lawsuit", "trademark"],
+        start=3, phase1_len=2, phase2_len=2, posts=55))
+    return schedule
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run the synthetic-week walkthrough (Section 5.3 demo)."""
+    vocab = ZipfVocabulary(args.vocabulary, seed=args.seed)
+    generator = BlogosphereGenerator(
+        vocab, _demo_schedule(), background_posts=args.background,
+        seed=args.seed)
+    corpus = generator.generate_corpus(7)
+    print(f"generated {corpus.num_documents} posts over 7 days")
+    result = find_stable_clusters(corpus, l=args.length, k=args.k,
+                                  gap=args.gap, problem=args.problem)
+    sizes = [len(c) for c in result.interval_clusters]
+    print(f"clusters per day: {sizes}")
+    print(f"cluster graph: {result.cluster_graph}")
+    if not result.paths:
+        print("no stable paths found")
+        return 1
+    for path in result.paths:
+        print()
+        print(render_stable_path(result, path))
+    return 0
+
+
+def _read_corpus(path: str) -> IntervalCorpus:
+    corpus = IntervalCorpus()
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            corpus.add_text(doc_id=record.get("id", f"doc{line_no}"),
+                            interval=int(record["interval"]),
+                            text=record["text"])
+    return corpus
+
+
+def cmd_clusters(args: argparse.Namespace) -> int:
+    """Print per-interval keyword clusters for a JSONL corpus."""
+    corpus = _read_corpus(args.input)
+    for interval in corpus.interval_indices:
+        clusters = generate_interval_clusters(
+            corpus, interval, rho_threshold=args.rho)
+        print(f"interval {interval}: {len(clusters)} clusters")
+        for cluster in sorted(clusters, key=len, reverse=True)[:args.top]:
+            print(f"  {' '.join(sorted(cluster.keywords))}")
+    return 0
+
+
+def cmd_stable(args: argparse.Namespace) -> int:
+    """Run the full stable-cluster pipeline on a JSONL corpus."""
+    corpus = _read_corpus(args.input)
+    result = find_stable_clusters(corpus, l=args.length, k=args.k,
+                                  gap=args.gap, problem=args.problem,
+                                  rho_threshold=args.rho,
+                                  theta=args.theta)
+    if not result.paths:
+        print("no stable paths found")
+        return 1
+    for path in result.paths:
+        print(render_stable_path(result, path))
+        print()
+    return 0
+
+
+def cmd_bench_graph(args: argparse.Namespace) -> int:
+    """Time the BFS and DFS solvers on a synthetic graph."""
+    graph = synthetic_cluster_graph(m=args.m, n=args.n, d=args.d,
+                                    g=args.gap, seed=args.seed)
+    print(f"graph: {graph}")
+    l = args.length if args.length else graph.num_intervals - 1
+    for name, solver in (("BFS", bfs_stable_clusters),
+                         ("DFS", dfs_stable_clusters)):
+        started = time.perf_counter()
+        paths = solver(graph, l=l, k=args.k)
+        elapsed = time.perf_counter() - started
+        best = f"{paths[0].weight:.3f}" if paths else "none"
+        print(f"{name}: {elapsed:.3f}s  top weight: {best}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="stable-clusters",
+        description="Stable keyword clusters in temporal text "
+                    "(Bansal et al., VLDB 2007 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="synthetic week walkthrough")
+    demo.add_argument("--vocabulary", type=int, default=3000)
+    demo.add_argument("--background", type=int, default=600)
+    demo.add_argument("--seed", type=int, default=2007)
+    demo.add_argument("--length", type=int, default=3)
+    demo.add_argument("-k", type=int, default=5)
+    demo.add_argument("--gap", type=int, default=1)
+    demo.add_argument("--problem", choices=["kl", "normalized"],
+                      default="kl")
+    demo.set_defaults(func=cmd_demo)
+
+    clusters = sub.add_parser("clusters",
+                              help="per-interval keyword clusters")
+    clusters.add_argument("input", help="JSONL file of posts")
+    clusters.add_argument("--rho", type=float, default=0.2)
+    clusters.add_argument("--top", type=int, default=10)
+    clusters.set_defaults(func=cmd_clusters)
+
+    stable = sub.add_parser("stable", help="full stable-cluster search")
+    stable.add_argument("input", help="JSONL file of posts")
+    stable.add_argument("--length", type=int, default=3)
+    stable.add_argument("-k", type=int, default=5)
+    stable.add_argument("--gap", type=int, default=0)
+    stable.add_argument("--rho", type=float, default=0.2)
+    stable.add_argument("--theta", type=float, default=0.1)
+    stable.add_argument("--problem", choices=["kl", "normalized"],
+                        default="kl")
+    stable.set_defaults(func=cmd_stable)
+
+    bench = sub.add_parser("bench-graph",
+                           help="time BFS/DFS on a synthetic graph")
+    bench.add_argument("-m", type=int, default=9)
+    bench.add_argument("-n", type=int, default=400)
+    bench.add_argument("-d", type=int, default=5)
+    bench.add_argument("--gap", type=int, default=0)
+    bench.add_argument("--length", type=int, default=0,
+                       help="0 means full paths (m - 1)")
+    bench.add_argument("-k", type=int, default=5)
+    bench.add_argument("--seed", type=int, default=1)
+    bench.set_defaults(func=cmd_bench_graph)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

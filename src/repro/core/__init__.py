@@ -1,0 +1,63 @@
+"""The paper's primary contribution: stable keyword clusters.
+
+Problem 1 (kl-stable clusters): top-k paths of length exactly l in the
+cluster graph, by total affinity weight.  Problem 2 (normalized):
+top-k paths of length >= lmin by weight/length.  Solvers: BFS
+(Algorithm 2), DFS (Algorithm 3), a Threshold Algorithm adaptation
+(full paths only), exact brute force (test oracle), and streaming
+front ends (Section 4.6).
+"""
+
+from repro.core.bfs import BFSEngine, BFSStats, bfs_stable_clusters
+from repro.core.bruteforce import (
+    bruteforce_normalized,
+    bruteforce_topk,
+    count_paths,
+    enumerate_paths,
+)
+from repro.core.cluster_graph import ClusterGraph, ClusterGraphBuilder
+from repro.core.dfs import DFSEngine, DFSStats, dfs_stable_clusters
+from repro.core.diversify import diverse_stable_clusters, diversify_paths
+from repro.core.heaps import TopK
+from repro.core.normalized import (
+    NormalizedBFSEngine,
+    NormalizedStats,
+    normalized_stable_clusters,
+)
+from repro.core.online import (
+    StreamingAffinityPipeline,
+    StreamingStableClusters,
+)
+from repro.core.paths import NodeId, Path, edge_path
+from repro.core.stability import build_cluster_graph
+from repro.core.ta import TAEngine, TAStats, ta_stable_clusters
+
+__all__ = [
+    "BFSEngine",
+    "BFSStats",
+    "ClusterGraph",
+    "ClusterGraphBuilder",
+    "DFSEngine",
+    "DFSStats",
+    "NodeId",
+    "NormalizedBFSEngine",
+    "NormalizedStats",
+    "Path",
+    "StreamingAffinityPipeline",
+    "StreamingStableClusters",
+    "TAEngine",
+    "TAStats",
+    "TopK",
+    "bfs_stable_clusters",
+    "bruteforce_normalized",
+    "bruteforce_topk",
+    "build_cluster_graph",
+    "count_paths",
+    "dfs_stable_clusters",
+    "diverse_stable_clusters",
+    "diversify_paths",
+    "edge_path",
+    "enumerate_paths",
+    "normalized_stable_clusters",
+    "ta_stable_clusters",
+]

@@ -1,0 +1,63 @@
+"""Exact brute-force solutions to Problems 1 and 2.
+
+These enumerate every path of the cluster graph and therefore run in
+time exponential in the worst case; they exist as the ground-truth
+oracle for the BFS, DFS and TA implementations (and for small ad-hoc
+analyses).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.core.cluster_graph import ClusterGraph
+from repro.core.heaps import TopK
+from repro.core.paths import Path, edge_path
+
+
+def enumerate_paths(graph: ClusterGraph,
+                    min_length: int = 1,
+                    max_length: Optional[int] = None) -> Iterator[Path]:
+    """Yield every path whose temporal span lies in the given range."""
+    if max_length is None:
+        max_length = graph.num_intervals - 1
+    if min_length < 1:
+        raise ValueError(f"min_length must be >= 1, got {min_length}")
+
+    def extend(path: Path) -> Iterator[Path]:
+        if min_length <= path.length <= max_length:
+            yield path
+        if path.length >= max_length:
+            return
+        for child, weight in graph.children(path.end):
+            if path.length + (child[0] - path.end[0]) <= max_length:
+                yield from extend(path.append(child, weight))
+
+    for node in graph.nodes():
+        for child, weight in graph.children(node):
+            yield from extend(edge_path(node, child, weight))
+
+
+def bruteforce_topk(graph: ClusterGraph, l: int, k: int) -> List[Path]:
+    """Problem 1 exactly: top-k paths of length exactly *l* by weight
+    (ties broken by node tuple, making the answer unique)."""
+    heap: TopK[Path] = TopK(k, key=lambda p: (p.weight, p.nodes))
+    for path in enumerate_paths(graph, min_length=l, max_length=l):
+        heap.check(path)
+    return heap.items()
+
+
+def bruteforce_normalized(graph: ClusterGraph, lmin: int,
+                          k: int) -> List[Path]:
+    """Problem 2 exactly: top-k paths of length >= *lmin* by stability
+    (weight / length; ties broken by node tuple)."""
+    heap: TopK[Path] = TopK(k, key=lambda p: (p.stability, p.nodes))
+    for path in enumerate_paths(graph, min_length=lmin):
+        heap.check(path)
+    return heap.items()
+
+
+def count_paths(graph: ClusterGraph, l: int) -> int:
+    """Number of paths of length exactly *l* (diagnostics for tests)."""
+    return sum(1 for _ in enumerate_paths(graph, min_length=l,
+                                          max_length=l))

@@ -1,0 +1,179 @@
+"""The cluster graph G of Section 4.1.
+
+Nodes are per-interval keyword clusters, identified by
+``(interval, index)``; an edge connects clusters of intervals ``i < j``
+with ``j - i <= g + 1`` (gap ``g``) whose affinity exceeds the
+threshold.  Edge *length* is ``j - i``; edge *weight* is the affinity,
+required to lie in ``(0, 1]`` (the DFS pruning bound and the TA
+threshold depend on it — "normalization is required for others, e.g.,
+intersect", handled by :meth:`ClusterGraphBuilder.build`).
+
+Conceptually edges are undirected; the algorithms orient them forward
+in time, with a virtual source before the first interval and sink
+after the last (both contributing zero length and weight).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.paths import NodeId
+
+EPSILON = 1e-12
+
+
+class ClusterGraph:
+    """Temporal cluster graph with gap-bounded forward edges."""
+
+    def __init__(self, num_intervals: int, gap: int = 0) -> None:
+        if num_intervals < 1:
+            raise ValueError(
+                f"need at least one interval, got {num_intervals}")
+        if gap < 0:
+            raise ValueError(f"gap must be >= 0, got {gap}")
+        self.num_intervals = num_intervals
+        self.gap = gap
+        self._interval_nodes: List[List[NodeId]] = [
+            [] for _ in range(num_intervals)]
+        self._children: Dict[NodeId, List[Tuple[NodeId, float]]] = {}
+        self._parents: Dict[NodeId, List[Tuple[NodeId, float]]] = {}
+        self._payloads: Dict[NodeId, Any] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, interval: int, payload: Any = None) -> NodeId:
+        """Create a node in *interval*; returns its ``(interval, index)``."""
+        if not 0 <= interval < self.num_intervals:
+            raise ValueError(
+                f"interval {interval} out of range [0, {self.num_intervals})")
+        index = len(self._interval_nodes[interval])
+        node = (interval, index)
+        self._interval_nodes[interval].append(node)
+        self._children[node] = []
+        self._parents[node] = []
+        if payload is not None:
+            self._payloads[node] = payload
+        return node
+
+    def add_edge(self, a: NodeId, b: NodeId, weight: float) -> None:
+        """Connect two clusters; *a* must precede *b* temporally."""
+        if a not in self._children or b not in self._children:
+            raise KeyError(f"unknown node in edge ({a}, {b})")
+        length = b[0] - a[0]
+        if length <= 0:
+            raise ValueError(
+                f"edge must go forward in time: {a} -> {b}")
+        if length > self.gap + 1:
+            raise ValueError(
+                f"edge {a} -> {b} spans {length} intervals, which "
+                f"exceeds the gap bound g + 1 = {self.gap + 1}")
+        if not 0.0 < weight <= 1.0 + EPSILON:
+            raise ValueError(
+                f"edge weight must be in (0, 1], got {weight}")
+        self._children[a].append((b, min(weight, 1.0)))
+        self._parents[b].append((a, min(weight, 1.0)))
+        self._num_edges += 1
+
+    def sort_children_by_weight(self) -> None:
+        """Order every child list by descending edge weight — the DFS
+        heuristic of Section 4.3 ("children connected with edges of
+        high weight are considered first")."""
+        for node, children in self._children.items():
+            children.sort(key=lambda edge: (-edge[1], edge[0]))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total clusters across all intervals."""
+        return sum(len(nodes) for nodes in self._interval_nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Total affinity edges."""
+        return self._num_edges
+
+    def interval_size(self, interval: int) -> int:
+        """T_i: number of clusters in *interval*."""
+        return len(self._interval_nodes[interval])
+
+    def nodes_at(self, interval: int) -> Sequence[NodeId]:
+        """Nodes of one interval."""
+        return self._interval_nodes[interval]
+
+    def nodes(self) -> Iterator[NodeId]:
+        """All nodes, interval by interval."""
+        for interval_nodes in self._interval_nodes:
+            yield from interval_nodes
+
+    def children(self, node: NodeId) -> List[Tuple[NodeId, float]]:
+        """Outgoing ``(child, weight)`` edges of *node*."""
+        return self._children[node]
+
+    def parents(self, node: NodeId) -> List[Tuple[NodeId, float]]:
+        """Incoming ``(parent, weight)`` edges of *node*."""
+        return self._parents[node]
+
+    def payload(self, node: NodeId) -> Any:
+        """The cluster object attached to *node* (None if absent)."""
+        return self._payloads.get(node)
+
+    def edges(self) -> Iterator[Tuple[NodeId, NodeId, float]]:
+        """All edges as ``(parent, child, weight)``."""
+        for node, children in self._children.items():
+            for child, weight in children:
+                yield (node, child, weight)
+
+    def max_out_degree(self) -> int:
+        """d: the largest number of children of any node."""
+        if not self._children:
+            return 0
+        return max(len(children) for children in self._children.values())
+
+    def __repr__(self) -> str:
+        return (f"ClusterGraph(m={self.num_intervals}, g={self.gap}, "
+                f"nodes={self.num_nodes}, edges={self.num_edges})")
+
+
+class ClusterGraphBuilder:
+    """Accumulates raw affinity edges, then normalizes weights to (0, 1].
+
+    Affinity functions like intersection size are unbounded; "the
+    maximum score seen so far can be maintained to normalize all
+    weights to the range (0, 1]" (Section 4.1).  The builder collects
+    edges, divides by the maximum when asked, and emits the graph.
+    """
+
+    def __init__(self, num_intervals: int, gap: int = 0) -> None:
+        self.graph = ClusterGraph(num_intervals, gap=gap)
+        self._raw_edges: List[Tuple[NodeId, NodeId, float]] = []
+
+    def add_node(self, interval: int, payload: Any = None) -> NodeId:
+        """Forwarded to the underlying graph."""
+        return self.graph.add_node(interval, payload=payload)
+
+    def add_edge(self, a: NodeId, b: NodeId, raw_weight: float) -> None:
+        """Record an edge with an arbitrary positive raw affinity."""
+        if raw_weight <= 0:
+            raise ValueError(
+                f"raw affinity must be positive, got {raw_weight}")
+        self._raw_edges.append((a, b, raw_weight))
+
+    def build(self, normalize: bool = True,
+              sort_children: bool = True) -> ClusterGraph:
+        """Materialize all edges; with *normalize* divide by the max."""
+        scale = 1.0
+        if normalize and self._raw_edges:
+            max_weight = max(weight for _, _, weight in self._raw_edges)
+            if max_weight > 1.0:
+                scale = 1.0 / max_weight
+        for a, b, weight in self._raw_edges:
+            self.graph.add_edge(a, b, weight * scale)
+        if sort_children:
+            self.graph.sort_children_by_weight()
+        return self.graph

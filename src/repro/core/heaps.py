@@ -1,0 +1,90 @@
+"""Bounded top-k heaps over paths (the paper's "check" operation).
+
+``TopK`` keeps the k best items under a total order.  For paths the
+order is ``(weight, nodes)`` — or ``(stability, nodes)`` for the
+normalized problem via the ``key`` parameter — so the retained set is
+unique and algorithm outputs are exactly comparable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class TopK(Generic[T]):
+    """A fixed-capacity max-set maintained as a min-heap.
+
+    :meth:`check` is the paper's check operation: the candidate enters
+    iff it beats the current minimum (or the heap is not yet full).
+    """
+
+    def __init__(self, k: int,
+                 key: Optional[Callable[[T], object]] = None) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self._key = key if key is not None else (lambda item: item)
+        self._heap: List = []
+        self._members: set = set()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        """True once k items are retained."""
+        return len(self._heap) >= self.k
+
+    def check(self, item: T) -> bool:
+        """Offer *item*; returns True when it was retained.
+
+        Items must be hashable; re-offering a retained item is a no-op
+        (the DFS algorithm can regenerate a path after a pruning pass
+        unmarks part of the stack).
+        """
+        if item in self._members:
+            return False
+        entry = (self._key(item), item)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            self._members.add(item)
+            return True
+        if entry <= self._heap[0]:
+            return False
+        _, evicted = heapq.heapreplace(self._heap, entry)
+        self._members.discard(evicted)
+        self._members.add(item)
+        return True
+
+    def extend(self, items: Iterable[T]) -> None:
+        """Offer every item of *items*."""
+        for item in items:
+            self.check(item)
+
+    def min_key(self):
+        """Smallest retained key, or ``None`` when not yet full.
+
+        The DFS pruning bound (min-k) must treat a non-full heap as
+        unboundedly accepting, so callers get ``None`` rather than the
+        current minimum in that case.
+        """
+        if not self.is_full:
+            return None
+        return self._heap[0][0]
+
+    def items(self) -> List[T]:
+        """Retained items, best first."""
+        return [item for _, item in
+                sorted(self._heap, key=lambda e: e[0], reverse=True)]
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self.items())
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._members
+
+    def __repr__(self) -> str:
+        return f"TopK(k={self.k}, size={len(self._heap)})"

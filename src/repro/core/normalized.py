@@ -1,0 +1,238 @@
+"""Normalized stable clusters (Problem 2, Section 4.5).
+
+Top-k paths of length at least ``lmin`` under the *stability* score
+``weight(π) / length(π)``.  The search runs in the BFS framework of
+Algorithm 2, with the per-node state the paper prescribes:
+
+* ``smallpaths[x]`` — **all** paths of length ``x < lmin`` ending at
+  the node (they are not yet scoreable and cannot be pruned);
+* ``bestpaths`` — candidate paths of length ``>= lmin`` ending at the
+  node, pruned by Theorem 1: a path ``π = πpre · πcurr`` with
+  ``length(πcurr) >= lmin`` and ``stability(πpre) <= stability(πcurr)``
+  is replaced by ``πcurr``, because for any *improving* suffix the
+  suffix-only path scores at least as well; and by suffix dominance
+  (a retained path subsumes retained paths that are its suffixes —
+  Theorem 1 re-derives the suffix from the longer path later if the
+  suffix starts to dominate).
+
+Every candidate is checked against the global heap **before** pruning,
+so pruning only affects what propagates forward.  Theorem 1 preserves
+the top-1 exactly; for k > 1 a reported path may stand in for a
+dominated true top-k member (see DESIGN.md).  ``exact=True`` disables
+pruning and keeps every path (exponential; the differential-test
+oracle uses it on small graphs).
+
+One deliberate generalization over the paper's pseudocode: with gaps,
+an extension can jump from length ``lmin - 2`` straight past ``lmin``,
+so candidates are drawn from ``smallpaths[x]`` for every ``x`` with
+``x + edge_length >= lmin``, not only ``x = lmin - edge_length``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cluster_graph import ClusterGraph
+from repro.core.heaps import TopK
+from repro.core.paths import NodeId, Path, edge_path
+
+
+def stability_key(path: Path) -> Tuple[float, Tuple[NodeId, ...]]:
+    """Problem 2 total order: stability, then nodes."""
+    return (path.stability, path.nodes)
+
+
+@dataclass
+class NormalizedStats:
+    """Work counters for a normalized-BFS run."""
+
+    nodes_processed: int = 0
+    candidates_generated: int = 0
+    theorem1_reductions: int = 0
+    suffix_subsumptions: int = 0
+    small_paths_held: int = 0
+    best_paths_held: int = 0
+
+
+@dataclass
+class _NodeState:
+    small: Dict[int, List[Path]] = field(default_factory=dict)
+    best: List[Path] = field(default_factory=list)
+
+
+class NormalizedBFSEngine:
+    """Sliding-window search for normalized stable clusters."""
+
+    def __init__(self, lmin: int, k: int, gap: int,
+                 exact: bool = False,
+                 max_best_per_node: Optional[int] = None,
+                 stats: Optional[NormalizedStats] = None) -> None:
+        if lmin < 1:
+            raise ValueError(f"lmin must be >= 1, got {lmin}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.lmin = lmin
+        self.k = k
+        self.gap = gap
+        self.exact = exact
+        self.max_best_per_node = max_best_per_node
+        self.stats = stats if stats is not None else NormalizedStats()
+        self.global_heap: TopK[Path] = TopK(k, key=stability_key)
+        self._window: Dict[NodeId, _NodeState] = {}
+        self._window_intervals: List[int] = []
+        self._window_nodes: Dict[int, List[NodeId]] = {}
+        # Edge weights are needed to score path prefixes/suffixes in
+        # Theorem-1 reductions; every edge flows through
+        # process_interval, so the engine records them as seen.
+        self._edge_weights: Dict[Tuple[NodeId, NodeId], float] = {}
+
+    # ------------------------------------------------------------------
+    # Per-interval step
+    # ------------------------------------------------------------------
+
+    def process_interval(self, interval: int,
+                         nodes_with_parents: Sequence[
+                             Tuple[NodeId, Sequence[Tuple[NodeId, float]]]]
+                         ) -> None:
+        """Compute small/best path state for one interval's nodes."""
+        interval_nodes = []
+        for node, parent_edges in nodes_with_parents:
+            self._window[node] = self._compute_node_state(node,
+                                                          parent_edges)
+            interval_nodes.append(node)
+        self._window_intervals.append(interval)
+        self._window_nodes[interval] = interval_nodes
+        while (self._window_intervals
+               and self._window_intervals[0] < interval - self.gap):
+            expired = self._window_intervals.pop(0)
+            for node in self._window_nodes.pop(expired, []):
+                self._window.pop(node, None)
+
+    def _compute_node_state(self, node: NodeId,
+                            parent_edges: Sequence[Tuple[NodeId, float]]
+                            ) -> _NodeState:
+        state = _NodeState()
+        candidates: List[Path] = []
+        for parent, weight in parent_edges:
+            self._edge_weights[(parent, node)] = weight
+            length = node[0] - parent[0]
+            bare = edge_path(parent, node, weight)
+            if length < self.lmin:
+                state.small.setdefault(length, []).append(bare)
+            else:
+                candidates.append(bare)
+            parent_state = self._window.get(parent)
+            if parent_state is None:
+                continue
+            for x, paths in parent_state.small.items():
+                total = x + length
+                for path in paths:
+                    extended = path.append(node, weight)
+                    if total < self.lmin:
+                        state.small.setdefault(total, []).append(extended)
+                    else:
+                        candidates.append(extended)
+            for path in parent_state.best:
+                candidates.append(path.append(node, weight))
+        self.stats.nodes_processed += 1
+        self.stats.candidates_generated += len(candidates)
+        self.stats.small_paths_held += sum(
+            len(paths) for paths in state.small.values())
+        # Global check happens before pruning: every generated path of
+        # admissible length is a legitimate answer candidate.
+        for path in candidates:
+            self.global_heap.check(path)
+        state.best = self._prune_candidates(candidates)
+        self.stats.best_paths_held += len(state.best)
+        return state
+
+    # ------------------------------------------------------------------
+    # Theorem 1 pruning and suffix subsumption
+    # ------------------------------------------------------------------
+
+    def _prune_candidates(self, candidates: List[Path]) -> List[Path]:
+        if self.exact:
+            return list(dict.fromkeys(candidates))
+        reduced = [self._reduce(path) for path in candidates]
+        survivors = self._drop_suffix_duplicates(reduced)
+        survivors.sort(key=stability_key, reverse=True)
+        if self.max_best_per_node is not None:
+            del survivors[self.max_best_per_node:]
+        return survivors
+
+    def _reduce(self, path: Path) -> Path:
+        """Apply Theorem 1 repeatedly until the path is irreducible.
+
+        Every intermediate is offered to the global heap: a reduced
+        suffix scores at least as well as the path it came from, and
+        checking the whole chain is what makes the top-1 guarantee
+        hold even when the suffix was subsumed at an earlier node.
+        """
+        while True:
+            replacement = self._reducible_suffix(path)
+            if replacement is None:
+                return path
+            self.stats.theorem1_reductions += 1
+            self.global_heap.check(replacement)
+            path = replacement
+
+    def _reducible_suffix(self, path: Path) -> Optional[Path]:
+        """The suffix replacing *path* under Theorem 1, or None.
+
+        Splits are scanned left to right (longest suffix first); any
+        admissible split is dominance-preserving, so the scan order
+        only picks among equivalent reduction chains.
+        """
+        nodes = path.nodes
+        if len(nodes) < 3:
+            return None
+        prefix_weight = 0.0
+        for s in range(1, len(nodes) - 1):
+            prefix_weight += self._edge_weights[(nodes[s - 1], nodes[s])]
+            prefix_length = nodes[s][0] - nodes[0][0]
+            suffix_length = nodes[-1][0] - nodes[s][0]
+            if suffix_length < self.lmin:
+                break  # later splits only shrink the suffix
+            suffix_weight = path.weight - prefix_weight
+            if (prefix_weight / prefix_length
+                    <= suffix_weight / suffix_length):
+                return Path(weight=suffix_weight, nodes=nodes[s:])
+        return None
+
+    def _drop_suffix_duplicates(self, paths: List[Path]) -> List[Path]:
+        """Remove paths that are suffixes of another retained path."""
+        unique = sorted(set(paths), key=lambda p: (-len(p.nodes), p.nodes))
+        survivors: List[Path] = []
+        for path in unique:
+            if any(path.is_suffix_of(longer) for longer in survivors):
+                self.stats.suffix_subsumptions += 1
+                continue
+            survivors.append(path)
+        return survivors
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def results(self) -> List[Path]:
+        """Current top-k paths by stability, best first."""
+        return self.global_heap.items()
+
+
+def normalized_stable_clusters(graph: ClusterGraph, lmin: int, k: int,
+                               exact: bool = False,
+                               max_best_per_node: Optional[int] = None,
+                               stats: Optional[NormalizedStats] = None
+                               ) -> List[Path]:
+    """Top-k paths of length >= *lmin* by stability (Problem 2)."""
+    if lmin > graph.num_intervals - 1:
+        return []
+    engine = NormalizedBFSEngine(lmin=lmin, k=k, gap=graph.gap,
+                                 exact=exact,
+                                 max_best_per_node=max_best_per_node,
+                                 stats=stats)
+    for i in range(graph.num_intervals):
+        engine.process_interval(
+            i, [(node, graph.parents(node)) for node in graph.nodes_at(i)])
+    return engine.results()

@@ -1,0 +1,156 @@
+"""Streaming (online) stable-cluster maintenance (Section 4.6).
+
+New intervals arrive continuously; the BFS engine is incremental by
+construction — "when nodes for the next temporal interval G_{m+1}
+arrive, heaps for them can be computed without redoing any past
+computation".  The paper notes that once streaming, the BFS- and
+DFS-based algorithms perform the same per-interval operation and
+differ only in bootstrap, so a single streaming front end is provided
+for both problems (kl-stable and normalized).
+
+``StreamingStableClusters`` owns a growing cluster timeline: callers
+push each new interval's clusters and affinity edges (or raw
+per-interval keyword clusters, letting the affinity threshold and gap
+policy of Section 4.1 build the edges), and read the current top-k at
+any time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bfs import BFSEngine
+from repro.core.normalized import NormalizedBFSEngine
+from repro.core.paths import NodeId, Path
+from repro.storage.diskdict import DiskDict
+
+
+class StreamingStableClusters:
+    """Incrementally maintained top-k stable clusters.
+
+    ``mode='kl'`` maintains Problem 1 (paths of length exactly ``l``);
+    ``mode='normalized'`` maintains Problem 2 (length >= ``lmin``,
+    score weight/length).  ``l`` is interpreted accordingly.
+    """
+
+    def __init__(self, l: int, k: int, gap: int = 0,
+                 mode: str = "kl",
+                 store: Optional[DiskDict] = None) -> None:
+        if mode not in ("kl", "normalized"):
+            raise ValueError(
+                f"mode must be 'kl' or 'normalized', got {mode!r}")
+        self.mode = mode
+        self.gap = gap
+        if mode == "kl":
+            self._engine = BFSEngine(l=l, k=k, gap=gap, store=store)
+        else:
+            self._engine = NormalizedBFSEngine(lmin=l, k=k, gap=gap)
+        self._next_interval = 0
+        self._interval_sizes: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Feeding the stream
+    # ------------------------------------------------------------------
+
+    @property
+    def num_intervals(self) -> int:
+        """Intervals consumed so far."""
+        return self._next_interval
+
+    def add_interval(self, num_clusters: int,
+                     edges: Sequence[Tuple[NodeId, int, float]]
+                     ) -> List[NodeId]:
+        """Append one interval with *num_clusters* clusters.
+
+        ``edges`` are ``(parent_node, local_index, weight)`` where
+        ``parent_node`` is a node id returned for one of the previous
+        ``gap + 1`` intervals and ``local_index`` indexes this
+        interval's new clusters.  Returns the new node ids.
+        """
+        interval = self._next_interval
+        nodes = [(interval, j) for j in range(num_clusters)]
+        incoming: Dict[NodeId, List[Tuple[NodeId, float]]] = {
+            node: [] for node in nodes}
+        for parent, local_index, weight in edges:
+            if not 0 <= local_index < num_clusters:
+                raise ValueError(
+                    f"edge targets cluster {local_index}, interval has "
+                    f"{num_clusters}")
+            length = interval - parent[0]
+            if not 1 <= length <= self.gap + 1:
+                raise ValueError(
+                    f"parent {parent} is {length} intervals back; the "
+                    f"gap policy allows 1..{self.gap + 1}")
+            if not 0.0 < weight <= 1.0:
+                raise ValueError(
+                    f"affinity weight must be in (0, 1], got {weight}")
+            incoming[(interval, local_index)].append((parent, weight))
+        self._engine.process_interval(
+            interval, [(node, incoming[node]) for node in nodes])
+        self._interval_sizes.append(num_clusters)
+        self._next_interval += 1
+        return nodes
+
+    # ------------------------------------------------------------------
+    # Reading results
+    # ------------------------------------------------------------------
+
+    def top_k(self) -> List[Path]:
+        """Current top-k paths, best first."""
+        return self._engine.results()
+
+    @property
+    def stats(self):
+        """The underlying engine's work counters."""
+        return self._engine.stats
+
+
+class StreamingAffinityPipeline:
+    """Streams *keyword clusters* instead of pre-built edges.
+
+    Wraps :class:`StreamingStableClusters`, computing affinity edges
+    against the clusters of the previous ``gap + 1`` intervals with the
+    supplied measure and threshold θ (Section 4.1's construction,
+    applied online).  Cluster objects must expose ``keywords``.
+    """
+
+    def __init__(self, l: int, k: int, gap: int = 0,
+                 affinity: Optional[Callable] = None,
+                 theta: float = 0.1,
+                 mode: str = "kl") -> None:
+        from repro.affinity import jaccard
+        if not 0.0 < theta <= 1.0:
+            raise ValueError(f"theta must be in (0, 1], got {theta}")
+        self.affinity = affinity if affinity is not None else jaccard
+        self.theta = theta
+        self.stream = StreamingStableClusters(l=l, k=k, gap=gap, mode=mode)
+        self._recent: List[Tuple[List[NodeId], List]] = []  # per interval
+
+    def add_interval(self, clusters: Sequence) -> List[NodeId]:
+        """Append one interval's keyword clusters; affinity edges to
+        the recent window are computed here."""
+        edges: List[Tuple[NodeId, int, float]] = []
+        for node_ids, old_clusters in self._recent:
+            for parent_id, old_cluster in zip(node_ids, old_clusters):
+                for j, cluster in enumerate(clusters):
+                    weight = self.affinity(old_cluster, cluster)
+                    if weight > self.theta:
+                        edges.append((parent_id, j, min(weight, 1.0)))
+        node_ids = self.stream.add_interval(len(clusters), edges)
+        self._recent.append((node_ids, list(clusters)))
+        if len(self._recent) > self.stream.gap + 1:
+            self._recent.pop(0)
+        return node_ids
+
+    def top_k(self) -> List[Path]:
+        """Current top-k paths, best first."""
+        return self.stream.top_k()
+
+    def cluster_for(self, node: NodeId):
+        """The cluster object behind *node*, if still in the recent
+        window (older intervals have been evicted — streaming keeps
+        only g + 1 of them)."""
+        for node_ids, clusters in self._recent:
+            if node in node_ids:
+                return clusters[node_ids.index(node)]
+        return None

@@ -1,0 +1,27 @@
+"""Synthetic data generation.
+
+Two generators, matching the paper's two data sources:
+
+* :mod:`repro.datagen.synthetic_graph` — the Section 5.2 cluster-graph
+  model used by every performance experiment (n nodes per interval,
+  out-degree uniform in [1, 2d], uniform (0, 1] weights, gap-bounded
+  edges).
+* :mod:`repro.datagen.blogosphere` — an event-driven blog-post corpus
+  standing in for the BlogScope crawl: Zipfian background chatter plus
+  scripted events whose keyword sets co-occur in bursts, persist,
+  vanish and re-appear (gaps), and drift — the behaviours behind the
+  paper's Figures 1, 2, 4, 15 and 16.
+"""
+
+from repro.datagen.blogosphere import BlogosphereGenerator
+from repro.datagen.events import Event, EventSchedule
+from repro.datagen.synthetic_graph import synthetic_cluster_graph
+from repro.datagen.vocab import ZipfVocabulary
+
+__all__ = [
+    "BlogosphereGenerator",
+    "Event",
+    "EventSchedule",
+    "ZipfVocabulary",
+    "synthetic_cluster_graph",
+]

@@ -1,0 +1,134 @@
+"""Event scripts for the synthetic blogosphere.
+
+An *event* is what makes keywords cluster: many bloggers writing about
+the same story use its keywords together.  Each event carries a
+keyword set and a per-interval intensity (how many posts discuss it).
+Constructors cover the temporal shapes the paper's qualitative study
+exhibits: a single-interval burst (Figures 1-2), persistence
+(Figure 16's full-week cluster), gaps (Figure 4's soccer rematches),
+and drift (Figure 15's iPhone-features → Cisco-lawsuit shift, modelled
+as two overlapping events sharing keywords).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """One story: a name, its keywords, and interval -> post counts."""
+
+    name: str
+    keywords: Tuple[str, ...]
+    intensity: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.keywords) < 2:
+            raise ValueError(
+                f"event {self.name!r} needs at least two keywords to "
+                f"form correlations")
+        if any(count < 0 for count in self.intensity.values()):
+            raise ValueError(
+                f"event {self.name!r} has negative intensity")
+
+    # ------------------------------------------------------------------
+    # Temporal shapes
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def burst(cls, name: str, keywords: Sequence[str], interval: int,
+              posts: int) -> "Event":
+        """A one-interval story (e.g. the stem-cell discovery of
+        Figure 1)."""
+        return cls(name, tuple(keywords), {interval: posts})
+
+    @classmethod
+    def persistent(cls, name: str, keywords: Sequence[str], start: int,
+                   duration: int, posts: int,
+                   ramp: Sequence[float] = ()) -> "Event":
+        """A story alive for *duration* consecutive intervals.
+
+        ``ramp`` optionally scales each interval's intensity (e.g. the
+        Figure 16 Somalia story grows after Jan 8).
+        """
+        if duration < 1:
+            raise ValueError(f"duration must be >= 1, got {duration}")
+        intensity = {}
+        for offset in range(duration):
+            scale = ramp[offset] if offset < len(ramp) else 1.0
+            intensity[start + offset] = max(0, int(round(posts * scale)))
+        return cls(name, tuple(keywords), intensity)
+
+    @classmethod
+    def with_gaps(cls, name: str, keywords: Sequence[str],
+                  active_intervals: Iterable[int], posts: int) -> "Event":
+        """A story that vanishes and re-appears (Figure 4's two
+        Liverpool-Arsenal games three days apart)."""
+        return cls(name, tuple(keywords),
+                   {interval: posts for interval in active_intervals})
+
+    def active_at(self, interval: int) -> int:
+        """Posts this event contributes in *interval* (0 if dormant)."""
+        return self.intensity.get(interval, 0)
+
+    @property
+    def intervals(self) -> List[int]:
+        """Sorted intervals in which the event is active."""
+        return sorted(i for i, c in self.intensity.items() if c > 0)
+
+
+def drifting_event(name: str, shared: Sequence[str],
+                   first_phase: Sequence[str],
+                   second_phase: Sequence[str],
+                   start: int, phase1_len: int, phase2_len: int,
+                   posts: int) -> List[Event]:
+    """Two overlapping events modelling topic drift (Figure 15).
+
+    Both phases share the ``shared`` keywords (e.g. "apple iphone"),
+    so consecutive clusters overlap — a stable path — while the
+    non-shared keywords shift (features talk → lawsuit talk).
+    """
+    phase1 = Event.persistent(f"{name}/phase1",
+                              tuple(shared) + tuple(first_phase),
+                              start, phase1_len, posts)
+    phase2 = Event.persistent(f"{name}/phase2",
+                              tuple(shared) + tuple(second_phase),
+                              start + phase1_len, phase2_len, posts)
+    return [phase1, phase2]
+
+
+@dataclass
+class EventSchedule:
+    """The full script of events for a synthetic corpus."""
+
+    events: List[Event] = field(default_factory=list)
+
+    def add(self, event: Event) -> "EventSchedule":
+        """Append one event (chainable)."""
+        self.events.append(event)
+        return self
+
+    def extend(self, events: Iterable[Event]) -> "EventSchedule":
+        """Append many events (chainable)."""
+        self.events.extend(events)
+        return self
+
+    def active_at(self, interval: int) -> List[Tuple[Event, int]]:
+        """Events posting in *interval*, with their post counts."""
+        active = []
+        for event in self.events:
+            count = event.active_at(interval)
+            if count > 0:
+                active.append((event, count))
+        return active
+
+    @property
+    def num_intervals(self) -> int:
+        """1 + the largest scripted interval (0 when empty)."""
+        last = -1
+        for event in self.events:
+            if event.intensity:
+                last = max(last, max(event.intensity))
+        return last + 1

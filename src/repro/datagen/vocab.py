@@ -1,0 +1,68 @@
+"""Zipfian background vocabulary.
+
+Blog chatter has a heavy-tailed word distribution; background words in
+the synthetic corpus are drawn from a Zipf-like rank distribution
+(P(rank r) ∝ 1 / r^s).  Words are synthesized from random syllables so
+they look plausible, are morphologically diverse, survive the
+tokenizer, and interact with the Porter stemmer the way real words do.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+_ONSETS = ["b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h",
+           "j", "k", "l", "m", "n", "p", "pl", "pr", "r", "s", "sh",
+           "st", "t", "tr", "v", "w", "z"]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "ea", "oo", "ou"]
+_CODAS = ["", "n", "r", "s", "t", "l", "m", "nd", "st", "ck"]
+
+
+def _random_word(rng: random.Random) -> str:
+    syllables = rng.choice((2, 2, 3))  # mostly two syllables
+    parts: List[str] = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_ONSETS))
+        parts.append(rng.choice(_NUCLEI))
+    parts.append(rng.choice(_CODAS))
+    return "".join(parts)
+
+
+class ZipfVocabulary:
+    """A fixed vocabulary with Zipfian sampling weights."""
+
+    def __init__(self, size: int, exponent: float = 1.05,
+                 seed: Optional[int] = None) -> None:
+        if size < 1:
+            raise ValueError(f"size must be positive, got {size}")
+        if exponent <= 0:
+            raise ValueError(f"exponent must be positive, got {exponent}")
+        self.size = size
+        self.exponent = exponent
+        self._rng = random.Random(seed)
+        seen = set()
+        words: List[str] = []
+        while len(words) < size:
+            word = _random_word(self._rng)
+            if 3 <= len(word) <= 14 and word not in seen:
+                seen.add(word)
+                words.append(word)
+        self.words = words
+        self._weights = [1.0 / (rank ** exponent)
+                         for rank in range(1, size + 1)]
+
+    def sample(self, count: int) -> List[str]:
+        """Draw *count* words (with replacement) Zipf-distributed."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return []
+        return self._rng.choices(self.words, weights=self._weights,
+                                 k=count)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, word: str) -> bool:
+        return word in set(self.words)

@@ -1,0 +1,21 @@
+"""External merge sort.
+
+Section 3 of the paper sorts the file of emitted keyword pairs
+"lexicographically (using external memory merge sort) such that all
+identical keyword pairs appear together in the output".  This package
+implements that substrate: bounded-memory sorted-run generation
+followed by a k-way merge, for arbitrary picklable records and for the
+line-oriented pair files the co-occurrence stage produces.
+"""
+
+from repro.extsort.extsort import external_sort, sort_lines_file
+from repro.extsort.runs import RunWriter, write_runs
+from repro.extsort.merge import merge_runs
+
+__all__ = [
+    "RunWriter",
+    "external_sort",
+    "merge_runs",
+    "sort_lines_file",
+    "write_runs",
+]

@@ -1,0 +1,60 @@
+"""Public external-sort entry points."""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.extsort.merge import merge_runs
+from repro.extsort.runs import write_runs
+from repro.storage.iostats import IOStats
+
+
+def external_sort(records: Iterable[Any], max_records: int = 100_000,
+                  key: Optional[Callable[[Any], Any]] = None,
+                  directory: Optional[str] = None,
+                  stats: Optional[IOStats] = None) -> Iterator[Any]:
+    """Sort an arbitrarily large record stream with bounded memory.
+
+    At most ``max_records`` records are held in memory while building
+    runs, plus one record per run while merging.  Run files are deleted
+    once the merged stream is exhausted.
+    """
+    paths = write_runs(records, max_records, key=key,
+                       directory=directory, stats=stats)
+    if not paths:
+        return
+    try:
+        for record in merge_runs(paths, key=key, stats=stats):
+            yield record
+    finally:
+        for path in paths:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+
+def sort_lines_file(in_path: str, out_path: str,
+                    max_records: int = 100_000,
+                    directory: Optional[str] = None,
+                    stats: Optional[IOStats] = None) -> int:
+    """External-sort a text file line-by-line (lexicographically).
+
+    This is the exact operation Section 3 performs on the emitted
+    keyword-pair file.  Returns the number of lines written.
+    """
+
+    def lines() -> Iterator[str]:
+        with open(in_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                yield line.rstrip("\n")
+
+    count = 0
+    with open(out_path, "w", encoding="utf-8") as out:
+        for line in external_sort(lines(), max_records=max_records,
+                                  directory=directory, stats=stats):
+            out.write(line)
+            out.write("\n")
+            count += 1
+    return count

@@ -1,0 +1,23 @@
+"""K-way merge of sorted run files."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+from repro.extsort.runs import read_run
+from repro.storage.iostats import IOStats
+
+
+def merge_runs(paths: Sequence[str],
+               key: Optional[Callable[[Any], Any]] = None,
+               stats: Optional[IOStats] = None) -> Iterator[Any]:
+    """Yield all records of the given sorted run files in merged order.
+
+    Uses :func:`heapq.merge`, which holds one record per run in memory —
+    the standard external-merge memory footprint of one block per run.
+    """
+    streams: List[Iterator[Any]] = [read_run(path, stats) for path in paths]
+    if key is None:
+        return heapq.merge(*streams)
+    return heapq.merge(*streams, key=key)

@@ -1,0 +1,93 @@
+"""Sorted-run generation for external merge sort.
+
+Records are accumulated in memory up to ``max_records``, sorted, and
+written to a run file as length-prefixed pickles.  The run files are
+consumed by :mod:`repro.extsort.merge`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import tempfile
+from typing import Any, Callable, Iterable, Iterator, List, Optional
+
+from repro.storage.iostats import IOStats
+
+_LEN = struct.Struct("<I")
+
+
+class RunWriter:
+    """Writes one sorted run of records to a temporary file."""
+
+    def __init__(self, directory: Optional[str] = None,
+                 stats: Optional[IOStats] = None) -> None:
+        self.stats = stats if stats is not None else IOStats()
+        fd, self.path = tempfile.mkstemp(prefix="run-", suffix=".bin",
+                                         dir=directory)
+        self._fh = os.fdopen(fd, "wb")
+        self.count = 0
+
+    def write_sorted(self, records: List[Any],
+                     key: Optional[Callable[[Any], Any]] = None) -> None:
+        """Sort *records* in memory and append them to the run file."""
+        records.sort(key=key)
+        for record in records:
+            blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            self._fh.write(_LEN.pack(len(blob)))
+            self._fh.write(blob)
+            self.stats.record_write(len(blob) + _LEN.size, sequential=True)
+            self.count += 1
+
+    def close(self) -> None:
+        """Flush and close the run file."""
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def read_run(path: str, stats: Optional[IOStats] = None) -> Iterator[Any]:
+    """Yield the records of a run file in stored (sorted) order."""
+    with open(path, "rb") as fh:
+        while True:
+            header = fh.read(_LEN.size)
+            if not header:
+                return
+            (length,) = _LEN.unpack(header)
+            blob = fh.read(length)
+            if len(blob) != length:
+                raise IOError(f"truncated run file {path!r}")
+            if stats is not None:
+                stats.record_read(length + _LEN.size, sequential=True)
+            yield pickle.loads(blob)
+
+
+def write_runs(records: Iterable[Any], max_records: int,
+               key: Optional[Callable[[Any], Any]] = None,
+               directory: Optional[str] = None,
+               stats: Optional[IOStats] = None) -> List[str]:
+    """Partition *records* into sorted runs of at most *max_records*.
+
+    Returns the list of run-file paths (possibly empty for empty
+    input).  The caller owns the files and should delete them after
+    merging.
+    """
+    if max_records <= 0:
+        raise ValueError(f"max_records must be positive, got {max_records}")
+    paths: List[str] = []
+    buffer: List[Any] = []
+    for record in records:
+        buffer.append(record)
+        if len(buffer) >= max_records:
+            paths.append(_flush_run(buffer, key, directory, stats))
+            buffer = []
+    if buffer:
+        paths.append(_flush_run(buffer, key, directory, stats))
+    return paths
+
+
+def _flush_run(buffer: List[Any], key, directory, stats) -> str:
+    writer = RunWriter(directory=directory, stats=stats)
+    writer.write_sorted(buffer, key=key)
+    writer.close()
+    return writer.path

@@ -1,0 +1,124 @@
+"""Undirected weighted graph over hashable vertices."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Set, Tuple
+
+Vertex = Any
+WeightedEdge = Tuple[Vertex, Vertex, float]
+
+
+class Graph:
+    """Simple undirected graph with per-edge weights.
+
+    Vertices are arbitrary hashable objects.  Parallel edges are not
+    supported (re-adding an edge overwrites its weight); self loops are
+    rejected — the keyword graph's self pairs are unary counts, not
+    edges.
+    """
+
+    def __init__(self) -> None:
+        self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Ensure *v* exists (no-op when present)."""
+        self._adj.setdefault(v, {})
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0) -> None:
+        """Insert (or reweight) the undirected edge ``{u, v}``."""
+        if u == v:
+            raise ValueError(f"self loops are not allowed (vertex {u!r})")
+        self._adj.setdefault(u, {})[v] = weight
+        self._adj.setdefault(v, {})[u] = weight
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``{u, v}``; KeyError when absent."""
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (including isolated ones)."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._adj)
+
+    def neighbors(self, v: Vertex) -> Iterator[Vertex]:
+        """Iterate over the neighbours of *v*."""
+        return iter(self._adj[v])
+
+    def degree(self, v: Vertex) -> int:
+        """Number of edges incident to *v*."""
+        return len(self._adj[v])
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """True when the undirected edge ``{u, v}`` exists."""
+        return v in self._adj.get(u, {})
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        """Weight of the edge ``{u, v}``; KeyError when absent."""
+        return self._adj[u][v]
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate over ``(u, v, weight)`` with each edge reported once."""
+        seen: Set[Tuple[Vertex, Vertex]] = set()
+        for u, nbrs in self._adj.items():
+            for v, weight in nbrs.items():
+                if (v, u) in seen:
+                    continue
+                seen.add((u, v))
+                yield (u, v, weight)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple],
+                   default_weight: float = 1.0) -> "Graph":
+        """Build from ``(u, v)`` or ``(u, v, weight)`` tuples."""
+        graph = cls()
+        for edge in edges:
+            if len(edge) == 2:
+                graph.add_edge(edge[0], edge[1], default_weight)
+            else:
+                graph.add_edge(edge[0], edge[1], edge[2])
+        return graph
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "Graph":
+        """Induced subgraph on the vertex set *keep*."""
+        keep_set = set(keep)
+        sub = Graph()
+        for v in keep_set:
+            if v in self._adj:
+                sub.add_vertex(v)
+        for u, v, weight in self.edges():
+            if u in keep_set and v in keep_set:
+                sub.add_edge(u, v, weight)
+        return sub
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(weight for _, _, weight in self.edges())
+
+    def __repr__(self) -> str:
+        return (f"Graph(vertices={self.num_vertices}, "
+                f"edges={self.num_edges})")

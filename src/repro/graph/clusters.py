@@ -1,0 +1,121 @@
+"""Keyword-cluster extraction from the pruned graph G' (Section 3).
+
+"The set of clusters we report for G' is the set of all biconnected
+components of G' plus all trees connecting those components."  A
+bridge (a biconnected component of a single edge) is part of the tree
+structure between larger components; by default we report every
+component with at least two edges as a cluster and optionally merge in
+the bridge/tree keywords of its connected component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.graph.adjacency import Graph
+from repro.graph.biconnected import biconnected_components
+from repro.storage.iostats import IOStats
+
+Vertex = Any
+
+
+@dataclass(frozen=True)
+class KeywordCluster:
+    """One keyword cluster with its edges and the interval it came from.
+
+    ``keywords`` is the vertex set; ``edges`` keeps the supporting
+    correlations (u, v, rho), which downstream affinity measures may
+    use ("other choices are possible taking into account the strength
+    of the correlation between the common pairs of keywords").
+    """
+
+    keywords: FrozenSet[str]
+    edges: Tuple[Tuple[str, str, float], ...] = ()
+    interval: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.keywords)
+
+    def jaccard(self, other: "KeywordCluster") -> float:
+        """Jaccard affinity with another cluster."""
+        union = self.keywords | other.keywords
+        if not union:
+            return 0.0
+        return len(self.keywords & other.keywords) / len(union)
+
+    def intersection_size(self, other: "KeywordCluster") -> int:
+        """Overlap affinity with another cluster."""
+        return len(self.keywords & other.keywords)
+
+
+def extract_clusters(pruned: Graph, interval: Optional[int] = None,
+                     min_edges: int = 2,
+                     include_bridge_trees: bool = False,
+                     stack_budget: int = 0,
+                     spill_dir: Optional[str] = None,
+                     stats: Optional[IOStats] = None
+                     ) -> List[KeywordCluster]:
+    """Report the clusters of a pruned keyword graph G'.
+
+    ``min_edges`` drops trivially small components (the paper's
+    biconnected definition requires at least two edges; pass 1 to also
+    report bridges as two-keyword clusters).  With
+    ``include_bridge_trees=True`` each surviving component additionally
+    absorbs keywords reachable from it through bridge edges that belong
+    to no >= *min_edges* component — the paper's "trees connecting
+    those components".
+    """
+    if min_edges < 1:
+        raise ValueError(f"min_edges must be >= 1, got {min_edges}")
+    result = biconnected_components(pruned, stack_budget=stack_budget,
+                                    spill_dir=spill_dir, stats=stats)
+    surviving: List[List[Tuple[Vertex, Vertex]]] = [
+        component for component in result.components
+        if len(component) >= min_edges]
+
+    tree_adjacency: Dict[Vertex, List[Vertex]] = {}
+    if include_bridge_trees:
+        tree_adjacency = _bridge_adjacency(result.components, min_edges)
+
+    clusters: List[KeywordCluster] = []
+    for component in surviving:
+        vertices = set()
+        for u, v in component:
+            vertices.add(u)
+            vertices.add(v)
+        if include_bridge_trees:
+            vertices |= _tree_closure(vertices, tree_adjacency)
+        edges = tuple(sorted(
+            (min(u, v), max(u, v), pruned.weight(u, v))
+            for u, v in component))
+        clusters.append(KeywordCluster(keywords=frozenset(vertices),
+                                       edges=edges, interval=interval))
+    return clusters
+
+
+def _bridge_adjacency(components: List[List[Tuple[Vertex, Vertex]]],
+                      min_edges: int) -> Dict[Vertex, List[Vertex]]:
+    """Adjacency restricted to bridge edges (components below the
+    reporting threshold)."""
+    adjacency: Dict[Vertex, List[Vertex]] = {}
+    for component in components:
+        if len(component) >= min_edges:
+            continue
+        for u, v in component:
+            adjacency.setdefault(u, []).append(v)
+            adjacency.setdefault(v, []).append(u)
+    return adjacency
+
+
+def _tree_closure(seed: set, adjacency: Dict[Vertex, List[Vertex]]) -> set:
+    """Vertices reachable from *seed* through bridge edges only."""
+    reached = set(seed)
+    frontier = [v for v in seed if v in adjacency]
+    while frontier:
+        u = frontier.pop()
+        for v in adjacency.get(u, []):
+            if v not in reached:
+                reached.add(v)
+                frontier.append(v)
+    return reached - set(seed)

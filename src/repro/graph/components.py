@@ -1,0 +1,28 @@
+"""Connected components (iterative, for arbitrarily deep graphs)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Set
+
+from repro.graph.adjacency import Graph
+
+Vertex = Any
+
+
+def connected_components(graph: Graph) -> Iterator[Set[Vertex]]:
+    """Yield the vertex set of each connected component of *graph*."""
+    seen: Set[Vertex] = set()
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        component: Set[Vertex] = {start}
+        frontier: List[Vertex] = [start]
+        seen.add(start)
+        while frontier:
+            u = frontier.pop()
+            for v in graph.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    component.add(v)
+                    frontier.append(v)
+        yield component

@@ -1,0 +1,19 @@
+"""End-to-end pipeline: corpus -> keyword clusters -> stable clusters."""
+
+from repro.pipeline.cluster_generation import (
+    ClusterGenerationReport,
+    generate_interval_clusters,
+)
+from repro.pipeline.stable_pipeline import (
+    StableClusterResult,
+    find_stable_clusters,
+    render_stable_path,
+)
+
+__all__ = [
+    "ClusterGenerationReport",
+    "StableClusterResult",
+    "find_stable_clusters",
+    "generate_interval_clusters",
+    "render_stable_path",
+]

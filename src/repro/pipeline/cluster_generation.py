@@ -1,0 +1,92 @@
+"""Section 3 end to end: documents of one interval -> keyword clusters.
+
+The driver performs the paper's full cluster-generation procedure:
+read the interval's documents, build the co-occurrence triplets
+(optionally through the external-memory sort), run the chi-square and
+correlation-coefficient pruning, and report the biconnected components
+of the pruned graph as keyword clusters.  A report object records the
+stage-by-stage sizes the Figure 6 experiment plots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cooccur.keyword_graph import KeywordGraph, PruneReport, RHO_DEFAULT
+from repro.graph.clusters import KeywordCluster, extract_clusters
+from repro.stats import CHI2_CRITICAL_95
+from repro.storage.iostats import IOStats
+from repro.text.documents import IntervalCorpus
+
+
+@dataclass
+class ClusterGenerationReport:
+    """Stage sizes and timings of one cluster-generation run."""
+
+    interval: int = 0
+    num_documents: int = 0
+    num_keywords: int = 0
+    num_edges: int = 0
+    edges_after_chi2: int = 0
+    edges_after_rho: int = 0
+    num_clusters: int = 0
+    seconds_counting: float = 0.0
+    seconds_pruning: float = 0.0
+    seconds_art: float = 0.0
+
+    @property
+    def seconds_total(self) -> float:
+        """Whole-procedure wall time (the Figure 6 y-axis)."""
+        return self.seconds_counting + self.seconds_pruning \
+            + self.seconds_art
+
+
+def generate_interval_clusters(corpus: IntervalCorpus, interval: int,
+                               rho_threshold: float = RHO_DEFAULT,
+                               chi2_critical: float = CHI2_CRITICAL_95,
+                               min_edges: int = 2,
+                               include_bridge_trees: bool = False,
+                               external: bool = False,
+                               directory: Optional[str] = None,
+                               stack_budget: int = 0,
+                               stats: Optional[IOStats] = None,
+                               report: Optional[ClusterGenerationReport]
+                               = None) -> List[KeywordCluster]:
+    """Run the full Section 3 procedure for one temporal interval."""
+    documents = corpus.documents(interval)
+    if not documents:
+        return []
+
+    started = time.perf_counter()
+    keyword_sets = [doc.keywords() for doc in documents]
+    graph = KeywordGraph.from_keyword_sets(
+        keyword_sets, external=external, directory=directory, stats=stats)
+    counted = time.perf_counter()
+
+    prune_report = PruneReport()
+    pruned = graph.prune(rho_threshold=rho_threshold,
+                         chi2_critical=chi2_critical,
+                         report=prune_report)
+    pruned_at = time.perf_counter()
+
+    clusters = extract_clusters(pruned, interval=interval,
+                                min_edges=min_edges,
+                                include_bridge_trees=include_bridge_trees,
+                                stack_budget=stack_budget,
+                                spill_dir=directory, stats=stats)
+    finished = time.perf_counter()
+
+    if report is not None:
+        report.interval = interval
+        report.num_documents = len(documents)
+        report.num_keywords = graph.num_keywords
+        report.num_edges = graph.num_edges
+        report.edges_after_chi2 = prune_report.after_chi2
+        report.edges_after_rho = prune_report.after_rho
+        report.num_clusters = len(clusters)
+        report.seconds_counting = counted - started
+        report.seconds_pruning = pruned_at - counted
+        report.seconds_art = finished - pruned_at
+    return clusters

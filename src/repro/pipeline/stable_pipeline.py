@@ -1,0 +1,113 @@
+"""Full pipeline: interval corpus -> stable keyword clusters.
+
+Combines Section 3 (per-interval cluster generation) and Section 4
+(cluster graph + kl-stable / normalized search) behind one call, the
+way the paper's qualitative study runs a week of BlogScope data:
+clusters per day with ρ = 0.2, Jaccard affinity, θ = 0.1, then stable
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+from repro.cooccur.keyword_graph import RHO_DEFAULT
+from repro.core.bfs import bfs_stable_clusters
+from repro.core.cluster_graph import ClusterGraph
+from repro.core.diversify import diverse_stable_clusters
+from repro.core.normalized import normalized_stable_clusters
+from repro.core.paths import Path
+from repro.core.stability import THETA_DEFAULT, build_cluster_graph
+from repro.graph.clusters import KeywordCluster
+from repro.pipeline.cluster_generation import (
+    ClusterGenerationReport,
+    generate_interval_clusters,
+)
+from repro.text.documents import IntervalCorpus
+
+
+@dataclass
+class StableClusterResult:
+    """Everything the full pipeline produced."""
+
+    interval_clusters: List[List[KeywordCluster]]
+    cluster_graph: ClusterGraph
+    paths: List[Path]
+    generation_reports: List[ClusterGenerationReport] = \
+        field(default_factory=list)
+
+    def path_keywords(self, path: Path) -> List[frozenset]:
+        """The keyword sets along one stable path."""
+        return [self.cluster_graph.payload(node).keywords
+                for node in path.nodes]
+
+
+def find_stable_clusters(corpus: IntervalCorpus,
+                         l: int, k: int, gap: int = 0,
+                         problem: str = "kl",
+                         rho_threshold: float = RHO_DEFAULT,
+                         affinity: Union[str, Callable] = "jaccard",
+                         theta: float = THETA_DEFAULT,
+                         min_edges: int = 2,
+                         external: bool = False,
+                         directory: Optional[str] = None,
+                         diverse: bool = False,
+                         diverse_policy: str = "prefix-suffix"
+                         ) -> StableClusterResult:
+    """Run the complete two-stage pipeline over *corpus*.
+
+    ``problem='kl'`` searches paths of length exactly *l* (Problem 1);
+    ``problem='normalized'`` searches paths of length >= *l* scored by
+    weight/length (Problem 2).  With ``diverse=True`` (Problem 1 only)
+    the reported paths are filtered so no two share a prefix/suffix
+    per *diverse_policy* — the variant Section 4 sketches for
+    information-discovery use.
+    """
+    if problem not in ("kl", "normalized"):
+        raise ValueError(
+            f"problem must be 'kl' or 'normalized', got {problem!r}")
+    if diverse and problem != "kl":
+        raise ValueError("diverse selection applies to problem='kl'")
+
+    intervals = corpus.interval_indices
+    if not intervals:
+        raise ValueError("corpus has no populated intervals")
+
+    interval_clusters: List[List[KeywordCluster]] = []
+    reports: List[ClusterGenerationReport] = []
+    for interval in intervals:
+        report = ClusterGenerationReport()
+        clusters = generate_interval_clusters(
+            corpus, interval, rho_threshold=rho_threshold,
+            min_edges=min_edges, external=external, directory=directory,
+            report=report)
+        interval_clusters.append(clusters)
+        reports.append(report)
+
+    graph = build_cluster_graph(interval_clusters, affinity=affinity,
+                                theta=theta, gap=gap)
+    if problem == "kl" and diverse:
+        paths = diverse_stable_clusters(graph, l=l, k=k,
+                                        policy=diverse_policy)
+    elif problem == "kl":
+        paths = bfs_stable_clusters(graph, l=l, k=k)
+    else:
+        paths = normalized_stable_clusters(graph, lmin=l, k=k)
+    return StableClusterResult(interval_clusters=interval_clusters,
+                               cluster_graph=graph, paths=paths,
+                               generation_reports=reports)
+
+
+def render_stable_path(result: StableClusterResult, path: Path,
+                       max_keywords: int = 8) -> str:
+    """Human-readable rendering of one stable path (for the CLI and
+    examples): one line per cluster with its interval and keywords."""
+    lines = [f"stable path: weight={path.weight:.3f} "
+             f"length={path.length} stability={path.stability:.3f}"]
+    for node in path.nodes:
+        cluster = result.cluster_graph.payload(node)
+        keywords = sorted(cluster.keywords)[:max_keywords]
+        suffix = " ..." if len(cluster.keywords) > max_keywords else ""
+        lines.append(f"  t{node[0]}: {' '.join(keywords)}{suffix}")
+    return "\n".join(lines)

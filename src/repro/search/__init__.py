@@ -1,0 +1,11 @@
+"""Search applications of keyword clusters (Section 1's motivation).
+
+"If a search query for a specific interval falls in a cluster, the
+rest of the keywords in that cluster are good candidates for query
+refinement ... for a query keyword we may suggest the strongest
+correlation as a refinement."
+"""
+
+from repro.search.refinement import QueryRefiner, Refinement
+
+__all__ = ["QueryRefiner", "Refinement"]

@@ -1,0 +1,76 @@
+"""Query refinement from per-interval keyword clusters.
+
+``QueryRefiner`` indexes the clusters of one temporal interval by
+keyword; :meth:`refine` returns the refinement candidates for a query
+term — the other keywords of its cluster, ranked by the strength of
+their correlation with the query (the paper's "suggest the strongest
+correlation as a refinement"), plus the cluster itself for context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.clusters import KeywordCluster
+from repro.text.stemmer import stem
+
+
+@dataclass(frozen=True)
+class Refinement:
+    """Refinement result for one query term."""
+
+    query_stem: str
+    cluster: KeywordCluster
+    suggestions: Tuple[Tuple[str, float], ...]  # (keyword, rho) desc
+
+    @property
+    def strongest(self) -> Optional[str]:
+        """The single best suggestion (None when the cluster carries
+        no scored edges for the query)."""
+        return self.suggestions[0][0] if self.suggestions else None
+
+
+class QueryRefiner:
+    """Keyword -> cluster index over one interval's clusters."""
+
+    def __init__(self, clusters: Sequence[KeywordCluster]) -> None:
+        self._by_keyword: Dict[str, KeywordCluster] = {}
+        for cluster in clusters:
+            for keyword in cluster.keywords:
+                # Biconnected components can share articulation
+                # keywords; keep the larger (more informative) cluster.
+                current = self._by_keyword.get(keyword)
+                if current is None or len(cluster) > len(current):
+                    self._by_keyword[keyword] = cluster
+
+    def __contains__(self, query: str) -> bool:
+        return stem(query.lower()) in self._by_keyword
+
+    def refine(self, query: str) -> Optional[Refinement]:
+        """Refinement for *query* (stemmed), or None when the query
+        falls in no cluster this interval."""
+        query_stem = stem(query.lower())
+        cluster = self._by_keyword.get(query_stem)
+        if cluster is None:
+            return None
+        scored: Dict[str, float] = {}
+        for u, v, rho in cluster.edges:
+            if query_stem == u:
+                scored[v] = max(scored.get(v, 0.0), rho)
+            elif query_stem == v:
+                scored[u] = max(scored.get(u, 0.0), rho)
+        # Keywords in the cluster but not adjacent to the query are
+        # still candidates (they co-occur transitively); rank them
+        # after the directly correlated ones with score 0.
+        for keyword in cluster.keywords:
+            if keyword != query_stem:
+                scored.setdefault(keyword, 0.0)
+        ranked = tuple(sorted(scored.items(),
+                              key=lambda item: (-item[1], item[0])))
+        return Refinement(query_stem=query_stem, cluster=cluster,
+                          suggestions=ranked)
+
+    def vocabulary(self) -> List[str]:
+        """Every keyword that has a cluster this interval."""
+        return sorted(self._by_keyword)

@@ -1,0 +1,29 @@
+"""Keyword-association statistics (Section 3).
+
+The paper filters keyword-graph edges in two stages:
+
+1. a chi-square independence test at 95% confidence
+   (:func:`~repro.stats.chi_square.chi_square`, Formula 1; the critical
+   value 3.84 is :data:`CHI2_CRITICAL_95`), then
+2. a correlation-coefficient strength threshold
+   (:func:`~repro.stats.correlation.correlation_coefficient`,
+   Formula 3; the paper uses ρ > 0.2).
+"""
+
+from repro.stats.chi_square import (
+    CHI2_CRITICAL_95,
+    chi_square,
+    chi_square_from_contingency,
+    is_significant,
+)
+from repro.stats.contingency import Contingency
+from repro.stats.correlation import correlation_coefficient
+
+__all__ = [
+    "CHI2_CRITICAL_95",
+    "Contingency",
+    "chi_square",
+    "chi_square_from_contingency",
+    "correlation_coefficient",
+    "is_significant",
+]

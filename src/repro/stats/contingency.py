@@ -1,0 +1,88 @@
+"""2x2 contingency tables over document counts.
+
+Everything Section 3 computes about a keyword pair ``(u, v)`` derives
+from three counts and the collection size: ``A(u)`` (documents
+containing u), ``A(v)``, ``A(u,v)`` (documents containing both), and
+``n = |D|``.  ``Contingency`` holds these and exposes the four observed
+cells and the four expected-under-independence cells used by the
+chi-square test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Contingency:
+    """Counts for one keyword pair in one document collection."""
+
+    a_u: int     # A(u): documents containing u
+    a_v: int     # A(v): documents containing v
+    a_uv: int    # A(u,v): documents containing both
+    n: int       # |D|: documents in the collection
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"collection size must be positive, got {self.n}")
+        if not (0 <= self.a_uv <= min(self.a_u, self.a_v)):
+            raise ValueError(
+                f"inconsistent counts: A(u,v)={self.a_uv} must be within "
+                f"[0, min(A(u)={self.a_u}, A(v)={self.a_v})]")
+        if max(self.a_u, self.a_v) > self.n:
+            raise ValueError(
+                f"marginals A(u)={self.a_u}, A(v)={self.a_v} cannot "
+                f"exceed n={self.n}")
+        if self.a_u + self.a_v - self.a_uv > self.n:
+            raise ValueError(
+                "union of documents containing u or v exceeds n")
+
+    # Observed cells ---------------------------------------------------
+
+    @property
+    def obs_uv(self) -> int:
+        """Documents containing both u and v."""
+        return self.a_uv
+
+    @property
+    def obs_u_not_v(self) -> int:
+        """Documents containing u but not v — the paper's A(u, v̄)."""
+        return self.a_u - self.a_uv
+
+    @property
+    def obs_not_u_v(self) -> int:
+        """Documents containing v but not u."""
+        return self.a_v - self.a_uv
+
+    @property
+    def obs_not_u_not_v(self) -> int:
+        """Documents containing neither."""
+        return self.n - self.a_u - self.a_v + self.a_uv
+
+    # Expected cells under independence ---------------------------------
+
+    @property
+    def exp_uv(self) -> float:
+        """E(uv) = A(u) * A(v) / n."""
+        return self.a_u * self.a_v / self.n
+
+    @property
+    def exp_u_not_v(self) -> float:
+        """E(u, v̄) = A(u) * (n - A(v)) / n."""
+        return self.a_u * (self.n - self.a_v) / self.n
+
+    @property
+    def exp_not_u_v(self) -> float:
+        """E(ū, v) = (n - A(u)) * A(v) / n."""
+        return (self.n - self.a_u) * self.a_v / self.n
+
+    @property
+    def exp_not_u_not_v(self) -> float:
+        """E(ū, v̄) = (n - A(u)) * (n - A(v)) / n."""
+        return (self.n - self.a_u) * (self.n - self.a_v) / self.n
+
+    @property
+    def degenerate(self) -> bool:
+        """True when either keyword appears in no document or in all of
+        them — the test and ρ are undefined (zero variance)."""
+        return (self.a_u in (0, self.n)) or (self.a_v in (0, self.n))

@@ -1,0 +1,31 @@
+"""Correlation coefficient between keyword indicators (Formula 3).
+
+The paper rewrites the Pearson correlation of the binary appearance
+indicators (Formula 2) using sum(A_i^2) = sum(A_i) into::
+
+    rho(u, v) = (n*A(u,v) - A(u)*A(v))
+                / sqrt((n - A(u)) * A(u)) / sqrt((n - A(v)) * A(v))
+
+The chi-square test detects the *presence* of a correlation but grows
+with n even for weak correlations; ρ measures its *strength*.  The
+paper keeps edges with ρ > 0.2.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def correlation_coefficient(a_u: int, a_v: int, a_uv: int, n: int) -> float:
+    """Formula 3; 0.0 for degenerate marginals (zero variance)."""
+    if n <= 0:
+        raise ValueError(f"collection size must be positive, got {n}")
+    if not (0 <= a_uv <= min(a_u, a_v)) or max(a_u, a_v) > n:
+        raise ValueError(
+            f"inconsistent counts A(u)={a_u}, A(v)={a_v}, "
+            f"A(u,v)={a_uv}, n={n}")
+    var_u = (n - a_u) * a_u
+    var_v = (n - a_v) * a_v
+    if var_u == 0 or var_v == 0:
+        return 0.0
+    return (n * a_uv - a_u * a_v) / math.sqrt(var_u) / math.sqrt(var_v)

@@ -1,0 +1,34 @@
+"""Secondary-storage substrate.
+
+The paper's algorithms are designed to be "efficiently realizable in
+secondary storage": the cluster-generation stack may be paged out, the
+BFS keeps a sliding window of intervals in memory, and the DFS stores
+per-node annotations on disk.  This package provides the storage
+primitives those implementations use:
+
+* :class:`~repro.storage.iostats.IOStats` — read/write/seek counters so
+  benchmarks can report I/O effort independently of wall-clock time.
+* :class:`~repro.storage.pager.PagedFile` and
+  :class:`~repro.storage.pager.BufferPool` — a fixed-size-page file
+  with an LRU buffer pool.
+* :class:`~repro.storage.diskdict.DiskDict` — a disk-backed record
+  store mapping keys to pickled values (used for per-node heaps and
+  ``maxweight``/``bestpaths`` annotations).
+* :class:`~repro.storage.spillstack.SpillableStack` — a stack whose
+  bottom spills to disk beyond a memory budget (Algorithm 1's edge
+  stack "can be efficiently paged to secondary storage").
+"""
+
+from repro.storage.diskdict import DiskDict
+from repro.storage.iostats import IOStats
+from repro.storage.pager import BufferPool, Page, PagedFile
+from repro.storage.spillstack import SpillableStack
+
+__all__ = [
+    "BufferPool",
+    "DiskDict",
+    "IOStats",
+    "Page",
+    "PagedFile",
+    "SpillableStack",
+]

@@ -1,0 +1,132 @@
+"""Disk-backed record store keyed by arbitrary hashable keys.
+
+The DFS algorithm of the paper (Algorithm 3) keeps per-node
+annotations — visited flag, ``maxweight`` table, ``bestpaths`` heaps —
+*on disk*, reading them with one random I/O when a node is pushed and
+writing them back when it is popped.  ``DiskDict`` reproduces that
+access pattern: values are pickled into an append-only data file, an
+in-memory index maps keys to (offset, length), and an optional bounded
+LRU cache models a small amount of buffer memory.
+
+Updates append a fresh record (old versions become garbage, like a
+log-structured store); :meth:`compact` rewrites the live records.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.storage.iostats import IOStats
+
+
+class DiskDict:
+    """A dict-like mapping whose values live in a file on disk.
+
+    Every ``__getitem__`` that misses the cache costs one random read;
+    every ``__setitem__`` costs one random write (append).  This is the
+    cost model the paper charges the DFS algorithm with.
+    """
+
+    def __init__(self, path: str, cache_size: int = 0,
+                 stats: Optional[IOStats] = None) -> None:
+        self.path = path
+        self.stats = stats if stats is not None else IOStats()
+        self._index: Dict[Any, Tuple[int, int]] = {}
+        self._cache: "OrderedDict[Any, Any]" = OrderedDict()
+        self._cache_size = cache_size
+        self._fh = open(path, "a+b")
+        self._fh.seek(0, os.SEEK_END)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._fh.seek(0, os.SEEK_END)
+        offset = self._fh.tell()
+        self._fh.write(blob)
+        self._index[key] = (offset, len(blob))
+        self.stats.record_write(len(blob))
+        self._cache_put(key, value)
+
+    def __getitem__(self, key: Any) -> Any:
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        offset, length = self._index[key]
+        self._fh.seek(offset)
+        blob = self._fh.read(length)
+        self.stats.record_read(length)
+        value = pickle.loads(blob)
+        self._cache_put(key, value)
+        return value
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._index)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return ``self[key]`` or *default* when the key is absent."""
+        if key in self._index:
+            return self[key]
+        return default
+
+    def __delitem__(self, key: Any) -> None:
+        del self._index[key]
+        self._cache.pop(key, None)
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate over live keys."""
+        return iter(self._index)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over live ``(key, value)`` pairs (reads each value)."""
+        for key in list(self._index):
+            yield key, self[key]
+
+    def compact(self) -> None:
+        """Rewrite the data file keeping only the latest live records."""
+        tmp_path = self.path + ".compact"
+        new_index: Dict[Any, Tuple[int, int]] = {}
+        with open(tmp_path, "wb") as out:
+            for key, (offset, length) in self._index.items():
+                self._fh.seek(offset)
+                blob = self._fh.read(length)
+                self.stats.record_read(length, sequential=True)
+                new_index[key] = (out.tell(), length)
+                out.write(blob)
+                self.stats.record_write(length, sequential=True)
+        self._fh.close()
+        os.replace(tmp_path, self.path)
+        self._fh = open(self.path, "a+b")
+        self._index = new_index
+
+    @property
+    def file_bytes(self) -> int:
+        """Current size of the backing file, garbage included."""
+        self._fh.seek(0, os.SEEK_END)
+        return self._fh.tell()
+
+    def close(self) -> None:
+        """Close the backing file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "DiskDict":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _cache_put(self, key: Any, value: Any) -> None:
+        if self._cache_size <= 0:
+            return
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)

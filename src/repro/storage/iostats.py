@@ -1,0 +1,102 @@
+"""I/O accounting.
+
+Wall-clock comparisons between a Python reproduction and the paper's
+Java implementation are not meaningful in absolute terms, so every
+storage component counts its logical I/O operations.  Benchmarks report
+these counters alongside timings; the performance *shape* the paper
+reports (e.g. BFS performs one sequential pass, DFS performs one random
+read per edge in the worst case) is visible directly in the counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable bundle of I/O counters shared by storage components.
+
+    Attributes mirror the costs the paper reasons about: random reads
+    and writes (one per node annotation in the DFS algorithm),
+    sequential reads and writes (the BFS single pass), and bytes moved.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    seq_reads: int = 0
+    seq_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    _marks: dict = field(default_factory=dict, repr=False)
+
+    def record_read(self, nbytes: int, sequential: bool = False) -> None:
+        """Count one read of *nbytes* (sequential if part of a scan)."""
+        if sequential:
+            self.seq_reads += 1
+        else:
+            self.reads += 1
+        self.bytes_read += nbytes
+
+    def record_write(self, nbytes: int, sequential: bool = False) -> None:
+        """Count one write of *nbytes* (sequential if part of a scan)."""
+        if sequential:
+            self.seq_writes += 1
+        else:
+            self.writes += 1
+        self.bytes_written += nbytes
+
+    @property
+    def total_ops(self) -> int:
+        """All reads and writes, random and sequential."""
+        return self.reads + self.writes + self.seq_reads + self.seq_writes
+
+    @property
+    def random_ops(self) -> int:
+        """Random (non-scan) reads and writes only."""
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        """Zero every counter (marks are cleared too)."""
+        self.reads = 0
+        self.writes = 0
+        self.seq_reads = 0
+        self.seq_writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self._marks.clear()
+
+    def mark(self, label: str) -> None:
+        """Snapshot current counters under *label* (see :meth:`since`)."""
+        self._marks[label] = self.snapshot()
+
+    def since(self, label: str) -> "IOStats":
+        """Return the delta of counters since :meth:`mark` of *label*."""
+        base = self._marks[label]
+        delta = IOStats()
+        delta.reads = self.reads - base.reads
+        delta.writes = self.writes - base.writes
+        delta.seq_reads = self.seq_reads - base.seq_reads
+        delta.seq_writes = self.seq_writes - base.seq_writes
+        delta.bytes_read = self.bytes_read - base.bytes_read
+        delta.bytes_written = self.bytes_written - base.bytes_written
+        return delta
+
+    def snapshot(self) -> "IOStats":
+        """Return an independent copy of the current counters."""
+        copy = IOStats()
+        copy.reads = self.reads
+        copy.writes = self.writes
+        copy.seq_reads = self.seq_reads
+        copy.seq_writes = self.seq_writes
+        copy.bytes_read = self.bytes_read
+        copy.bytes_written = self.bytes_written
+        return copy
+
+    def summary(self) -> str:
+        """One-line human-readable summary for benchmark output."""
+        return (
+            f"random r/w={self.reads}/{self.writes} "
+            f"seq r/w={self.seq_reads}/{self.seq_writes} "
+            f"bytes r/w={self.bytes_read}/{self.bytes_written}"
+        )

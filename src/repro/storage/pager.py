@@ -1,0 +1,182 @@
+"""Fixed-size-page file storage with an LRU buffer pool.
+
+The paper's algorithms assume a conventional paged secondary-storage
+model: data lives in fixed-size pages, a bounded buffer pool holds hot
+pages in memory, and evictions write dirty pages back.  ``PagedFile``
+provides the page file; ``BufferPool`` provides bounded caching with
+LRU eviction and I/O accounting via :class:`~repro.storage.iostats.IOStats`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.storage.iostats import IOStats
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass
+class Page:
+    """A single in-memory page image.
+
+    ``data`` is a mutable bytearray of exactly the file's page size;
+    ``dirty`` marks whether it must be written back on eviction.
+    """
+
+    page_no: int
+    data: bytearray
+    dirty: bool = False
+    pins: int = 0
+
+
+class PagedFile:
+    """A file addressed in fixed-size pages.
+
+    Pages are numbered from zero.  Reading a page past the end of the
+    file returns a zero-filled page, mirroring the usual behaviour of a
+    database file that has been extended but not yet written.
+    """
+
+    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE,
+                 stats: Optional[IOStats] = None) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.path = path
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStats()
+        # "r+b" honours seek positions on write (append mode would
+        # force every write to the end of the file); create first.
+        if not os.path.exists(path):
+            with open(path, "wb"):
+                pass
+        self._fh = open(path, "r+b")
+
+    @property
+    def num_pages(self) -> int:
+        """Number of whole pages currently materialized in the file."""
+        self._fh.seek(0, os.SEEK_END)
+        size = self._fh.tell()
+        return (size + self.page_size - 1) // self.page_size
+
+    def read_page(self, page_no: int) -> Page:
+        """Read page *page_no*, zero-filling past end of file."""
+        if page_no < 0:
+            raise ValueError(f"page number must be >= 0, got {page_no}")
+        self._fh.seek(page_no * self.page_size)
+        raw = self._fh.read(self.page_size)
+        self.stats.record_read(self.page_size)
+        data = bytearray(raw)
+        if len(data) < self.page_size:
+            data.extend(b"\x00" * (self.page_size - len(data)))
+        return Page(page_no=page_no, data=data)
+
+    def write_page(self, page: Page) -> None:
+        """Write *page* back to the file at its page number."""
+        if len(page.data) != self.page_size:
+            raise ValueError(
+                f"page data must be exactly {self.page_size} bytes, "
+                f"got {len(page.data)}")
+        self._fh.seek(page.page_no * self.page_size)
+        self._fh.write(bytes(page.data))
+        self.stats.record_write(self.page_size)
+        page.dirty = False
+
+    def flush(self) -> None:
+        """Flush the underlying OS file buffers."""
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the file handle (idempotent)."""
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "PagedFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class BufferPool:
+    """Bounded LRU cache of pages over a :class:`PagedFile`.
+
+    ``capacity`` is the number of page frames held in memory.  Pinned
+    pages are never evicted; attempting to fetch a new page when every
+    frame is pinned raises ``RuntimeError`` (a real buffer manager
+    would block — in a single-threaded reproduction this is a bug in
+    the caller).
+    """
+
+    def __init__(self, file: PagedFile, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.file = file
+        self.capacity = capacity
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def fetch(self, page_no: int, pin: bool = False) -> Page:
+        """Return the page, reading it from disk on a miss."""
+        page = self._frames.get(page_no)
+        if page is not None:
+            self.hits += 1
+            self._frames.move_to_end(page_no)
+        else:
+            self.misses += 1
+            page = self.file.read_page(page_no)
+            self._admit(page)
+        if pin:
+            page.pins += 1
+        return page
+
+    def unpin(self, page_no: int) -> None:
+        """Release one pin on *page_no*."""
+        page = self._frames.get(page_no)
+        if page is None or page.pins <= 0:
+            raise ValueError(f"page {page_no} is not pinned")
+        page.pins -= 1
+
+    def mark_dirty(self, page_no: int) -> None:
+        """Mark a resident page as modified."""
+        page = self._frames.get(page_no)
+        if page is None:
+            raise KeyError(f"page {page_no} is not resident")
+        page.dirty = True
+
+    def flush_all(self) -> None:
+        """Write back every dirty resident page (pages stay resident)."""
+        for page in self._frames.values():
+            if page.dirty:
+                self.file.write_page(page)
+        self.file.flush()
+
+    def _admit(self, page: Page) -> None:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page.page_no] = page
+
+    def _evict_one(self) -> None:
+        for page_no, page in self._frames.items():
+            if page.pins == 0:
+                if page.dirty:
+                    self.file.write_page(page)
+                del self._frames[page_no]
+                return
+        raise RuntimeError("all buffer-pool frames are pinned")
+
+    @property
+    def resident(self) -> int:
+        """Number of pages currently held in frames."""
+        return len(self._frames)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of fetches served from memory (0.0 if none yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,131 @@
+"""A stack that spills its bottom to disk beyond a memory budget.
+
+Algorithm 1 of the paper (biconnected components) keeps discovered
+edges on a stack and notes that "since the data structure in memory is
+a stack with well defined access patterns, it can be efficiently paged
+to secondary storage if its size exceeds available resources".
+``SpillableStack`` implements exactly that: the newest ``memory_budget``
+items stay in a list; when the list overflows, the oldest half is
+pickled to a spill file as one frame.  Frames are reloaded lazily when
+the in-memory portion drains.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, List, Optional, Tuple
+
+from repro.storage.iostats import IOStats
+
+
+class SpillableStack:
+    """LIFO stack bounded to ``memory_budget`` in-memory items.
+
+    With ``memory_budget <= 0`` the stack never spills (pure list).
+    """
+
+    def __init__(self, memory_budget: int = 0,
+                 spill_dir: Optional[str] = None,
+                 stats: Optional[IOStats] = None) -> None:
+        self.memory_budget = memory_budget
+        self.stats = stats if stats is not None else IOStats()
+        self._hot: List[Any] = []
+        self._frames: List[Tuple[int, int]] = []  # (offset, length)
+        self._spilled_items = 0
+        self._spill_dir = spill_dir
+        self._spill_fh = None
+        self.spill_count = 0
+
+    def push(self, item: Any) -> None:
+        """Push *item*; may trigger a spill of older entries."""
+        self._hot.append(item)
+        if self.memory_budget > 0 and len(self._hot) > self.memory_budget:
+            self._spill()
+
+    def pop(self) -> Any:
+        """Pop and return the newest item; raises IndexError when empty."""
+        if not self._hot:
+            self._reload()
+        return self._hot.pop()
+
+    def peek(self) -> Any:
+        """Return the newest item without removing it."""
+        if not self._hot:
+            self._reload()
+        return self._hot[-1]
+
+    def __len__(self) -> int:
+        return len(self._hot) + self._spilled_items
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @property
+    def in_memory(self) -> int:
+        """Items currently resident in memory."""
+        return len(self._hot)
+
+    def pop_until(self, predicate) -> List[Any]:
+        """Pop items (newest first) until one satisfies *predicate*.
+
+        The satisfying item is popped and included as the last element
+        of the returned list.  This matches Algorithm 1's "pop all
+        edges on top of Stack until (inclusively) edge (u, w)".
+        """
+        popped: List[Any] = []
+        while True:
+            item = self.pop()
+            popped.append(item)
+            if predicate(item):
+                return popped
+
+    def close(self) -> None:
+        """Delete the spill file, if one was created (idempotent)."""
+        if self._spill_fh is not None and not self._spill_fh.closed:
+            path = self._spill_fh.name
+            self._spill_fh.close()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SpillableStack":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_spill_file(self) -> None:
+        if self._spill_fh is None:
+            self._spill_fh = tempfile.NamedTemporaryFile(
+                mode="a+b", dir=self._spill_dir,
+                prefix="spillstack-", suffix=".bin", delete=False)
+
+    def _spill(self) -> None:
+        self._ensure_spill_file()
+        half = max(1, len(self._hot) // 2)
+        frame_items = self._hot[:half]
+        self._hot = self._hot[half:]
+        blob = pickle.dumps(frame_items, protocol=pickle.HIGHEST_PROTOCOL)
+        self._spill_fh.seek(0, os.SEEK_END)
+        offset = self._spill_fh.tell()
+        self._spill_fh.write(blob)
+        self._frames.append((offset, len(blob)))
+        self._spilled_items += len(frame_items)
+        self.spill_count += 1
+        self.stats.record_write(len(blob), sequential=True)
+
+    def _reload(self) -> None:
+        if not self._frames:
+            raise IndexError("pop from empty SpillableStack")
+        offset, length = self._frames.pop()
+        self._spill_fh.seek(offset)
+        blob = self._spill_fh.read(length)
+        self.stats.record_read(length)
+        frame_items = pickle.loads(blob)
+        # Reloaded items are older than anything in memory, so they sit
+        # below the current hot items.
+        self._hot = frame_items + self._hot
+        self._spilled_items -= len(frame_items)

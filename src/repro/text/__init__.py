@@ -1,0 +1,32 @@
+"""Text-processing substrate.
+
+Section 3 of the paper preprocesses each blog post by tokenizing,
+removing stop words, and stemming ("after stemming and removal of stop
+words").  This package implements that stack from scratch:
+
+* :func:`~repro.text.tokenizer.tokenize` — lowercasing word tokenizer.
+* :data:`~repro.text.stopwords.STOPWORDS` — embedded English stop list.
+* :class:`~repro.text.stemmer.PorterStemmer` — the complete Porter
+  (1980) algorithm.
+* :class:`~repro.text.documents.Document` /
+  :class:`~repro.text.documents.IntervalCorpus` — the document model
+  the co-occurrence stage consumes.
+"""
+
+from repro.text.documents import Document, IntervalCorpus, preprocess
+from repro.text.stemmer import PorterStemmer, stem
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.timeline import Timeline
+from repro.text.tokenizer import tokenize
+
+__all__ = [
+    "Document",
+    "IntervalCorpus",
+    "PorterStemmer",
+    "STOPWORDS",
+    "Timeline",
+    "is_stopword",
+    "preprocess",
+    "stem",
+    "tokenize",
+]

@@ -1,0 +1,108 @@
+"""Document model for temporally ordered text sources.
+
+The paper's unit of data is a blog post (a bag of words) created in a
+temporal interval; the document collection :math:`\\mathcal{D}` for an
+interval is the set of posts created in it.  ``Document`` carries raw
+text plus its interval index; ``IntervalCorpus`` groups documents by
+interval and yields preprocessed keyword sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
+
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenizer import tokenize
+
+_stemmer = PorterStemmer()
+
+
+def preprocess(text: str, do_stem: bool = True) -> FrozenSet[str]:
+    """Tokenize, drop stop words, and (optionally) stem *text*.
+
+    Returns the *set* of resulting keywords — the co-occurrence counts
+    of Section 3 are per-document (a pair counts once per post no
+    matter how many times it repeats), so a set is the right shape.
+    """
+    keywords = set()
+    for token in tokenize(text):
+        if token in STOPWORDS:
+            continue
+        keywords.add(_stemmer.stem(token) if do_stem else token)
+    return frozenset(keywords)
+
+
+@dataclass(frozen=True)
+class Document:
+    """One blog post: an id, its temporal interval, and its text."""
+
+    doc_id: str
+    interval: int
+    text: str
+
+    def keywords(self, do_stem: bool = True) -> FrozenSet[str]:
+        """Preprocessed keyword set of this document."""
+        return preprocess(self.text, do_stem=do_stem)
+
+
+@dataclass
+class IntervalCorpus:
+    """Documents grouped by temporal interval.
+
+    ``intervals`` maps interval index -> list of documents.  Intervals
+    are dense 0..m-1 by convention but sparse indices are accepted.
+    """
+
+    intervals: Dict[int, List[Document]] = field(default_factory=dict)
+
+    def add(self, doc: Document) -> None:
+        """Insert *doc* under its interval."""
+        self.intervals.setdefault(doc.interval, []).append(doc)
+
+    def add_text(self, doc_id: str, interval: int, text: str) -> Document:
+        """Create a :class:`Document` and insert it."""
+        doc = Document(doc_id=doc_id, interval=interval, text=text)
+        self.add(doc)
+        return doc
+
+    def extend(self, docs: Iterable[Document]) -> None:
+        """Insert every document of *docs*."""
+        for doc in docs:
+            self.add(doc)
+
+    @property
+    def interval_indices(self) -> List[int]:
+        """Sorted list of populated interval indices."""
+        return sorted(self.intervals)
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of populated intervals."""
+        return len(self.intervals)
+
+    @property
+    def num_documents(self) -> int:
+        """Total documents across all intervals."""
+        return sum(len(docs) for docs in self.intervals.values())
+
+    def documents(self, interval: int) -> List[Document]:
+        """Documents of one interval (empty list when unpopulated)."""
+        return self.intervals.get(interval, [])
+
+    def keyword_sets(self, interval: int,
+                     do_stem: bool = True) -> Iterator[FrozenSet[str]]:
+        """Preprocessed keyword set of each document in *interval*."""
+        for doc in self.documents(interval):
+            yield doc.keywords(do_stem=do_stem)
+
+    def vocabulary(self, interval: Optional[int] = None,
+                   do_stem: bool = True) -> FrozenSet[str]:
+        """Union of keywords over one interval (or all intervals)."""
+        indices = [interval] if interval is not None else self.interval_indices
+        vocab = set()
+        for idx in indices:
+            for kws in self.keyword_sets(idx, do_stem=do_stem):
+                vocab |= kws
+        return frozenset(vocab)

@@ -1,0 +1,199 @@
+"""The Porter stemming algorithm (Porter, 1980), implemented in full.
+
+The paper stems all keywords before building keyword graphs ("Note
+that the keywords are stemmed" under Figures 4, 15 and 16 — e.g.
+"featur", "galaxi", "somalia").  This is a from-scratch implementation
+of the original five-step algorithm, following M. F. Porter, "An
+algorithm for suffix stripping", *Program* 14(3), 1980.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_VOWELS = "aeiou"
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; use :meth:`stem` or the module-level
+    :func:`stem` helper."""
+
+    # ------------------------------------------------------------------
+    # Measure and shape predicates.  A word is viewed as [C](VC)^m[V];
+    # m is the "measure" used by most rules.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            # 'y' is a consonant at the start or after a vowel,
+            # and a vowel after a consonant ("syzygy").
+            return i == 0 or not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem_part: str) -> int:
+        """Count VC sequences in *stem_part*."""
+        m = 0
+        i = 0
+        n = len(stem_part)
+        # Skip initial consonants.
+        while i < n and cls._is_consonant(stem_part, i):
+            i += 1
+        while i < n:
+            # Inside a vowel run.
+            while i < n and not cls._is_consonant(stem_part, i):
+                i += 1
+            if i >= n:
+                break
+            m += 1
+            while i < n and cls._is_consonant(stem_part, i):
+                i += 1
+        return m
+
+    @classmethod
+    def _contains_vowel(cls, stem_part: str) -> bool:
+        return any(not cls._is_consonant(stem_part, i)
+                   for i in range(len(stem_part)))
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        return (len(word) >= 2 and word[-1] == word[-2]
+                and cls._is_consonant(word, len(word) - 1))
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        """consonant-vowel-consonant, last consonant not w, x or y."""
+        if len(word) < 3:
+            return False
+        return (cls._is_consonant(word, len(word) - 3)
+                and not cls._is_consonant(word, len(word) - 2)
+                and cls._is_consonant(word, len(word) - 1)
+                and word[-1] not in "wxy")
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            if self._measure(word[:-3]) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES: Dict[str, str] = {
+        "ational": "ate", "tional": "tion", "enci": "ence", "anci": "ance",
+        "izer": "ize", "abli": "able", "alli": "al", "entli": "ent",
+        "eli": "e", "ousli": "ous", "ization": "ize", "ation": "ate",
+        "ator": "ate", "alism": "al", "iveness": "ive", "fulness": "ful",
+        "ousness": "ous", "aliti": "al", "iviti": "ive", "biliti": "ble",
+    }
+
+    _STEP3_SUFFIXES: Dict[str, str] = {
+        "icate": "ic", "ative": "", "alize": "al", "iciti": "ic",
+        "ical": "ic", "ful": "", "ness": "",
+    }
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive",
+        "ize",
+    )
+
+    def _replace_by_table(self, word: str, table: Dict[str, str]) -> str:
+        for suffix in sorted(table, key=len, reverse=True):
+            if word.endswith(suffix):
+                stem_part = word[: len(word) - len(suffix)]
+                if self._measure(stem_part) > 0:
+                    return stem_part + table[suffix]
+                return word
+        return word
+
+    def _step2(self, word: str) -> str:
+        return self._replace_by_table(word, self._STEP2_SUFFIXES)
+
+    def _step3(self, word: str) -> str:
+        return self._replace_by_table(word, self._STEP3_SUFFIXES)
+
+    def _step4(self, word: str) -> str:
+        for suffix in sorted(self._STEP4_SUFFIXES, key=len, reverse=True):
+            if word.endswith(suffix):
+                stem_part = word[: len(word) - len(suffix)]
+                if suffix == "ion" and (not stem_part
+                                        or stem_part[-1] not in "st"):
+                    continue
+                if self._measure(stem_part) > 1:
+                    return stem_part
+                return word
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem_part = word[:-1]
+            m = self._measure(stem_part)
+            if m > 1:
+                return stem_part
+            if m == 1 and not self._ends_cvc(stem_part):
+                return stem_part
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (word.endswith("ll") and self._measure(word[:-1]) > 1):
+            return word[:-1]
+        return word
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of *word* (assumed lowercase)."""
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+
+_DEFAULT = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Stem *word* with a shared :class:`PorterStemmer` instance."""
+    return _DEFAULT.stem(word)

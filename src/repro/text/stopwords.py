@@ -1,0 +1,56 @@
+"""Embedded English stop-word list.
+
+The paper removes stop words before building the keyword graph.  The
+list below is the classic Glasgow/SMART-style core list of function
+words; it is embedded so the library works fully offline.
+"""
+
+from __future__ import annotations
+
+STOPWORDS = frozenset("""
+a about above after again against all am an and any are aren't as at
+be because been before being below between both but by
+can't cannot could couldn't
+did didn't do does doesn't doing don't down during
+each
+few for from further
+had hadn't has hasn't have haven't having he he'd he'll he's her here
+here's hers herself him himself his how how's
+i i'd i'll i'm i've if in into is isn't it it's its itself
+just
+let's
+me more most mustn't my myself
+no nor not now
+of off on once only or other ought our ours ourselves out over own
+same shan't she she'd she'll she's should shouldn't so some such
+than that that's the their theirs them themselves then there there's
+these they they'd they'll they're they've this those through to too
+under until up upon us
+very via
+was wasn't we we'd we'll we're we've were weren't what what's when
+when's where where's which while who who's whom why why's will with
+won't would wouldn't
+you you'd you'll you're you've your yours yourself yourselves
+also among amongst anyway anywhere around became become becomes
+becoming beside besides beyond cant co con could de describe done due
+eg either else elsewhere enough etc even ever every everyone
+everything everywhere except fifty fill find fire first five former
+formerly forty found four front full get give go got had hence
+hereafter hereby herein hereupon however hundred ie inc indeed
+interest keep last latter latterly least less ltd made many may maybe
+meanwhile might mill mine moreover mostly move much must name namely
+neither never nevertheless next nine nobody none noone nothing
+nowhere often one onto others otherwise part per perhaps please put
+rather re said same see seem seemed seeming seems serious several she
+show side since sincere six sixty somehow someone something sometime
+sometimes somewhere still take ten therefore therein thereupon thick
+thin third three though thru thus till together top toward towards
+twelve twenty two un used want wants well went whatever whence
+whenever whereafter whereas whereby wherein whereupon wherever
+whether whither whoever whole whose within without yet
+""".split())
+
+
+def is_stopword(token: str) -> bool:
+    """True when *token* (already lowercased) is a stop word."""
+    return token in STOPWORDS

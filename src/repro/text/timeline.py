@@ -1,0 +1,70 @@
+"""Temporal bucketing: timestamps -> interval indices.
+
+The paper fixes a temporal interval ("say every hour or every day")
+and assigns each post to the interval it was created in.  ``Timeline``
+does that mapping for real timestamped feeds, so corpora can be built
+directly from crawl data:
+
+    timeline = Timeline(start=datetime(2007, 1, 6), bucket="day")
+    corpus.add_text(post_id, timeline.interval_of(created_at), text)
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+from typing import Iterable, Tuple
+
+from repro.text.documents import Document, IntervalCorpus
+
+_BUCKETS = {
+    "hour": timedelta(hours=1),
+    "day": timedelta(days=1),
+    "week": timedelta(weeks=1),
+}
+
+
+class Timeline:
+    """Maps timestamps into consecutive interval indices from a start
+    instant, at hourly/daily/weekly (or custom timedelta) granularity.
+    """
+
+    def __init__(self, start: datetime, bucket="day") -> None:
+        if isinstance(bucket, timedelta):
+            width = bucket
+        else:
+            try:
+                width = _BUCKETS[bucket]
+            except KeyError:
+                raise ValueError(
+                    f"bucket must be a timedelta or one of "
+                    f"{sorted(_BUCKETS)}, got {bucket!r}") from None
+        if width <= timedelta(0):
+            raise ValueError(f"bucket width must be positive, got {width}")
+        self.start = start
+        self.width = width
+
+    def interval_of(self, when: datetime) -> int:
+        """Interval index containing *when* (must be >= start)."""
+        if when < self.start:
+            raise ValueError(
+                f"timestamp {when} precedes the timeline start "
+                f"{self.start}")
+        return int((when - self.start) // self.width)
+
+    def bounds(self, interval: int) -> Tuple[datetime, datetime]:
+        """[inclusive, exclusive) instant bounds of an interval."""
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        lower = self.start + interval * self.width
+        return lower, lower + self.width
+
+    def build_corpus(self, posts: Iterable[Tuple[str, datetime, str]]
+                     ) -> IntervalCorpus:
+        """An :class:`IntervalCorpus` from ``(id, timestamp, text)``
+        records; posts before the start are rejected."""
+        corpus = IntervalCorpus()
+        for post_id, when, text in posts:
+            corpus.add(Document(doc_id=post_id,
+                                interval=self.interval_of(when),
+                                text=text))
+        return corpus

@@ -1,0 +1,29 @@
+"""Word tokenization for blog-post text."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+# Words are runs of letters/digits with internal apostrophes or hyphens
+# allowed ("o'clock", "twenty-one"); everything else separates tokens.
+_WORD_RE = re.compile(r"[a-z0-9]+(?:['\-][a-z0-9]+)*")
+
+MIN_TOKEN_LENGTH = 2
+MAX_TOKEN_LENGTH = 40
+
+
+def tokenize(text: str, min_length: int = MIN_TOKEN_LENGTH,
+             max_length: int = MAX_TOKEN_LENGTH) -> List[str]:
+    """Split *text* into lowercase word tokens.
+
+    Tokens shorter than *min_length* or longer than *max_length* are
+    dropped (single letters and pathological strings carry no topical
+    signal and only inflate the keyword graph).  Purely numeric tokens
+    are kept — dates and model numbers ("2007", "9/11" pieces) are
+    real blogosphere keywords.
+    """
+    if min_length < 1:
+        raise ValueError(f"min_length must be >= 1, got {min_length}")
+    tokens = _WORD_RE.findall(text.lower())
+    return [t for t in tokens if min_length <= len(t) <= max_length]

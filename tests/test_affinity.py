@@ -1,0 +1,124 @@
+"""Tests for affinity measures and the threshold similarity join."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.affinity import (
+    AFFINITY_MEASURES,
+    dice,
+    get_measure,
+    intersection_size,
+    jaccard,
+    overlap_coefficient,
+    threshold_jaccard_join,
+    weighted_jaccard,
+)
+from repro.graph import KeywordCluster
+
+
+class TestMeasures:
+    A = frozenset({"a", "b", "c"})
+    B = frozenset({"b", "c", "d"})
+
+    def test_jaccard(self):
+        assert jaccard(self.A, self.B) == pytest.approx(0.5)
+
+    def test_jaccard_accepts_clusters(self):
+        ca = KeywordCluster(self.A)
+        cb = KeywordCluster(self.B)
+        assert jaccard(ca, cb) == pytest.approx(0.5)
+
+    def test_jaccard_empty_sets(self):
+        assert jaccard(frozenset(), frozenset()) == 0.0
+
+    def test_intersection(self):
+        assert intersection_size(self.A, self.B) == 2.0
+
+    def test_dice(self):
+        assert dice(self.A, self.B) == pytest.approx(4 / 6)
+
+    def test_overlap_coefficient(self):
+        assert overlap_coefficient(self.A, self.B) == pytest.approx(2 / 3)
+        assert overlap_coefficient(frozenset(), self.B) == 0.0
+
+    def test_weighted_jaccard_with_edges(self):
+        ca = KeywordCluster(self.A, edges=(("a", "b", 0.8), ("b", "c", 0.4)))
+        cb = KeywordCluster(self.B, edges=(("b", "c", 0.6), ("c", "d", 0.2)))
+        # min-sum = 0.4 (b,c); max-sum = 0.8 + 0.6 + 0.2 = 1.6.
+        assert weighted_jaccard(ca, cb) == pytest.approx(0.4 / 1.6)
+
+    def test_weighted_jaccard_falls_back_without_edges(self):
+        ca = KeywordCluster(self.A)
+        cb = KeywordCluster(self.B)
+        assert weighted_jaccard(ca, cb) == pytest.approx(0.5)
+
+    def test_get_measure(self):
+        assert get_measure("jaccard") is jaccard
+        with pytest.raises(ValueError):
+            get_measure("nope")
+
+    def test_registry_complete(self):
+        assert set(AFFINITY_MEASURES) == {
+            "jaccard", "intersection", "dice", "overlap",
+            "weighted_jaccard"}
+
+    @given(st.frozensets(st.sampled_from("abcdefg")),
+           st.frozensets(st.sampled_from("abcdefg")))
+    def test_bounded_measures_in_unit_interval(self, a, b):
+        for measure in (jaccard, dice, overlap_coefficient):
+            assert 0.0 <= measure(a, b) <= 1.0
+
+    @given(st.frozensets(st.sampled_from("abcdefg"), min_size=1))
+    def test_self_similarity_is_one(self, a):
+        assert jaccard(a, a) == 1.0
+        assert dice(a, a) == 1.0
+        assert overlap_coefficient(a, a) == 1.0
+
+
+class TestSimjoin:
+    def _brute(self, left, right, threshold):
+        out = []
+        for i, a in enumerate(left):
+            for j, b in enumerate(right):
+                sim = jaccard(a, b)
+                if sim >= threshold:
+                    out.append((i, j, pytest.approx(sim)))
+        return out
+
+    def test_simple_join(self):
+        left = [frozenset({"a", "b"}), frozenset({"x", "y"})]
+        right = [frozenset({"a", "b", "c"}), frozenset({"z"})]
+        result = threshold_jaccard_join(left, right, 0.5)
+        assert result == [(0, 0, pytest.approx(2 / 3))]
+
+    def test_empty_sets_never_join(self):
+        left = [frozenset()]
+        right = [frozenset(), frozenset({"a"})]
+        assert threshold_jaccard_join(left, right, 0.1) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            threshold_jaccard_join([], [], 0.0)
+        with pytest.raises(ValueError):
+            threshold_jaccard_join([], [], 1.5)
+
+    def test_identical_sets_always_join(self):
+        sets = [frozenset({"a", "b", "c"})]
+        assert threshold_jaccard_join(sets, sets, 1.0) == \
+            [(0, 0, pytest.approx(1.0))]
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.frozensets(st.sampled_from("abcdefghij"),
+                                  max_size=6), max_size=10),
+           st.lists(st.frozensets(st.sampled_from("abcdefghij"),
+                                  max_size=6), max_size=10),
+           st.sampled_from([0.1, 0.3, 0.5, 0.7, 0.9, 1.0]))
+    def test_matches_bruteforce(self, left, right, threshold):
+        result = sorted(threshold_jaccard_join(left, right, threshold))
+        expected = sorted((i, j) for i, a in enumerate(left)
+                          for j, b in enumerate(right)
+                          if jaccard(a, b) >= threshold)
+        assert [(i, j) for i, j, _ in result] == expected
+        for i, j, sim in result:
+            assert sim == pytest.approx(jaccard(left[i], right[j]))

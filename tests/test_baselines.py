@@ -1,0 +1,99 @@
+"""Tests for the cut-clustering and correlation-clustering baselines."""
+
+import pytest
+
+from repro.baselines import cut_clustering, kwik_cluster
+from repro.baselines.correlation_clustering import disagreements
+from repro.graph import Graph
+
+
+def _two_communities() -> Graph:
+    """Two dense triangles joined by a single weak edge."""
+    g = Graph()
+    for u, v in [("a", "b"), ("b", "c"), ("a", "c")]:
+        g.add_edge(u, v, 1.0)
+    for u, v in [("x", "y"), ("y", "z"), ("x", "z")]:
+        g.add_edge(u, v, 1.0)
+    g.add_edge("c", "x", 0.1)
+    return g
+
+
+class TestCutClustering:
+    def test_separates_two_communities(self):
+        clusters = cut_clustering(_two_communities(), alpha=0.5)
+        as_sets = sorted(frozenset(c) for c in clusters)
+        assert frozenset({"a", "b", "c"}) in as_sets
+        assert frozenset({"x", "y", "z"}) in as_sets
+
+    def test_alpha_sensitivity(self):
+        graph = _two_communities()
+        # Tiny alpha: everything connected ends up in one cluster.
+        loose = cut_clustering(graph, alpha=0.01)
+        largest_loose = max(len(c) for c in loose)
+        # Huge alpha: every vertex is cut off alone.
+        tight = cut_clustering(graph, alpha=10.0)
+        largest_tight = max(len(c) for c in tight)
+        assert largest_loose >= largest_tight
+
+    def test_every_vertex_assigned_once(self):
+        clusters = cut_clustering(_two_communities(), alpha=0.5)
+        assigned = [v for cluster in clusters for v in cluster]
+        assert sorted(assigned) == sorted(_two_communities().vertices())
+
+    def test_isolated_vertex_is_singleton(self):
+        g = Graph()
+        g.add_vertex("lonely")
+        g.add_edge("a", "b", 1.0)
+        clusters = cut_clustering(g, alpha=0.5)
+        assert {"lonely"} in clusters
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            cut_clustering(Graph(), alpha=0.0)
+
+
+class TestKwikCluster:
+    def test_separates_two_communities(self):
+        clusters = kwik_cluster(_two_communities(),
+                                positive_threshold=0.5, seed=1)
+        as_sets = {frozenset(c) for c in clusters}
+        assert frozenset({"a", "b", "c"}) in as_sets
+        assert frozenset({"x", "y", "z"}) in as_sets
+
+    def test_partition_covers_all_vertices(self):
+        graph = _two_communities()
+        clusters = kwik_cluster(graph, seed=3)
+        assigned = [v for cluster in clusters for v in cluster]
+        assert sorted(assigned) == sorted(graph.vertices())
+
+    def test_threshold_binarization(self):
+        graph = _two_communities()
+        # With threshold above every weight, all edges are negative:
+        # each vertex is a singleton.
+        clusters = kwik_cluster(graph, positive_threshold=2.0, seed=1)
+        assert all(len(c) == 1 for c in clusters)
+
+    def test_seeded_reproducibility(self):
+        graph = _two_communities()
+        a = kwik_cluster(graph, seed=42)
+        b = kwik_cluster(graph, seed=42)
+        assert a == b
+
+    def test_disagreements_objective(self):
+        graph = _two_communities()
+        good = [{"a", "b", "c"}, {"x", "y", "z"}]
+        bad = [{"a", "x"}, {"b", "y"}, {"c", "z"}]
+        assert disagreements(graph, good, 0.5) < \
+            disagreements(graph, bad, 0.5)
+
+    def test_disagreements_perfect_partition(self):
+        graph = _two_communities()
+        perfect = [{"a", "b", "c"}, {"x", "y", "z"}]
+        # Only the weak c-x edge is below threshold; cutting it costs
+        # nothing, and both triangles are all-positive: 0 disagreements.
+        assert disagreements(graph, perfect, 0.5) == 0
+
+    def test_disagreements_rejects_double_assignment(self):
+        graph = _two_communities()
+        with pytest.raises(ValueError):
+            disagreements(graph, [{"a", "b"}, {"a"}], 0.5)

@@ -1,0 +1,85 @@
+"""Tests for the command-line front end."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.problem == "kl"
+        assert args.k == 5
+
+    def test_bench_graph_args(self):
+        args = build_parser().parse_args(
+            ["bench-graph", "-m", "5", "-n", "50", "--gap", "1"])
+        assert args.m == 5
+        assert args.n == 50
+        assert args.gap == 1
+
+
+class TestCommands:
+    def _write_posts(self, tmp_path):
+        """A tiny corpus with one obvious event on both days."""
+        lines = []
+        doc = 0
+        for interval in range(2):
+            for i in range(30):
+                lines.append({"interval": interval,
+                              "text": "beckham galaxy madrid transfer",
+                              "id": f"e{doc}"})
+                doc += 1
+            for i in range(10):
+                lines.append({"interval": interval,
+                              "text": f"filler{i} words{i} noise{doc}",
+                              "id": f"b{doc}"})
+                doc += 1
+        path = tmp_path / "posts.jsonl"
+        path.write_text("\n".join(json.dumps(x) for x in lines))
+        return str(path)
+
+    def test_clusters_command(self, tmp_path, capsys):
+        exit_code = main(["clusters", self._write_posts(tmp_path)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "interval 0" in out
+        assert "beckham" in out
+
+    def test_stable_command(self, tmp_path, capsys):
+        exit_code = main(["stable", self._write_posts(tmp_path),
+                          "--length", "1", "-k", "2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "stable path" in out
+        assert "beckham" in out
+
+    def test_stable_command_no_paths(self, tmp_path, capsys):
+        # Only one interval: no length-3 paths exist.
+        lines = [{"interval": 0, "text": "solitary words here"}]
+        path = tmp_path / "single.jsonl"
+        path.write_text("\n".join(json.dumps(x) for x in lines))
+        exit_code = main(["stable", str(path), "--length", "3"])
+        assert exit_code == 1
+        assert "no stable paths" in capsys.readouterr().out
+
+    def test_bench_graph_command(self, capsys):
+        exit_code = main(["bench-graph", "-m", "4", "-n", "20",
+                          "-d", "2", "-k", "2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "BFS" in out and "DFS" in out
+
+    def test_demo_command_small(self, capsys):
+        exit_code = main(["demo", "--vocabulary", "800",
+                          "--background", "300", "--length", "2",
+                          "-k", "3"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "stable path" in out

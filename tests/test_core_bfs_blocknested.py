@@ -1,0 +1,58 @@
+"""Tests for the block-nested-loop BFS mode (M < Mreq, Section 4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BFSStats, bfs_stable_clusters
+from repro.core.bfs import BFSEngine
+from repro.datagen import synthetic_cluster_graph
+from tests.test_core_algorithms import cluster_graphs
+from tests.test_core_cluster_graph import paper_example_graph
+
+
+class TestBlockNestedBFS:
+    def test_results_identical_with_tiny_blocks(self):
+        graph = paper_example_graph()
+        unlimited = bfs_stable_clusters(graph, l=2, k=2)
+        blocked = bfs_stable_clusters(graph, l=2, k=2,
+                                      window_block_nodes=1)
+        assert [(p.weight, p.nodes) for p in blocked] == \
+            [(p.weight, p.nodes) for p in unlimited]
+
+    def test_pass_count_reflects_block_ratio(self):
+        graph = synthetic_cluster_graph(m=5, n=10, d=2, g=1, seed=8)
+        unlimited_stats = BFSStats()
+        bfs_stable_clusters(graph, l=3, k=3, stats=unlimited_stats)
+        blocked_stats = BFSStats()
+        bfs_stable_clusters(graph, l=3, k=3, window_block_nodes=5,
+                            stats=blocked_stats)
+        # One pass per interval without blocking; strictly more with
+        # a window (up to 20 nodes at g=1) split into blocks of 5.
+        assert unlimited_stats.window_passes == graph.num_intervals
+        assert blocked_stats.window_passes > unlimited_stats.window_passes
+
+    def test_edge_work_is_not_duplicated(self):
+        """Blocking partitions parents: each edge is processed once."""
+        graph = synthetic_cluster_graph(m=4, n=8, d=2, g=0, seed=9)
+        plain, blocked = BFSStats(), BFSStats()
+        bfs_stable_clusters(graph, l=3, k=3, stats=plain)
+        bfs_stable_clusters(graph, l=3, k=3, window_block_nodes=3,
+                            stats=blocked)
+        assert blocked.edges_processed == plain.edges_processed
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BFSEngine(l=1, k=1, gap=0, window_block_nodes=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cluster_graphs(max_m=5, max_n=4),
+           st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=4))
+    def test_any_block_size_matches_unlimited(self, graph, k, l, block):
+        unlimited = bfs_stable_clusters(graph, l=l, k=k)
+        blocked = bfs_stable_clusters(graph, l=l, k=k,
+                                      window_block_nodes=block)
+        assert [(p.weight, p.nodes) for p in blocked] == \
+            [(p.weight, p.nodes) for p in unlimited]

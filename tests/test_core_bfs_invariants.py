@@ -1,0 +1,92 @@
+"""Property tests on Algorithm 2's internal invariants.
+
+Beyond end-to-end answer equality, the BFS per-node heaps themselves
+have a specification: ``h^x_ij`` holds exactly the top-k paths of
+length x ending at c_ij (the Section 4.2 worked example pins concrete
+heap contents).  These tests check the persisted heaps against brute
+force and the engine's work counters against graph size.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BFSStats, TopK, bfs_stable_clusters, enumerate_paths
+from repro.core.bfs import path_key
+from repro.storage import DiskDict
+from tests.test_core_algorithms import cluster_graphs
+from tests.test_core_cluster_graph import paper_example_graph
+
+
+def _expected_heaps(graph, l, k):
+    """Brute-force per-node heaps: top-k paths of each length ending
+    at each node."""
+    expected = {}
+    for path in enumerate_paths(graph, min_length=1, max_length=l):
+        heap = expected.setdefault(path.end, {}).setdefault(
+            path.length, TopK(k, key=path_key))
+        heap.check(path)
+    return expected
+
+
+class TestPaperHeapContents:
+    def test_section42_interval2_heaps(self, tmp_path):
+        """h^1_21 = {c11c21}; h^1_22 = {c12c22, c13c22};
+        h^1_23 = {c12c23} (0-indexed: nodes (1,0), (1,1), (1,2))."""
+        graph = paper_example_graph()
+        with DiskDict(str(tmp_path / "h.bin")) as store:
+            bfs_stable_clusters(graph, l=2, k=2, store=store)
+            h21 = store[(1, 0)]
+            h22 = store[(1, 1)]
+            h23 = store[(1, 2)]
+        assert [p.nodes for p in h21[1]] == [((0, 0), (1, 0))]
+        assert sorted(p.nodes for p in h22[1]) == [
+            ((0, 1), (1, 1)), ((0, 2), (1, 1))]
+        assert [p.nodes for p in h23[1]] == [((0, 1), (1, 2))]
+
+    def test_section42_interval3_heaps(self, tmp_path):
+        """h^2_31 = {c11c21c31, c13c22c31} — the paper explicitly
+        discards c12c22c31 (weight 0.8 < 1.2, 1.5)."""
+        graph = paper_example_graph()
+        with DiskDict(str(tmp_path / "h.bin")) as store:
+            bfs_stable_clusters(graph, l=2, k=2, store=store)
+            h31 = store[(2, 0)]
+        assert sorted(p.nodes for p in h31[2]) == [
+            ((0, 0), (1, 0), (2, 0)), ((0, 2), (1, 1), (2, 0))]
+        # And the gap edge c11c32 appears as a length-2 path in h^2_32.
+        with DiskDict(str(tmp_path / "h2.bin")) as store:
+            bfs_stable_clusters(graph, l=2, k=2, store=store)
+            h32 = store[(2, 1)]
+        assert ((0, 0), (2, 1)) in {p.nodes for p in h32[2]}
+
+
+class TestHeapInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(cluster_graphs(max_m=5, max_n=3),
+           st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=4))
+    def test_persisted_heaps_match_bruteforce(self, graph, k, l):
+        import tempfile
+        # l beyond the horizon takes the documented early return and
+        # computes no heaps at all.
+        l = min(l, graph.num_intervals - 1)
+        with tempfile.TemporaryDirectory() as tmp:
+            with DiskDict(tmp + "/h.bin") as store:
+                bfs_stable_clusters(graph, l=l, k=k, store=store)
+                actual = {node: store[node] for node in store}
+        expected = _expected_heaps(graph, l, k)
+        for node, by_length in expected.items():
+            for length, heap in by_length.items():
+                want = [(p.weight, p.nodes) for p in heap.items()]
+                got = [(p.weight, p.nodes)
+                       for p in actual[node].get(length, [])]
+                assert got == want, (node, length)
+
+    @settings(max_examples=30, deadline=None)
+    @given(cluster_graphs(max_m=5, max_n=3))
+    def test_work_counters_bounded(self, graph):
+        stats = BFSStats()
+        l = min(2, graph.num_intervals - 1)
+        bfs_stable_clusters(graph, l=l, k=2, stats=stats)
+        assert stats.nodes_processed == graph.num_nodes
+        assert stats.edges_processed <= graph.num_edges

@@ -1,0 +1,155 @@
+"""Unit tests for the cluster graph and its builder."""
+
+import pytest
+
+from repro.core import ClusterGraph, ClusterGraphBuilder
+from repro.core.cluster_graph import EPSILON
+
+
+def paper_example_graph() -> ClusterGraph:
+    """The Figure 5 cluster graph: 3 intervals x 3 clusters, g = 1.
+
+    Edge weights are reconstructed from the worked BFS example in
+    Section 4.2 (weights of c11c21c31 = 1.2, c13c22c31 = 1.5,
+    c12c22c31 = 0.8, c11c32 length-2 gap edge, etc.).
+    """
+    g = ClusterGraph(3, gap=1)
+    c = {}
+    for i in range(3):
+        for j in range(3):
+            c[(i + 1, j + 1)] = g.add_node(i)
+    # Interval 1 -> 2 edges.
+    g.add_edge(c[(1, 1)], c[(2, 1)], 0.5)   # c11-c21
+    g.add_edge(c[(1, 2)], c[(2, 2)], 0.1)   # c12-c22
+    g.add_edge(c[(1, 3)], c[(2, 2)], 0.8)   # c13-c22
+    g.add_edge(c[(1, 2)], c[(2, 3)], 0.4)   # c12-c23
+    # Interval 1 -> 3 gap edge.
+    g.add_edge(c[(1, 1)], c[(3, 2)], 0.9)   # c11-c32 (length 2)
+    # Interval 2 -> 3 edges.
+    g.add_edge(c[(2, 1)], c[(3, 1)], 0.7)   # c21-c31
+    g.add_edge(c[(2, 2)], c[(3, 1)], 0.7)   # c22-c31
+    g.add_edge(c[(2, 1)], c[(3, 2)], 0.4)   # c21-c32
+    g.add_edge(c[(2, 2)], c[(3, 3)], 0.9)   # c22-c33
+    g.add_edge(c[(2, 3)], c[(3, 3)], 0.4)   # c23-c33
+    g.sort_children_by_weight()
+    return g
+
+
+class TestClusterGraph:
+    def test_node_ids_are_interval_index(self):
+        g = ClusterGraph(2)
+        assert g.add_node(0) == (0, 0)
+        assert g.add_node(0) == (0, 1)
+        assert g.add_node(1) == (1, 0)
+
+    def test_counts(self):
+        g = paper_example_graph()
+        assert g.num_nodes == 9
+        assert g.num_edges == 10
+        assert g.interval_size(0) == 3
+
+    def test_parents_and_children(self):
+        g = paper_example_graph()
+        c22 = (1, 1)
+        parents = {p for p, _ in g.parents(c22)}
+        children = {ch for ch, _ in g.children(c22)}
+        assert parents == {(0, 1), (0, 2)}
+        assert children == {(2, 0), (2, 2)}
+
+    def test_backward_edge_rejected(self):
+        g = ClusterGraph(3, gap=2)
+        a = g.add_node(1)
+        b = g.add_node(0)
+        with pytest.raises(ValueError):
+            g.add_edge(a, b, 0.5)
+
+    def test_same_interval_edge_rejected(self):
+        g = ClusterGraph(2)
+        a = g.add_node(0)
+        b = g.add_node(0)
+        with pytest.raises(ValueError):
+            g.add_edge(a, b, 0.5)
+
+    def test_gap_bound_enforced(self):
+        g = ClusterGraph(4, gap=0)
+        a = g.add_node(0)
+        b = g.add_node(2)
+        with pytest.raises(ValueError):
+            g.add_edge(a, b, 0.5)
+
+    def test_weight_range_enforced(self):
+        g = ClusterGraph(2)
+        a = g.add_node(0)
+        b = g.add_node(1)
+        with pytest.raises(ValueError):
+            g.add_edge(a, b, 0.0)
+        with pytest.raises(ValueError):
+            g.add_edge(a, b, 1.5)
+
+    def test_unknown_node_rejected(self):
+        g = ClusterGraph(2)
+        a = g.add_node(0)
+        with pytest.raises(KeyError):
+            g.add_edge(a, (1, 7), 0.5)
+
+    def test_bad_interval_rejected(self):
+        g = ClusterGraph(2)
+        with pytest.raises(ValueError):
+            g.add_node(5)
+
+    def test_payload_roundtrip(self):
+        g = ClusterGraph(1)
+        node = g.add_node(0, payload={"keywords": {"a"}})
+        assert g.payload(node) == {"keywords": {"a"}}
+        bare = g.add_node(0)
+        assert g.payload(bare) is None
+
+    def test_sort_children_by_weight(self):
+        g = paper_example_graph()
+        for node in g.nodes():
+            weights = [w for _, w in g.children(node)]
+            assert weights == sorted(weights, reverse=True)
+
+    def test_max_out_degree(self):
+        g = paper_example_graph()
+        assert g.max_out_degree() == 2
+
+    def test_edges_iteration(self):
+        g = paper_example_graph()
+        assert sum(1 for _ in g.edges()) == 10
+
+
+class TestBuilder:
+    def test_normalizes_unbounded_weights(self):
+        builder = ClusterGraphBuilder(2)
+        a = builder.add_node(0)
+        b = builder.add_node(1)
+        c = builder.add_node(1)
+        builder.add_edge(a, b, 5.0)   # e.g. intersection sizes
+        builder.add_edge(a, c, 2.0)
+        graph = builder.build(normalize=True)
+        weights = sorted(w for _, _, w in graph.edges())
+        assert weights == pytest.approx([0.4, 1.0])
+
+    def test_bounded_weights_untouched(self):
+        builder = ClusterGraphBuilder(2)
+        a = builder.add_node(0)
+        b = builder.add_node(1)
+        builder.add_edge(a, b, 0.3)
+        graph = builder.build(normalize=True)
+        assert next(graph.edges())[2] == pytest.approx(0.3)
+
+    def test_unnormalized_out_of_range_raises(self):
+        builder = ClusterGraphBuilder(2)
+        a = builder.add_node(0)
+        b = builder.add_node(1)
+        builder.add_edge(a, b, 5.0)
+        with pytest.raises(ValueError):
+            builder.build(normalize=False)
+
+    def test_nonpositive_raw_weight_rejected(self):
+        builder = ClusterGraphBuilder(2)
+        a = builder.add_node(0)
+        b = builder.add_node(1)
+        with pytest.raises(ValueError):
+            builder.add_edge(a, b, 0.0)

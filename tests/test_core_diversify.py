@@ -1,0 +1,80 @@
+"""Tests for the diversified top-k variants (Section 4's suggestion)."""
+
+import pytest
+
+from repro.core import Path, bfs_stable_clusters
+from repro.core.diversify import diverse_stable_clusters, diversify_paths
+from repro.datagen import synthetic_cluster_graph
+from tests.test_core_cluster_graph import paper_example_graph
+
+
+def _path(weight, *nodes):
+    return Path(weight=weight, nodes=tuple(nodes))
+
+
+class TestDiversifyPaths:
+    CANDIDATES = [
+        _path(0.9, (0, 0), (1, 0), (2, 0)),
+        _path(0.8, (0, 0), (1, 1), (2, 1)),  # shares prefix with #1
+        _path(0.7, (0, 1), (1, 2), (2, 0)),  # shares suffix with #1
+        _path(0.6, (0, 2), (1, 3), (2, 2)),
+    ]
+
+    def test_prefix_suffix_policy(self):
+        result = diversify_paths(self.CANDIDATES, k=3)
+        assert [p.weight for p in result] == [0.9, 0.6]
+
+    def test_endpoints_policy(self):
+        result = diversify_paths(self.CANDIDATES, k=3,
+                                 policy="endpoints")
+        # Only exact (start, end) duplicates are rejected; all four
+        # candidates have distinct endpoint pairs.
+        assert len(result) == 3  # capped by k
+
+    def test_node_disjoint_policy(self):
+        result = diversify_paths(self.CANDIDATES, k=4,
+                                 policy="node-disjoint")
+        assert [p.weight for p in result] == [0.9, 0.6]
+        picked_nodes = [set(p.nodes) for p in result]
+        assert not (picked_nodes[0] & picked_nodes[1])
+
+    def test_rank_order_preserved(self):
+        result = diversify_paths(self.CANDIDATES, k=2)
+        weights = [p.weight for p in result]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diversify_paths([], k=0)
+        with pytest.raises(ValueError):
+            diversify_paths([], k=1, policy="bogus")
+
+
+class TestDiverseStableClusters:
+    def test_no_shared_endpoints_on_paper_graph(self):
+        graph = paper_example_graph()
+        result = diverse_stable_clusters(graph, l=2, k=3)
+        starts = [p.start for p in result]
+        ends = [p.end for p in result]
+        assert len(set(starts)) == len(starts)
+        assert len(set(ends)) == len(ends)
+
+    def test_first_path_is_global_optimum(self):
+        graph = synthetic_cluster_graph(m=5, n=10, d=3, g=1, seed=17)
+        ordinary = bfs_stable_clusters(graph, l=3, k=1)
+        diverse = diverse_stable_clusters(graph, l=3, k=3)
+        assert diverse[0].nodes == ordinary[0].nodes
+
+    def test_covers_more_distinct_stories(self):
+        graph = synthetic_cluster_graph(m=5, n=10, d=3, g=0, seed=23)
+        plain = bfs_stable_clusters(graph, l=4, k=5)
+        diverse = diverse_stable_clusters(graph, l=4, k=5,
+                                          policy="node-disjoint")
+        plain_nodes = set().union(*(p.nodes for p in plain))
+        diverse_nodes = set().union(*(p.nodes for p in diverse))
+        assert len(diverse_nodes) >= len(plain_nodes)
+
+    def test_pool_factor_validation(self):
+        graph = paper_example_graph()
+        with pytest.raises(ValueError):
+            diverse_stable_clusters(graph, l=2, k=1, pool_factor=0)

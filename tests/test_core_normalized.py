@@ -1,0 +1,147 @@
+"""Tests for normalized stable clusters (Problem 2, Theorem 1).
+
+Guarantees tested (see DESIGN.md):
+
+* ``exact=True`` (no Theorem-1 pruning) returns the true top-k by
+  stability — compared against the brute-force oracle;
+* the pruned default returns the true **top-1** exactly;
+* every pruned-mode answer is a real path with a correctly computed
+  stability, and the reported stabilities pointwise dominate nothing
+  above them (they are a subset of true path stabilities).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ClusterGraph,
+    NormalizedStats,
+    bruteforce_normalized,
+    enumerate_paths,
+    normalized_stable_clusters,
+)
+from tests.test_core_algorithms import cluster_graphs
+from tests.test_core_cluster_graph import paper_example_graph
+
+
+def _as_tuples(paths):
+    return [(p.stability, p.nodes) for p in paths]
+
+
+class TestBasics:
+    def test_paper_graph_top1(self):
+        graph = paper_example_graph()
+        paths = normalized_stable_clusters(graph, lmin=2, k=1)
+        expected = bruteforce_normalized(graph, lmin=2, k=1)
+        assert _as_tuples(paths) == _as_tuples(expected)
+
+    def test_lmin_one_includes_single_edges(self):
+        graph = paper_example_graph()
+        paths = normalized_stable_clusters(graph, lmin=1, k=1)
+        # Best stability-1 candidates: c22c33 at 0.9/1 = 0.9.
+        assert paths[0].stability == pytest.approx(0.9)
+
+    def test_lmin_beyond_horizon_empty(self):
+        graph = paper_example_graph()
+        assert normalized_stable_clusters(graph, lmin=10, k=3) == []
+
+    def test_invalid_parameters(self):
+        graph = paper_example_graph()
+        with pytest.raises(ValueError):
+            normalized_stable_clusters(graph, lmin=0, k=1)
+        with pytest.raises(ValueError):
+            normalized_stable_clusters(graph, lmin=1, k=0)
+
+    def test_longer_paths_can_win(self):
+        # With lmin=2, the strong two-edge chain must beat the weak one.
+        graph = ClusterGraph(3, gap=0)
+        a, b, c = (graph.add_node(i) for i in range(3))
+        d = graph.add_node(0)
+        e = graph.add_node(1)
+        f = graph.add_node(2)
+        graph.add_edge(a, b, 1.0)
+        graph.add_edge(b, c, 0.9)
+        graph.add_edge(d, e, 0.5)
+        graph.add_edge(e, f, 0.5)
+        paths = normalized_stable_clusters(graph, lmin=2, k=1)
+        assert paths[0].nodes == (a, b, c)
+        assert paths[0].stability == pytest.approx(0.95)
+
+    def test_stats_populated(self):
+        stats = NormalizedStats()
+        normalized_stable_clusters(paper_example_graph(), lmin=1, k=2,
+                                   stats=stats)
+        assert stats.nodes_processed == 9
+        assert stats.candidates_generated > 0
+
+
+class TestGapJumps:
+    def test_gap_jump_past_lmin_not_lost(self):
+        """A path can jump from length lmin-2 straight past lmin; the
+        paper's exact-length seeding would lose it (see module doc)."""
+        graph = ClusterGraph(4, gap=1)
+        a = graph.add_node(0)
+        b = graph.add_node(1)
+        c = graph.add_node(3)  # edge b->c has length 2
+        graph.add_edge(a, b, 1.0)
+        graph.add_edge(b, c, 1.0)
+        paths = normalized_stable_clusters(graph, lmin=3, k=1)
+        assert len(paths) == 1
+        assert paths[0].nodes == (a, b, c)
+        assert paths[0].length == 3
+
+
+class TestDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(cluster_graphs(max_m=5, max_n=3),
+           st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=3))
+    def test_exact_mode_matches_bruteforce(self, graph, k, lmin):
+        expected = bruteforce_normalized(graph, lmin=lmin, k=k)
+        result = normalized_stable_clusters(graph, lmin=lmin, k=k,
+                                            exact=True)
+        assert _as_tuples(result) == _as_tuples(expected)
+
+    @settings(max_examples=80, deadline=None)
+    @given(cluster_graphs(max_m=5, max_n=3),
+           st.integers(min_value=1, max_value=3))
+    def test_pruned_top1_is_exact(self, graph, lmin):
+        expected = bruteforce_normalized(graph, lmin=lmin, k=1)
+        result = normalized_stable_clusters(graph, lmin=lmin, k=1)
+        assert _as_tuples(result) == _as_tuples(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cluster_graphs(max_m=5, max_n=3),
+           st.integers(min_value=1, max_value=3),
+           st.integers(min_value=2, max_value=3))
+    def test_pruned_topk_paths_are_real_and_ranked(self, graph, k, lmin):
+        """Pruned mode may substitute dominated paths for k > 1, but
+        every reported path must be a real path of admissible length
+        with a true stability, in descending order, and the first one
+        must be the global optimum."""
+        result = normalized_stable_clusters(graph, lmin=lmin, k=k)
+        truth = {path.nodes: path.weight
+                 for path in enumerate_paths(graph, min_length=lmin)}
+        stabilities = [p.stability for p in result]
+        assert stabilities == sorted(stabilities, reverse=True)
+        for path in result:
+            assert path.nodes in truth
+            assert truth[path.nodes] == pytest.approx(path.weight)
+            assert path.length >= lmin
+        expected_top1 = bruteforce_normalized(graph, lmin=lmin, k=1)
+        if expected_top1:
+            assert result[0].stability == \
+                pytest.approx(expected_top1[0].stability)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cluster_graphs(max_m=5, max_n=3),
+           st.integers(min_value=1, max_value=3))
+    def test_pruning_reduces_or_keeps_state(self, graph, lmin):
+        pruned_stats = NormalizedStats()
+        exact_stats = NormalizedStats()
+        normalized_stable_clusters(graph, lmin=lmin, k=2,
+                                   stats=pruned_stats)
+        normalized_stable_clusters(graph, lmin=lmin, k=2, exact=True,
+                                   stats=exact_stats)
+        assert pruned_stats.best_paths_held <= exact_stats.best_paths_held

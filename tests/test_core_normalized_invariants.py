@@ -1,0 +1,80 @@
+"""Invariant tests on the normalized-BFS per-node state."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalized import NormalizedBFSEngine
+from tests.test_core_algorithms import cluster_graphs
+
+
+def _run_engine(graph, lmin, k, exact=False):
+    engine = NormalizedBFSEngine(lmin=lmin, k=k, gap=graph.gap,
+                                 exact=exact)
+    states = {}
+    for i in range(graph.num_intervals):
+        engine.process_interval(
+            i, [(node, graph.parents(node))
+                for node in graph.nodes_at(i)])
+        for node in graph.nodes_at(i):
+            states[node] = engine._window.get(node)
+    return engine, states
+
+
+class TestNodeStateInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(cluster_graphs(max_m=5, max_n=3),
+           st.integers(min_value=1, max_value=3))
+    def test_small_paths_are_short_and_end_here(self, graph, lmin):
+        _, states = _run_engine(graph, lmin, k=2)
+        for node, state in states.items():
+            if state is None:
+                continue
+            for length, paths in state.small.items():
+                assert 1 <= length < lmin
+                for path in paths:
+                    assert path.length == length
+                    assert path.end == node
+
+    @settings(max_examples=40, deadline=None)
+    @given(cluster_graphs(max_m=5, max_n=3),
+           st.integers(min_value=1, max_value=3))
+    def test_best_paths_admissible_and_irreducible(self, graph, lmin):
+        engine, states = _run_engine(graph, lmin, k=2)
+        for node, state in states.items():
+            if state is None:
+                continue
+            for path in state.best:
+                assert path.length >= lmin
+                assert path.end == node
+                # Theorem-1 irreducibility: no further reduction.
+                assert engine._reducible_suffix(path) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(cluster_graphs(max_m=5, max_n=3),
+           st.integers(min_value=1, max_value=3))
+    def test_no_retained_path_is_suffix_of_another(self, graph, lmin):
+        _, states = _run_engine(graph, lmin, k=2)
+        for state in states.values():
+            if state is None:
+                continue
+            best = state.best
+            for i, shorter in enumerate(best):
+                for j, longer in enumerate(best):
+                    if i != j and len(shorter.nodes) < len(longer.nodes):
+                        assert not shorter.is_suffix_of(longer)
+
+    @settings(max_examples=30, deadline=None)
+    @given(cluster_graphs(max_m=4, max_n=3),
+           st.integers(min_value=1, max_value=2))
+    def test_pruned_state_is_subset_of_exact_state(self, graph, lmin):
+        _, pruned_states = _run_engine(graph, lmin, k=2)
+        _, exact_states = _run_engine(graph, lmin, k=2, exact=True)
+        for node, pruned in pruned_states.items():
+            if pruned is None:
+                continue
+            exact_paths = {p.nodes for p in exact_states[node].best}
+            # Every retained pruned path is a genuine path the exact
+            # engine also generated (reduction only substitutes real
+            # suffixes).
+            for path in pruned.best:
+                assert path.nodes in exact_paths

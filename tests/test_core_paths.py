@@ -1,0 +1,142 @@
+"""Unit tests for Path and TopK primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Path, TopK, edge_path
+
+
+class TestPath:
+    def test_edge_path(self):
+        p = edge_path((0, 0), (1, 2), 0.5)
+        assert p.length == 1
+        assert p.num_edges == 1
+        assert p.weight == 0.5
+        assert p.start == (0, 0)
+        assert p.end == (1, 2)
+
+    def test_gap_edge_length(self):
+        # An edge over a gap counts the skipped intervals.
+        p = edge_path((0, 0), (2, 1), 0.9)
+        assert p.length == 2
+        assert p.num_edges == 1
+
+    def test_append(self):
+        p = edge_path((0, 0), (1, 0), 0.5).append((2, 3), 0.25)
+        assert p.length == 2
+        assert p.weight == pytest.approx(0.75)
+        assert p.nodes == ((0, 0), (1, 0), (2, 3))
+
+    def test_prepend(self):
+        p = edge_path((1, 0), (2, 0), 0.5).prepend((0, 2), 0.3)
+        assert p.nodes == ((0, 2), (1, 0), (2, 0))
+        assert p.weight == pytest.approx(0.8)
+
+    def test_stability(self):
+        p = Path(weight=1.5, nodes=((0, 0), (1, 0), (3, 0)))
+        assert p.stability == pytest.approx(0.5)
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ValueError):
+            Path(weight=0.0, nodes=((0, 0),))
+
+    def test_non_increasing_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            Path(weight=1.0, nodes=((1, 0), (1, 1)))
+        with pytest.raises(ValueError):
+            Path(weight=1.0, nodes=((2, 0), (1, 0)))
+
+    def test_ordering_weight_first(self):
+        light = Path(weight=0.1, nodes=((0, 0), (1, 0)))
+        heavy = Path(weight=0.9, nodes=((0, 0), (1, 1)))
+        assert light < heavy
+
+    def test_ordering_nodes_tiebreak(self):
+        a = Path(weight=0.5, nodes=((0, 0), (1, 0)))
+        b = Path(weight=0.5, nodes=((0, 0), (1, 1)))
+        assert a < b
+
+    def test_is_suffix_of(self):
+        long = Path(weight=1.0, nodes=((0, 0), (1, 0), (2, 0)))
+        suffix = Path(weight=0.4, nodes=((1, 0), (2, 0)))
+        other = Path(weight=0.4, nodes=((1, 1), (2, 0)))
+        assert suffix.is_suffix_of(long)
+        assert long.is_suffix_of(long)
+        assert not other.is_suffix_of(long)
+        assert not long.is_suffix_of(suffix)
+
+    def test_str_rendering(self):
+        p = edge_path((0, 1), (1, 2), 0.5)
+        assert "c0.1" in str(p)
+        assert "c1.2" in str(p)
+
+    def test_hashable(self):
+        p1 = edge_path((0, 0), (1, 0), 0.5)
+        p2 = edge_path((0, 0), (1, 0), 0.5)
+        assert hash(p1) == hash(p2)
+        assert len({p1, p2}) == 1
+
+
+class TestTopK:
+    def test_keeps_best_k(self):
+        heap = TopK(2)
+        for value in [3, 1, 4, 1, 5]:
+            heap.check(value)
+        assert heap.items() == [5, 4]
+
+    def test_not_full_accepts_anything(self):
+        heap = TopK(3)
+        assert heap.check(-100)
+        assert heap.min_key() is None
+        assert not heap.is_full
+
+    def test_min_key_when_full(self):
+        heap = TopK(2)
+        heap.extend([5, 9])
+        assert heap.min_key() == 5
+        assert heap.is_full
+
+    def test_rejects_below_min(self):
+        heap = TopK(1)
+        heap.check(10)
+        assert not heap.check(3)
+        assert heap.items() == [10]
+
+    def test_duplicates_are_noops(self):
+        heap = TopK(3)
+        heap.check(7)
+        assert not heap.check(7)
+        assert heap.items() == [7]
+
+    def test_membership(self):
+        heap = TopK(2)
+        heap.check(1)
+        assert 1 in heap
+        assert 2 not in heap
+
+    def test_eviction_removes_membership(self):
+        heap = TopK(1)
+        heap.check(1)
+        heap.check(2)
+        assert 1 not in heap
+        assert 2 in heap
+        # The evicted item may be re-offered (and rejected on merit).
+        assert not heap.check(1)
+
+    def test_key_function(self):
+        heap = TopK(2, key=len)
+        heap.extend(["aaa", "a", "aa"])
+        assert heap.items() == ["aaa", "aa"]
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            TopK(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers()), st.integers(min_value=1, max_value=6))
+    def test_matches_sorted_truncation(self, values, k):
+        heap = TopK(k)
+        heap.extend(values)
+        expected = sorted(set(values), reverse=True)[:k]
+        assert heap.items() == expected

@@ -1,0 +1,103 @@
+"""Unit tests for cluster-graph construction (Section 4.1)."""
+
+import pytest
+
+from repro.core.stability import build_cluster_graph
+from repro.graph import KeywordCluster
+
+
+def clusters_timeline():
+    """Three intervals with one persistent story and some one-offs."""
+    story = frozenset({"somalia", "mogadishu", "islamist"})
+    return [
+        [KeywordCluster(story), KeywordCluster(frozenset({"a", "b"}))],
+        [KeywordCluster(story | {"kamboni"}),
+         KeywordCluster(frozenset({"x", "y"}))],
+        [KeywordCluster(story)],
+    ]
+
+
+class TestBuildClusterGraph:
+    def test_basic_structure(self):
+        graph = build_cluster_graph(clusters_timeline(), gap=0)
+        assert graph.num_intervals == 3
+        assert graph.interval_size(0) == 2
+        assert graph.interval_size(2) == 1
+
+    def test_story_edges_exist(self):
+        graph = build_cluster_graph(clusters_timeline(), gap=0)
+        # story_0 -> story_1 (Jaccard 3/4) and story_1 -> story_2.
+        children = dict(graph.children((0, 0)))
+        assert (1, 0) in children
+        assert children[(1, 0)] == pytest.approx(3 / 4)
+
+    def test_unrelated_clusters_not_linked(self):
+        graph = build_cluster_graph(clusters_timeline(), gap=0)
+        assert graph.children((0, 1)) == []
+
+    def test_theta_filters(self):
+        graph = build_cluster_graph(clusters_timeline(), theta=0.9,
+                                    gap=0)
+        # Jaccard 0.75 < 0.9: no edges survive.
+        assert graph.num_edges == 0
+
+    def test_gap_adds_skip_edges(self):
+        no_gap = build_cluster_graph(clusters_timeline(), gap=0)
+        gapped = build_cluster_graph(clusters_timeline(), gap=1)
+        assert gapped.num_edges > no_gap.num_edges
+        children = dict(gapped.children((0, 0)))
+        assert (2, 0) in children  # interval 0 -> 2 skip edge
+
+    def test_payloads_are_the_clusters(self):
+        timeline = clusters_timeline()
+        graph = build_cluster_graph(timeline, gap=0)
+        assert graph.payload((1, 0)) is timeline[1][0]
+
+    def test_intersection_affinity_is_normalized(self):
+        graph = build_cluster_graph(clusters_timeline(),
+                                    affinity="intersection", gap=0)
+        weights = [w for _, _, w in graph.edges()]
+        assert weights
+        assert all(0 < w <= 1.0 for w in weights)
+        assert max(weights) == pytest.approx(1.0)
+
+    def test_callable_affinity(self):
+        def overlap_fraction(a, b):
+            return len(a.keywords & b.keywords) / 10.0
+
+        graph = build_cluster_graph(clusters_timeline(),
+                                    affinity=overlap_fraction,
+                                    theta=0.05, gap=0)
+        assert graph.num_edges > 0
+
+    def test_simjoin_path_equals_allpairs(self):
+        timeline = clusters_timeline()
+        plain = build_cluster_graph(timeline, use_simjoin=False)
+        joined = build_cluster_graph(timeline, use_simjoin=True)
+        assert sorted(plain.edges()) == sorted(joined.edges())
+
+    def test_empty_interval_allowed(self):
+        timeline = clusters_timeline()
+        timeline.insert(1, [])
+        graph = build_cluster_graph(timeline, gap=1)
+        # The story can still bridge the empty interval via the gap.
+        children = dict(graph.children((0, 0)))
+        assert (2, 0) in children
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_cluster_graph([])
+        with pytest.raises(ValueError):
+            build_cluster_graph(clusters_timeline(), theta=0.0)
+        with pytest.raises(ValueError):
+            build_cluster_graph(clusters_timeline(), affinity="nope")
+
+    def test_children_sorted_by_weight(self):
+        timeline = [
+            [KeywordCluster(frozenset({"a", "b", "c", "d"}))],
+            [KeywordCluster(frozenset({"a", "b", "c", "d"})),
+             KeywordCluster(frozenset({"a", "b"}))],
+        ]
+        graph = build_cluster_graph(timeline, gap=0)
+        weights = [w for _, w in graph.children((0, 0))]
+        assert weights == sorted(weights, reverse=True)

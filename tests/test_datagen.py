@@ -1,0 +1,188 @@
+"""Tests for the synthetic data generators."""
+
+import pytest
+
+from repro.datagen import (
+    BlogosphereGenerator,
+    Event,
+    EventSchedule,
+    ZipfVocabulary,
+    synthetic_cluster_graph,
+)
+from repro.datagen.events import drifting_event
+from repro.text import tokenize
+
+
+class TestZipfVocabulary:
+    def test_size_and_uniqueness(self):
+        vocab = ZipfVocabulary(500, seed=1)
+        assert len(vocab) == 500
+        assert len(set(vocab.words)) == 500
+
+    def test_words_survive_tokenizer(self):
+        vocab = ZipfVocabulary(200, seed=2)
+        for word in vocab.words[:50]:
+            assert tokenize(word) == [word]
+
+    def test_sampling_is_skewed(self):
+        vocab = ZipfVocabulary(1000, seed=3)
+        sample = vocab.sample(20_000)
+        counts = {}
+        for word in sample:
+            counts[word] = counts.get(word, 0) + 1
+        top_share = max(counts.values()) / len(sample)
+        distinct = len(counts)
+        # Zipf: one word dominates; the draw is far from uniform.
+        assert top_share > 0.02
+        assert distinct < 1000
+
+    def test_reproducible_with_seed(self):
+        a = ZipfVocabulary(100, seed=9).sample(50)
+        b = ZipfVocabulary(100, seed=9).sample(50)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfVocabulary(0)
+        with pytest.raises(ValueError):
+            ZipfVocabulary(10, exponent=0)
+        with pytest.raises(ValueError):
+            ZipfVocabulary(10, seed=1).sample(-1)
+
+    def test_sample_zero(self):
+        assert ZipfVocabulary(10, seed=1).sample(0) == []
+
+
+class TestEvents:
+    def test_burst(self):
+        event = Event.burst("stemcell", ["stem", "cell", "amniot"], 2, 50)
+        assert event.active_at(2) == 50
+        assert event.active_at(3) == 0
+        assert event.intervals == [2]
+
+    def test_persistent_with_ramp(self):
+        event = Event.persistent("somalia", ["somalia", "mogadishu"],
+                                 start=0, duration=3, posts=100,
+                                 ramp=[0.5, 1.0, 2.0])
+        assert event.active_at(0) == 50
+        assert event.active_at(1) == 100
+        assert event.active_at(2) == 200
+
+    def test_with_gaps(self):
+        event = Event.with_gaps("soccer", ["liverpool", "arsenal"],
+                                [0, 3, 4], 30)
+        assert event.intervals == [0, 3, 4]
+        assert event.active_at(1) == 0
+
+    def test_needs_two_keywords(self):
+        with pytest.raises(ValueError):
+            Event.burst("bad", ["solo"], 0, 10)
+
+    def test_drifting_event_shares_keywords(self):
+        phases = drifting_event("iphone", shared=["apple", "iphone"],
+                                first_phase=["features", "touchscreen"],
+                                second_phase=["cisco", "lawsuit"],
+                                start=0, phase1_len=2, phase2_len=2,
+                                posts=40)
+        assert len(phases) == 2
+        assert set(phases[0].keywords) & set(phases[1].keywords) == \
+            {"apple", "iphone"}
+        assert phases[0].intervals == [0, 1]
+        assert phases[1].intervals == [2, 3]
+
+    def test_schedule_active_at(self):
+        schedule = EventSchedule()
+        schedule.add(Event.burst("a", ["x", "y"], 1, 10))
+        schedule.add(Event.burst("b", ["p", "q"], 1, 20))
+        active = schedule.active_at(1)
+        assert [(e.name, c) for e, c in active] == [("a", 10), ("b", 20)]
+        assert schedule.active_at(0) == []
+        assert schedule.num_intervals == 2
+
+
+class TestBlogosphereGenerator:
+    def _generator(self, **kwargs):
+        vocab = ZipfVocabulary(300, seed=11)
+        schedule = EventSchedule().add(
+            Event.burst("beckham", ["beckham", "galaxy", "madrid"], 1, 40))
+        defaults = dict(background_posts=60, seed=12)
+        defaults.update(kwargs)
+        return BlogosphereGenerator(vocab, schedule, **defaults)
+
+    def test_interval_post_counts(self):
+        gen = self._generator()
+        assert len(gen.generate_interval(0)) == 60
+        assert len(gen.generate_interval(1)) == 100
+
+    def test_event_keywords_present_in_event_interval(self):
+        gen = self._generator()
+        docs = gen.generate_interval(1)
+        mentioning = [d for d in docs if "beckham" in d.text]
+        assert len(mentioning) >= 20
+
+    def test_corpus_structure(self):
+        corpus = self._generator().generate_corpus(3)
+        assert corpus.num_intervals == 3
+        assert corpus.num_documents == 60 * 3 + 40
+
+    def test_reproducible(self):
+        docs_a = self._generator().generate_interval(1)
+        docs_b = self._generator().generate_interval(1)
+        assert [d.text for d in docs_a] == [d.text for d in docs_b]
+
+    def test_validation(self):
+        vocab = ZipfVocabulary(50, seed=1)
+        with pytest.raises(ValueError):
+            BlogosphereGenerator(vocab, background_posts=-1)
+        with pytest.raises(ValueError):
+            BlogosphereGenerator(vocab, words_per_post=(5, 2))
+        with pytest.raises(ValueError):
+            BlogosphereGenerator(vocab, keyword_inclusion=0.0)
+        with pytest.raises(ValueError):
+            BlogosphereGenerator(vocab).generate_corpus(0)
+
+
+class TestSyntheticClusterGraph:
+    def test_dimensions(self):
+        graph = synthetic_cluster_graph(m=5, n=10, d=3, g=1, seed=1)
+        assert graph.num_intervals == 5
+        assert all(graph.interval_size(i) == 10 for i in range(5))
+
+    def test_edge_count_scales_with_degree(self):
+        small = synthetic_cluster_graph(m=4, n=20, d=2, g=0, seed=5)
+        large = synthetic_cluster_graph(m=4, n=20, d=6, g=0, seed=5)
+        assert large.num_edges > small.num_edges
+
+    def test_edge_count_scales_with_gap(self):
+        no_gap = synthetic_cluster_graph(m=6, n=10, d=3, g=0, seed=5)
+        gapped = synthetic_cluster_graph(m=6, n=10, d=3, g=2, seed=5)
+        assert gapped.num_edges > no_gap.num_edges
+
+    def test_expected_edge_count_g0(self):
+        # Out-degree uniform in [1, 2d] per interval pair; with g=0
+        # there are m-1 pairs, so E[edges] = (m-1) * n * (2d+1)/2.
+        m, n, d = 6, 50, 4
+        graph = synthetic_cluster_graph(m=m, n=n, d=d, g=0, seed=13)
+        expected = (m - 1) * n * (2 * d + 1) / 2
+        assert expected * 0.8 < graph.num_edges < expected * 1.2
+
+    def test_weights_in_range(self):
+        graph = synthetic_cluster_graph(m=3, n=5, d=2, g=1, seed=2)
+        assert all(0.0 < w <= 1.0 for _, _, w in graph.edges())
+
+    def test_gap_bound_respected(self):
+        graph = synthetic_cluster_graph(m=6, n=5, d=2, g=1, seed=3)
+        assert all(b[0] - a[0] <= 2 for a, b, _ in graph.edges())
+
+    def test_reproducible(self):
+        a = synthetic_cluster_graph(m=4, n=5, d=2, g=1, seed=7)
+        b = synthetic_cluster_graph(m=4, n=5, d=2, g=1, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_cluster_graph(m=0, n=1, d=1)
+        with pytest.raises(ValueError):
+            synthetic_cluster_graph(m=1, n=0, d=1)
+        with pytest.raises(ValueError):
+            synthetic_cluster_graph(m=1, n=1, d=0)

@@ -1,0 +1,108 @@
+"""Unit and property tests for external merge sort."""
+
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extsort import external_sort, merge_runs, sort_lines_file, write_runs
+from repro.extsort.runs import read_run
+from repro.storage import IOStats
+
+
+class TestRuns:
+    def test_empty_input_yields_no_runs(self, tmp_path):
+        assert write_runs([], 10, directory=str(tmp_path)) == []
+
+    def test_run_count_matches_budget(self, tmp_path):
+        paths = write_runs(range(25), 10, directory=str(tmp_path))
+        assert len(paths) == 3
+
+    def test_each_run_is_sorted(self, tmp_path):
+        paths = write_runs([5, 3, 8, 1, 9, 2], 3, directory=str(tmp_path))
+        for path in paths:
+            records = list(read_run(path))
+            assert records == sorted(records)
+
+    def test_bad_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_runs([1], 0, directory=str(tmp_path))
+
+    def test_key_function_respected(self, tmp_path):
+        paths = write_runs(["bb", "a", "ccc"], 10, key=len,
+                           directory=str(tmp_path))
+        assert list(read_run(paths[0])) == ["a", "bb", "ccc"]
+
+
+class TestMergeAndSort:
+    def test_merge_two_runs(self, tmp_path):
+        paths = write_runs([4, 1, 3, 2], 2, directory=str(tmp_path))
+        assert list(merge_runs(paths)) == [1, 2, 3, 4]
+
+    def test_external_sort_small_memory(self, tmp_path):
+        data = [9, 1, 8, 2, 7, 3, 6, 4, 5]
+        result = list(external_sort(data, max_records=2,
+                                    directory=str(tmp_path)))
+        assert result == sorted(data)
+
+    def test_external_sort_preserves_duplicates(self, tmp_path):
+        data = [3, 1, 3, 1, 2, 2]
+        result = list(external_sort(data, max_records=2,
+                                    directory=str(tmp_path)))
+        assert result == sorted(data)
+
+    def test_external_sort_empty(self, tmp_path):
+        assert list(external_sort([], directory=str(tmp_path))) == []
+
+    def test_run_files_deleted_after_exhaustion(self, tmp_path):
+        list(external_sort(range(20), max_records=4,
+                           directory=str(tmp_path)))
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name.startswith("run-")]
+        assert leftovers == []
+
+    def test_io_accounted(self, tmp_path):
+        stats = IOStats()
+        list(external_sort(range(100), max_records=10,
+                           directory=str(tmp_path), stats=stats))
+        assert stats.seq_writes == 100
+        assert stats.seq_reads == 100
+
+
+class TestSortLinesFile:
+    def test_sorts_pair_file_lexicographically(self, tmp_path):
+        src = tmp_path / "pairs.txt"
+        dst = tmp_path / "sorted.txt"
+        src.write_text("b c\na b\na a\nb c\n")
+        count = sort_lines_file(str(src), str(dst), max_records=2,
+                                directory=str(tmp_path))
+        assert count == 4
+        assert dst.read_text().splitlines() == ["a a", "a b", "b c", "b c"]
+
+    def test_empty_file(self, tmp_path):
+        src = tmp_path / "empty.txt"
+        dst = tmp_path / "out.txt"
+        src.write_text("")
+        assert sort_lines_file(str(src), str(dst)) == 0
+        assert dst.read_text() == ""
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers()),
+           st.integers(min_value=1, max_value=7))
+    def test_matches_builtin_sorted(self, data, budget):
+        with tempfile.TemporaryDirectory() as tmp:
+            result = list(external_sort(iter(data), max_records=budget,
+                                        directory=tmp))
+        assert result == sorted(data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.text(max_size=5), st.integers())),
+           st.integers(min_value=1, max_value=5))
+    def test_tuples_sort_like_builtin(self, data, budget):
+        with tempfile.TemporaryDirectory() as tmp:
+            result = list(external_sort(iter(data), max_records=budget,
+                                        directory=tmp))
+        assert result == sorted(data)

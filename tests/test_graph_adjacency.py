@@ -1,0 +1,102 @@
+"""Unit tests for the adjacency graph type."""
+
+import pytest
+
+from repro.graph import Graph
+
+
+class TestMutation:
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        g.add_edge("a", "b", 0.5)
+        assert "a" in g and "b" in g
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_edge_is_undirected(self):
+        g = Graph()
+        g.add_edge("a", "b", 0.5)
+        assert g.has_edge("b", "a")
+        assert g.weight("b", "a") == 0.5
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a")
+
+    def test_reweight_overwrites(self):
+        g = Graph()
+        g.add_edge("a", "b", 0.1)
+        g.add_edge("a", "b", 0.9)
+        assert g.num_edges == 1
+        assert g.weight("a", "b") == 0.9
+
+    def test_remove_edge(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.num_vertices == 2
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph()
+        g.add_vertex("a")
+        with pytest.raises(KeyError):
+            g.remove_edge("a", "b")
+
+    def test_isolated_vertex(self):
+        g = Graph()
+        g.add_vertex("lonely")
+        assert g.degree("lonely") == 0
+        assert g.num_vertices == 1
+
+
+class TestInspection:
+    def _triangle(self):
+        g = Graph()
+        g.add_edge("a", "b", 0.1)
+        g.add_edge("b", "c", 0.2)
+        g.add_edge("a", "c", 0.3)
+        return g
+
+    def test_degree_and_neighbors(self):
+        g = self._triangle()
+        assert g.degree("a") == 2
+        assert sorted(g.neighbors("a")) == ["b", "c"]
+
+    def test_edges_reported_once(self):
+        g = self._triangle()
+        edges = list(g.edges())
+        assert len(edges) == 3
+        normalized = {(min(u, v), max(u, v)) for u, v, _ in edges}
+        assert normalized == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_total_weight(self):
+        assert self._triangle().total_weight() == pytest.approx(0.6)
+
+    def test_missing_weight_raises(self):
+        g = self._triangle()
+        with pytest.raises(KeyError):
+            g.weight("a", "zzz")
+
+
+class TestDerivation:
+    def test_from_edges_mixed_arity(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c", 0.7)])
+        assert g.weight("a", "b") == 1.0
+        assert g.weight("b", "c") == 0.7
+
+    def test_subgraph_induces_edges(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+        sub = g.subgraph({"a", "b", "c"})
+        assert sub.num_vertices == 3
+        assert sub.has_edge("a", "b")
+        assert sub.has_edge("b", "c")
+        assert not sub.has_edge("c", "d")
+
+    def test_subgraph_keeps_isolated_members(self):
+        g = Graph.from_edges([("a", "b")])
+        g.add_vertex("z")
+        sub = g.subgraph({"a", "z"})
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 0

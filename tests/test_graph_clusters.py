@@ -1,0 +1,92 @@
+"""Tests for keyword-cluster extraction from pruned graphs."""
+
+import pytest
+
+from repro.graph import Graph, KeywordCluster, extract_clusters
+
+
+def _stem_cell_graph():
+    """Dense component (an event) plus a bridge to a stray keyword."""
+    g = Graph()
+    for u, v in [("stem", "cell"), ("cell", "amniot"), ("stem", "amniot"),
+                 ("stem", "research"), ("cell", "research")]:
+        g.add_edge(u, v, 0.8)
+    g.add_edge("research", "univers", 0.4)   # bridge
+    g.add_edge("univers", "wake", 0.4)       # tree tail
+    return g
+
+
+class TestExtractClusters:
+    def test_dense_component_is_a_cluster(self):
+        clusters = extract_clusters(_stem_cell_graph())
+        assert len(clusters) == 1
+        assert clusters[0].keywords == frozenset(
+            {"stem", "cell", "amniot", "research"})
+
+    def test_bridges_dropped_by_default(self):
+        clusters = extract_clusters(_stem_cell_graph())
+        assert all("univers" not in c.keywords for c in clusters)
+
+    def test_min_edges_one_reports_bridges(self):
+        clusters = extract_clusters(_stem_cell_graph(), min_edges=1)
+        keyword_sets = [c.keywords for c in clusters]
+        assert frozenset({"research", "univers"}) in keyword_sets
+        assert frozenset({"univers", "wake"}) in keyword_sets
+
+    def test_bridge_trees_absorbed_when_requested(self):
+        clusters = extract_clusters(_stem_cell_graph(),
+                                    include_bridge_trees=True)
+        assert len(clusters) == 1
+        assert {"univers", "wake"} <= set(clusters[0].keywords)
+
+    def test_interval_recorded(self):
+        clusters = extract_clusters(_stem_cell_graph(), interval=3)
+        assert clusters[0].interval == 3
+
+    def test_edges_carry_weights(self):
+        clusters = extract_clusters(_stem_cell_graph())
+        assert all(w == 0.8 for _, _, w in clusters[0].edges)
+
+    def test_two_events_two_clusters(self):
+        g = _stem_cell_graph()
+        for u, v in [("beckham", "galaxi"), ("galaxi", "madrid"),
+                     ("beckham", "madrid")]:
+            g.add_edge(u, v, 0.9)
+        clusters = extract_clusters(g)
+        keyword_sets = sorted(c.keywords for c in clusters)
+        assert frozenset({"beckham", "galaxi", "madrid"}) in keyword_sets
+
+    def test_empty_graph(self):
+        assert extract_clusters(Graph()) == []
+
+    def test_bad_min_edges(self):
+        with pytest.raises(ValueError):
+            extract_clusters(Graph(), min_edges=0)
+
+
+class TestKeywordCluster:
+    def test_jaccard(self):
+        a = KeywordCluster(frozenset({"x", "y", "z"}))
+        b = KeywordCluster(frozenset({"y", "z", "w"}))
+        assert a.jaccard(b) == pytest.approx(2 / 4)
+
+    def test_jaccard_disjoint(self):
+        a = KeywordCluster(frozenset({"x"}))
+        b = KeywordCluster(frozenset({"y"}))
+        assert a.jaccard(b) == 0.0
+
+    def test_jaccard_identical(self):
+        a = KeywordCluster(frozenset({"x", "y"}))
+        assert a.jaccard(a) == 1.0
+
+    def test_intersection_size(self):
+        a = KeywordCluster(frozenset({"x", "y", "z"}))
+        b = KeywordCluster(frozenset({"y", "z", "w"}))
+        assert a.intersection_size(b) == 2
+
+    def test_len(self):
+        assert len(KeywordCluster(frozenset({"x", "y"}))) == 2
+
+    def test_empty_jaccard_zero(self):
+        a = KeywordCluster(frozenset())
+        assert a.jaccard(KeywordCluster(frozenset())) == 0.0

@@ -1,0 +1,114 @@
+"""Tests for the disk-resident edge-file graph."""
+
+import pytest
+
+from repro.graph import Graph, biconnected_components
+from repro.graph.diskgraph import EdgeFileGraph
+from repro.storage import IOStats
+
+
+@pytest.fixture
+def disk_graph(tmp_path):
+    edges = [("a", "b", 0.5), ("b", "c", 0.6), ("c", "a", 0.7),
+             ("c", "d", 0.2)]
+    graph = EdgeFileGraph.from_edges(edges, str(tmp_path / "g.bin"))
+    yield graph
+    graph.close()
+
+
+class TestEdgeFileGraph:
+    def test_vertices_and_counts(self, disk_graph):
+        assert sorted(disk_graph.vertices()) == ["a", "b", "c", "d"]
+        assert disk_graph.num_vertices == 4
+        assert disk_graph.num_edges == 4
+
+    def test_neighbors_and_degree(self, disk_graph):
+        assert sorted(disk_graph.neighbors("c")) == ["a", "b", "d"]
+        assert disk_graph.degree("c") == 3
+        assert disk_graph.degree("d") == 1
+
+    def test_weights(self, disk_graph):
+        assert disk_graph.weight("a", "b") == 0.5
+        assert disk_graph.weight("b", "a") == 0.5
+        with pytest.raises(KeyError):
+            disk_graph.weight("a", "d")
+
+    def test_has_edge_and_contains(self, disk_graph):
+        assert disk_graph.has_edge("a", "c")
+        assert not disk_graph.has_edge("a", "d")
+        assert not disk_graph.has_edge("zz", "a")
+        assert "a" in disk_graph
+        assert "zz" not in disk_graph
+
+    def test_self_loop_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            EdgeFileGraph.from_edges([("a", "a", 1.0)],
+                                     str(tmp_path / "x.bin"))
+
+    def test_io_counted(self, tmp_path):
+        stats = IOStats()
+        graph = EdgeFileGraph.from_edges(
+            [("a", "b", 1.0)], str(tmp_path / "y.bin"), stats=stats)
+        try:
+            list(graph.neighbors("a"))
+            assert stats.reads == 1
+        finally:
+            graph.close()
+
+    def test_from_graph_roundtrip(self, tmp_path):
+        mem = Graph.from_edges([("x", "y", 0.1), ("y", "z", 0.9)])
+        disk = EdgeFileGraph.from_graph(mem, str(tmp_path / "z.bin"))
+        try:
+            assert sorted(disk.vertices()) == sorted(mem.vertices())
+            assert disk.weight("y", "z") == 0.9
+        finally:
+            disk.delete()
+
+    def test_delete_removes_file(self, tmp_path):
+        import os
+        path = str(tmp_path / "del.bin")
+        graph = EdgeFileGraph.from_edges([("a", "b", 1.0)], path)
+        graph.delete()
+        assert not os.path.exists(path)
+
+
+class TestAlgorithm1OnDisk:
+    def test_biconnected_components_match_in_memory(self, tmp_path):
+        edges = [("a", "b", 1.0), ("b", "c", 1.0), ("c", "a", 1.0),
+                 ("b", "d", 1.0), ("d", "e", 1.0), ("e", "f", 1.0),
+                 ("f", "d", 1.0)]
+        mem = Graph.from_edges(edges)
+        disk = EdgeFileGraph.from_edges(edges, str(tmp_path / "bc.bin"))
+        try:
+            mem_result = biconnected_components(mem)
+            disk_result = biconnected_components(disk)
+            normalize = lambda comps: sorted(
+                sorted(tuple(sorted(e)) for e in comp)
+                for comp in comps)
+            assert normalize(disk_result.components) == \
+                normalize(mem_result.components)
+            assert disk_result.articulation_points == \
+                mem_result.articulation_points
+        finally:
+            disk.close()
+
+    def test_larger_random_graph(self, tmp_path):
+        import random
+        rng = random.Random(5)
+        edges = set()
+        for _ in range(300):
+            u, v = rng.sample(range(60), 2)
+            edges.add((min(u, v), max(u, v)))
+        weighted = [(u, v, 1.0) for u, v in edges]
+        mem = Graph.from_edges(weighted)
+        stats = IOStats()
+        disk = EdgeFileGraph.from_edges(weighted,
+                                        str(tmp_path / "rg.bin"),
+                                        stats=stats)
+        try:
+            mem_aps = biconnected_components(mem).articulation_points
+            disk_aps = biconnected_components(disk).articulation_points
+            assert disk_aps == mem_aps
+            assert stats.reads > 0  # adjacency really came from disk
+        finally:
+            disk.close()

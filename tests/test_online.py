@@ -1,0 +1,114 @@
+"""Tests for the streaming (online) stable-cluster maintenance."""
+
+import pytest
+
+from repro.core import bfs_stable_clusters, normalized_stable_clusters
+from repro.core.online import (
+    StreamingAffinityPipeline,
+    StreamingStableClusters,
+)
+from repro.graph import KeywordCluster
+from tests.test_core_cluster_graph import paper_example_graph
+
+
+def _feed_graph(stream, graph):
+    for i in range(graph.num_intervals):
+        edges = []
+        for node in graph.nodes_at(i):
+            for parent, weight in graph.parents(node):
+                edges.append((parent, node[1], weight))
+        stream.add_interval(graph.interval_size(i), edges)
+
+
+class TestStreamingKL:
+    def test_matches_offline_after_full_feed(self):
+        graph = paper_example_graph()
+        stream = StreamingStableClusters(l=2, k=2, gap=graph.gap)
+        _feed_graph(stream, graph)
+        offline = bfs_stable_clusters(graph, l=2, k=2)
+        assert [(p.weight, p.nodes) for p in stream.top_k()] == \
+            [(p.weight, p.nodes) for p in offline]
+
+    def test_results_improve_monotonically(self):
+        graph = paper_example_graph()
+        stream = StreamingStableClusters(l=2, k=1, gap=graph.gap)
+        best_seen = []
+        for i in range(graph.num_intervals):
+            edges = []
+            for node in graph.nodes_at(i):
+                for parent, weight in graph.parents(node):
+                    edges.append((parent, node[1], weight))
+            stream.add_interval(graph.interval_size(i), edges)
+            top = stream.top_k()
+            best_seen.append(top[0].weight if top else 0.0)
+        assert best_seen == sorted(best_seen)
+
+    def test_interval_counter(self):
+        stream = StreamingStableClusters(l=1, k=1, gap=0)
+        assert stream.num_intervals == 0
+        stream.add_interval(2, [])
+        assert stream.num_intervals == 1
+
+    def test_edge_validation(self):
+        stream = StreamingStableClusters(l=1, k=1, gap=0)
+        stream.add_interval(1, [])
+        with pytest.raises(ValueError):
+            stream.add_interval(1, [((0, 0), 5, 0.5)])  # bad index
+        stream.add_interval(1, [((0, 0), 0, 0.5)])
+        with pytest.raises(ValueError):
+            # Parent two intervals back with gap 0.
+            stream.add_interval(1, [((0, 0), 0, 0.5)])
+        with pytest.raises(ValueError):
+            stream.add_interval(1, [((2, 0), 0, 1.5)])  # bad weight
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingStableClusters(l=1, k=1, mode="bogus")
+
+
+class TestStreamingNormalized:
+    def test_matches_offline_normalized(self):
+        graph = paper_example_graph()
+        stream = StreamingStableClusters(l=2, k=2, gap=graph.gap,
+                                         mode="normalized")
+        _feed_graph(stream, graph)
+        offline = normalized_stable_clusters(graph, lmin=2, k=2)
+        assert [(p.stability, p.nodes) for p in stream.top_k()] == \
+            [(p.stability, p.nodes) for p in offline]
+
+
+class TestStreamingAffinityPipeline:
+    def _clusters(self, *keyword_sets):
+        return [KeywordCluster(frozenset(kws)) for kws in keyword_sets]
+
+    def test_persistent_cluster_becomes_path(self):
+        pipe = StreamingAffinityPipeline(l=2, k=1, gap=0)
+        same = ("somalia", "mogadishu", "islamist")
+        pipe.add_interval(self._clusters(same, ("alpha", "beta")))
+        pipe.add_interval(self._clusters(same))
+        pipe.add_interval(self._clusters(same, ("gamma", "delta")))
+        top = pipe.top_k()
+        assert len(top) == 1
+        assert top[0].length == 2
+        assert top[0].weight == pytest.approx(2.0)  # two Jaccard-1 hops
+
+    def test_low_affinity_pairs_not_linked(self):
+        pipe = StreamingAffinityPipeline(l=1, k=5, gap=0, theta=0.5)
+        pipe.add_interval(self._clusters(("a", "b", "c", "d")))
+        pipe.add_interval(self._clusters(("a", "x", "y", "z")))
+        assert pipe.top_k() == []  # Jaccard 1/7 < 0.5
+
+    def test_gap_allows_skipping_interval(self):
+        pipe = StreamingAffinityPipeline(l=2, k=1, gap=1)
+        story = ("liverpool", "arsenal", "anfield")
+        pipe.add_interval(self._clusters(story))
+        pipe.add_interval(self._clusters(("unrelated", "words")))
+        pipe.add_interval(self._clusters(story))
+        top = pipe.top_k()
+        assert len(top) == 1
+        assert top[0].num_edges == 1
+        assert top[0].length == 2
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            StreamingAffinityPipeline(l=1, k=1, theta=0.0)

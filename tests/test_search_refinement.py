@@ -1,0 +1,75 @@
+"""Tests for the query-refinement application."""
+
+import pytest
+
+from repro.graph import KeywordCluster
+from repro.search import QueryRefiner
+
+
+def _clusters():
+    beckham = KeywordCluster(
+        frozenset({"beckham", "galaxi", "madrid", "soccer"}),
+        edges=(("beckham", "galaxi", 0.9), ("beckham", "madrid", 0.7),
+               ("galaxi", "madrid", 0.6), ("madrid", "soccer", 0.5)))
+    stemcell = KeywordCluster(
+        frozenset({"stem", "cell", "amniot"}),
+        edges=(("cell", "stem", 0.8), ("amniot", "stem", 0.4)))
+    return [beckham, stemcell]
+
+
+class TestQueryRefiner:
+    def test_membership(self):
+        refiner = QueryRefiner(_clusters())
+        assert "beckham" in refiner
+        assert "Beckham" in refiner       # case-insensitive
+        assert "galaxy" in refiner        # stemmed to galaxi
+        assert "politics" not in refiner
+
+    def test_refine_ranks_by_correlation(self):
+        refiner = QueryRefiner(_clusters())
+        result = refiner.refine("beckham")
+        assert result is not None
+        assert result.strongest == "galaxi"
+        ranked = [keyword for keyword, _ in result.suggestions]
+        assert ranked[:2] == ["galaxi", "madrid"]
+        # soccer is in the cluster but not adjacent to beckham:
+        # still suggested, ranked last with score 0.
+        assert ranked[-1] == "soccer"
+        assert dict(result.suggestions)["soccer"] == 0.0
+
+    def test_refine_stems_the_query(self):
+        refiner = QueryRefiner(_clusters())
+        result = refiner.refine("cells")
+        assert result is not None
+        assert result.query_stem == "cell"
+        assert result.strongest == "stem"
+
+    def test_unknown_query_returns_none(self):
+        assert QueryRefiner(_clusters()).refine("quantum") is None
+
+    def test_query_itself_never_suggested(self):
+        result = QueryRefiner(_clusters()).refine("stem")
+        assert "stem" not in [k for k, _ in result.suggestions]
+
+    def test_shared_keyword_prefers_larger_cluster(self):
+        # Clusters hold stems: "apple" -> "appl".
+        small = KeywordCluster(frozenset({"appl", "iphon"}),
+                               edges=(("appl", "iphon", 0.9),))
+        large = KeywordCluster(
+            frozenset({"appl", "cisco", "lawsuit", "trademark"}),
+            edges=(("appl", "cisco", 0.5),))
+        refiner = QueryRefiner([small, large])
+        result = refiner.refine("apple")
+        assert result is not None
+        assert result.cluster is large
+
+    def test_vocabulary(self):
+        refiner = QueryRefiner(_clusters())
+        vocab = refiner.vocabulary()
+        assert "beckham" in vocab and "amniot" in vocab
+        assert vocab == sorted(vocab)
+
+    def test_empty_refiner(self):
+        refiner = QueryRefiner([])
+        assert refiner.refine("anything") is None
+        assert refiner.vocabulary() == []

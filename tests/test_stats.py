@@ -1,0 +1,169 @@
+"""Unit and property tests for the association statistics.
+
+Differential oracles: scipy.stats.chi2_contingency (without Yates
+correction) and numpy.corrcoef over the binary indicator vectors.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from scipy.stats import chi2_contingency
+
+from repro.stats import (
+    CHI2_CRITICAL_95,
+    Contingency,
+    chi_square,
+    correlation_coefficient,
+    is_significant,
+)
+
+
+def _counts(min_n=2, max_n=400):
+    """Strategy producing consistent (a_u, a_v, a_uv, n) tuples."""
+    return st.integers(min_value=min_n, max_value=max_n).flatmap(
+        lambda n: st.tuples(
+            st.integers(min_value=0, max_value=n),
+            st.integers(min_value=0, max_value=n),
+            st.just(n),
+        ).flatmap(lambda t: st.tuples(
+            st.just(t[0]), st.just(t[1]),
+            st.integers(min_value=max(0, t[0] + t[1] - t[2]),
+                        max_value=min(t[0], t[1])),
+            st.just(t[2]),
+        )))
+
+
+class TestContingency:
+    def test_cells_sum_to_n(self):
+        t = Contingency(a_u=30, a_v=40, a_uv=10, n=100)
+        observed = (t.obs_uv + t.obs_u_not_v + t.obs_not_u_v
+                    + t.obs_not_u_not_v)
+        assert observed == 100
+        expected = (t.exp_uv + t.exp_u_not_v + t.exp_not_u_v
+                    + t.exp_not_u_not_v)
+        assert math.isclose(expected, 100)
+
+    def test_rejects_overlap_above_marginal(self):
+        with pytest.raises(ValueError):
+            Contingency(a_u=5, a_v=5, a_uv=6, n=100)
+
+    def test_rejects_marginal_above_n(self):
+        with pytest.raises(ValueError):
+            Contingency(a_u=101, a_v=5, a_uv=5, n=100)
+
+    def test_rejects_impossible_union(self):
+        with pytest.raises(ValueError):
+            Contingency(a_u=60, a_v=60, a_uv=10, n=100)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            Contingency(a_u=0, a_v=0, a_uv=0, n=0)
+
+    def test_degenerate_flags(self):
+        assert Contingency(a_u=0, a_v=5, a_uv=0, n=10).degenerate
+        assert Contingency(a_u=10, a_v=5, a_uv=5, n=10).degenerate
+        assert not Contingency(a_u=4, a_v=5, a_uv=3, n=10).degenerate
+
+
+class TestChiSquare:
+    def test_independent_pair_scores_low(self):
+        # u in half the docs, v in half the docs, together in a quarter.
+        assert chi_square(a_u=50, a_v=50, a_uv=25, n=100) == 0.0
+
+    def test_perfect_cooccurrence_scores_n(self):
+        # Identical indicators: chi-square equals n for a 2x2 table.
+        assert math.isclose(chi_square(a_u=50, a_v=50, a_uv=50, n=100), 100)
+
+    def test_degenerate_scores_zero(self):
+        assert chi_square(a_u=0, a_v=10, a_uv=0, n=100) == 0.0
+        assert chi_square(a_u=100, a_v=10, a_uv=10, n=100) == 0.0
+
+    def test_significance_threshold(self):
+        assert is_significant(a_u=50, a_v=50, a_uv=50, n=100)
+        assert not is_significant(a_u=50, a_v=50, a_uv=25, n=100)
+
+    def test_paper_example_hourly_chatter(self):
+        """With enough data, weak correlations become significant
+        (the paper's motivation for adding rho)."""
+        # Two keywords co-occur once an hour over a day of 24k posts.
+        a_u, a_v, a_uv, n = 240, 240, 24, 24_000
+        assert is_significant(a_u, a_v, a_uv, n)
+        assert correlation_coefficient(a_u, a_v, a_uv, n) < 0.2
+
+    @settings(max_examples=200, deadline=None)
+    @given(_counts())
+    def test_matches_scipy(self, counts):
+        a_u, a_v, a_uv, n = counts
+        table = np.array([
+            [a_uv, a_u - a_uv],
+            [a_v - a_uv, n - a_u - a_v + a_uv],
+        ])
+        # scipy rejects tables with a zero marginal; ours returns 0.
+        assume(not Contingency(a_u, a_v, a_uv, n).degenerate)
+        expected = chi2_contingency(table, correction=False).statistic
+        assert math.isclose(chi_square(a_u, a_v, a_uv, n), expected,
+                            rel_tol=1e-9, abs_tol=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_counts())
+    def test_always_nonnegative(self, counts):
+        assert chi_square(*counts) >= 0.0
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert math.isclose(
+            correlation_coefficient(a_u=30, a_v=30, a_uv=30, n=100), 1.0)
+
+    def test_perfect_negative(self):
+        assert math.isclose(
+            correlation_coefficient(a_u=50, a_v=50, a_uv=0, n=100), -1.0)
+
+    def test_independent_is_zero(self):
+        assert correlation_coefficient(a_u=50, a_v=50, a_uv=25, n=100) == 0.0
+
+    def test_degenerate_is_zero(self):
+        assert correlation_coefficient(a_u=0, a_v=10, a_uv=0, n=100) == 0.0
+        assert correlation_coefficient(a_u=100, a_v=10, a_uv=10, n=100) == 0.0
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_coefficient(a_u=5, a_v=5, a_uv=6, n=100)
+        with pytest.raises(ValueError):
+            correlation_coefficient(a_u=5, a_v=5, a_uv=5, n=0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(_counts())
+    def test_matches_numpy_corrcoef(self, counts):
+        a_u, a_v, a_uv, n = counts
+        assume(0 < a_u < n and 0 < a_v < n)
+        u_vec = np.zeros(n)
+        v_vec = np.zeros(n)
+        u_vec[:a_u] = 1                      # docs containing u
+        v_vec[:a_uv] = 1                     # overlap
+        v_vec[a_u:a_u + (a_v - a_uv)] = 1    # v-only docs
+        expected = np.corrcoef(u_vec, v_vec)[0, 1]
+        assert math.isclose(correlation_coefficient(a_u, a_v, a_uv, n),
+                            expected, rel_tol=1e-9, abs_tol=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_counts())
+    def test_bounded_in_unit_interval(self, counts):
+        rho = correlation_coefficient(*counts)
+        assert -1.0 - 1e-12 <= rho <= 1.0 + 1e-12
+
+    def test_chi2_equals_n_rho_squared(self):
+        """Classic identity for 2x2 tables: chi2 = n * rho^2."""
+        for a_u, a_v, a_uv, n in [(30, 40, 20, 100), (5, 80, 4, 200),
+                                  (10, 10, 1, 50)]:
+            rho = correlation_coefficient(a_u, a_v, a_uv, n)
+            assert math.isclose(chi_square(a_u, a_v, a_uv, n),
+                                n * rho * rho, rel_tol=1e-9)
+
+
+class TestCritical:
+    def test_critical_value_is_papers(self):
+        assert CHI2_CRITICAL_95 == 3.84

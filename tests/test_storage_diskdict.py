@@ -1,0 +1,114 @@
+"""Unit tests for the disk-backed record dictionary."""
+
+import pytest
+
+from repro.storage import DiskDict, IOStats
+
+
+@pytest.fixture
+def dd(tmp_path):
+    store = DiskDict(str(tmp_path / "store.bin"))
+    yield store
+    store.close()
+
+
+class TestBasicMapping:
+    def test_set_get_roundtrip(self, dd):
+        dd["a"] = {"x": 1}
+        assert dd["a"] == {"x": 1}
+
+    def test_missing_key_raises(self, dd):
+        with pytest.raises(KeyError):
+            dd["missing"]
+
+    def test_get_with_default(self, dd):
+        assert dd.get("nope", 42) == 42
+        dd["yes"] = 1
+        assert dd.get("yes") == 1
+
+    def test_contains_and_len(self, dd):
+        assert "k" not in dd
+        dd["k"] = None
+        assert "k" in dd
+        assert len(dd) == 1
+
+    def test_overwrite_returns_latest(self, dd):
+        dd["k"] = 1
+        dd["k"] = 2
+        assert dd["k"] == 2
+        assert len(dd) == 1
+
+    def test_delete(self, dd):
+        dd["k"] = 1
+        del dd["k"]
+        assert "k" not in dd
+
+    def test_iter_and_items(self, dd):
+        dd["a"] = 1
+        dd["b"] = 2
+        assert sorted(dd) == ["a", "b"]
+        assert dict(dd.items()) == {"a": 1, "b": 2}
+
+    def test_tuple_keys(self, dd):
+        dd[(1, 2)] = "node"
+        assert dd[(1, 2)] == "node"
+
+    def test_complex_values(self, dd):
+        value = {"heaps": [[(0.5, ("a", "b"))], []], "visited": True}
+        dd["node"] = value
+        assert dd["node"] == value
+
+
+class TestIOAccounting:
+    def test_every_get_costs_a_read_without_cache(self, tmp_path):
+        stats = IOStats()
+        with DiskDict(str(tmp_path / "s.bin"), stats=stats) as dd:
+            dd["k"] = list(range(10))
+            stats.mark("after-write")
+            dd["k"]
+            dd["k"]
+            delta = stats.since("after-write")
+            assert delta.reads == 2
+
+    def test_cache_absorbs_repeat_reads(self, tmp_path):
+        stats = IOStats()
+        with DiskDict(str(tmp_path / "s.bin"), cache_size=4,
+                      stats=stats) as dd:
+            dd["k"] = 123
+            stats.mark("after-write")
+            dd["k"]
+            dd["k"]
+            assert stats.since("after-write").reads == 0
+
+    def test_cache_evicts_lru(self, tmp_path):
+        stats = IOStats()
+        with DiskDict(str(tmp_path / "s.bin"), cache_size=1,
+                      stats=stats) as dd:
+            dd["a"] = 1
+            dd["b"] = 2  # evicts "a" from the 1-slot cache
+            stats.mark("m")
+            assert dd["a"] == 1
+            assert stats.since("m").reads == 1
+
+    def test_writes_are_counted(self, tmp_path):
+        stats = IOStats()
+        with DiskDict(str(tmp_path / "s.bin"), stats=stats) as dd:
+            dd["k"] = 1
+            dd["k"] = 2
+        assert stats.writes == 2
+
+
+class TestCompaction:
+    def test_compact_shrinks_file(self, dd):
+        for i in range(50):
+            dd["k"] = list(range(100))
+        before = dd.file_bytes
+        dd.compact()
+        assert dd.file_bytes < before
+        assert dd["k"] == list(range(100))
+
+    def test_compact_preserves_all_live_records(self, dd):
+        for i in range(20):
+            dd[i] = i * i
+        dd.compact()
+        assert all(dd[i] == i * i for i in range(20))

@@ -1,0 +1,74 @@
+"""Unit tests for I/O accounting counters."""
+
+from repro.storage import IOStats
+
+
+class TestRecordOps:
+    def test_random_read_counts(self):
+        stats = IOStats()
+        stats.record_read(100)
+        assert stats.reads == 1
+        assert stats.seq_reads == 0
+        assert stats.bytes_read == 100
+
+    def test_sequential_read_counts(self):
+        stats = IOStats()
+        stats.record_read(100, sequential=True)
+        assert stats.reads == 0
+        assert stats.seq_reads == 1
+
+    def test_random_write_counts(self):
+        stats = IOStats()
+        stats.record_write(64)
+        assert stats.writes == 1
+        assert stats.bytes_written == 64
+
+    def test_sequential_write_counts(self):
+        stats = IOStats()
+        stats.record_write(64, sequential=True)
+        assert stats.seq_writes == 1
+        assert stats.writes == 0
+
+    def test_total_and_random_ops(self):
+        stats = IOStats()
+        stats.record_read(1)
+        stats.record_read(1, sequential=True)
+        stats.record_write(1)
+        stats.record_write(1, sequential=True)
+        assert stats.total_ops == 4
+        assert stats.random_ops == 2
+
+
+class TestMarks:
+    def test_since_returns_delta(self):
+        stats = IOStats()
+        stats.record_read(10)
+        stats.mark("phase")
+        stats.record_read(5)
+        stats.record_write(7)
+        delta = stats.since("phase")
+        assert delta.reads == 1
+        assert delta.writes == 1
+        assert delta.bytes_read == 5
+        assert delta.bytes_written == 7
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats()
+        stats.record_read(10)
+        snap = stats.snapshot()
+        stats.record_read(10)
+        assert snap.reads == 1
+        assert stats.reads == 2
+
+    def test_reset_zeroes_everything(self):
+        stats = IOStats()
+        stats.record_read(10)
+        stats.mark("m")
+        stats.reset()
+        assert stats.total_ops == 0
+        assert stats.bytes_read == 0
+
+    def test_summary_is_string(self):
+        stats = IOStats()
+        stats.record_read(10)
+        assert "bytes" in stats.summary()

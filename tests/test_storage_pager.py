@@ -1,0 +1,136 @@
+"""Unit tests for the paged file and LRU buffer pool."""
+
+import pytest
+
+from repro.storage import BufferPool, IOStats, PagedFile
+
+
+@pytest.fixture
+def paged(tmp_path):
+    pf = PagedFile(str(tmp_path / "data.pg"), page_size=128)
+    yield pf
+    pf.close()
+
+
+class TestPagedFile:
+    def test_read_past_end_zero_fills(self, paged):
+        page = paged.read_page(3)
+        assert page.data == bytearray(128)
+
+    def test_write_then_read_roundtrip(self, paged):
+        page = paged.read_page(0)
+        page.data[:5] = b"hello"
+        paged.write_page(page)
+        again = paged.read_page(0)
+        assert bytes(again.data[:5]) == b"hello"
+
+    def test_write_nonzero_page_extends_file(self, paged):
+        page = paged.read_page(2)
+        page.data[0] = 0xFF
+        paged.write_page(page)
+        assert paged.num_pages == 3
+
+    def test_wrong_size_write_rejected(self, paged):
+        page = paged.read_page(0)
+        page.data = bytearray(10)
+        with pytest.raises(ValueError):
+            paged.write_page(page)
+
+    def test_negative_page_rejected(self, paged):
+        with pytest.raises(ValueError):
+            paged.read_page(-1)
+
+    def test_bad_page_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            PagedFile(str(tmp_path / "x.pg"), page_size=0)
+
+    def test_io_is_counted(self, tmp_path):
+        stats = IOStats()
+        with PagedFile(str(tmp_path / "y.pg"), page_size=64,
+                       stats=stats) as pf:
+            page = pf.read_page(0)
+            pf.write_page(page)
+        assert stats.reads == 1
+        assert stats.writes == 1
+        assert stats.bytes_read == 64
+        assert stats.bytes_written == 64
+
+
+class TestBufferPool:
+    def test_hit_after_first_fetch(self, paged):
+        pool = BufferPool(paged, capacity=2)
+        pool.fetch(0)
+        pool.fetch(0)
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_lru_eviction_order(self, paged):
+        pool = BufferPool(paged, capacity=2)
+        pool.fetch(0)
+        pool.fetch(1)
+        pool.fetch(0)      # 1 is now least recently used
+        pool.fetch(2)      # evicts 1
+        pool.fetch(0)      # still resident
+        assert pool.hits == 2
+        pool.fetch(1)      # must re-read
+        assert pool.misses == 4
+
+    def test_dirty_page_written_back_on_eviction(self, paged):
+        pool = BufferPool(paged, capacity=1)
+        page = pool.fetch(0)
+        page.data[:3] = b"abc"
+        pool.mark_dirty(0)
+        pool.fetch(1)  # evicts page 0, forcing write-back
+        fresh = paged.read_page(0)
+        assert bytes(fresh.data[:3]) == b"abc"
+
+    def test_pinned_page_survives_eviction(self, paged):
+        pool = BufferPool(paged, capacity=2)
+        pinned = pool.fetch(0, pin=True)
+        pool.fetch(1)
+        pool.fetch(2)  # must evict 1, not the pinned 0
+        hit = pool.fetch(0)
+        assert hit is pinned
+
+    def test_all_pinned_raises(self, paged):
+        pool = BufferPool(paged, capacity=1)
+        pool.fetch(0, pin=True)
+        with pytest.raises(RuntimeError):
+            pool.fetch(1)
+
+    def test_unpin_allows_eviction(self, paged):
+        pool = BufferPool(paged, capacity=1)
+        pool.fetch(0, pin=True)
+        pool.unpin(0)
+        pool.fetch(1)  # no error now
+        assert pool.resident == 1
+
+    def test_unpin_unpinned_raises(self, paged):
+        pool = BufferPool(paged, capacity=1)
+        pool.fetch(0)
+        with pytest.raises(ValueError):
+            pool.unpin(0)
+
+    def test_mark_dirty_nonresident_raises(self, paged):
+        pool = BufferPool(paged, capacity=1)
+        with pytest.raises(KeyError):
+            pool.mark_dirty(5)
+
+    def test_flush_all_persists_without_eviction(self, paged):
+        pool = BufferPool(paged, capacity=4)
+        page = pool.fetch(0)
+        page.data[:2] = b"zz"
+        pool.mark_dirty(0)
+        pool.flush_all()
+        assert bytes(paged.read_page(0).data[:2]) == b"zz"
+
+    def test_capacity_must_be_positive(self, paged):
+        with pytest.raises(ValueError):
+            BufferPool(paged, capacity=0)
+
+    def test_hit_rate(self, paged):
+        pool = BufferPool(paged, capacity=2)
+        assert pool.hit_rate == 0.0
+        pool.fetch(0)
+        pool.fetch(0)
+        assert pool.hit_rate == 0.5

@@ -1,0 +1,119 @@
+"""Unit tests for the disk-spilling stack used by Algorithm 1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import IOStats, SpillableStack
+
+
+class TestPureMemory:
+    def test_lifo_order(self):
+        stack = SpillableStack()
+        stack.push(1)
+        stack.push(2)
+        assert stack.pop() == 2
+        assert stack.pop() == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            SpillableStack().pop()
+
+    def test_len_and_bool(self):
+        stack = SpillableStack()
+        assert not stack
+        stack.push("x")
+        assert stack
+        assert len(stack) == 1
+
+    def test_peek_does_not_remove(self):
+        stack = SpillableStack()
+        stack.push("a")
+        assert stack.peek() == "a"
+        assert len(stack) == 1
+
+
+class TestSpilling:
+    def test_spill_triggers_beyond_budget(self, tmp_path):
+        with SpillableStack(memory_budget=4,
+                            spill_dir=str(tmp_path)) as stack:
+            for i in range(10):
+                stack.push(i)
+            assert stack.spill_count > 0
+            assert stack.in_memory <= 5
+
+    def test_order_preserved_across_spill(self, tmp_path):
+        with SpillableStack(memory_budget=3,
+                            spill_dir=str(tmp_path)) as stack:
+            for i in range(20):
+                stack.push(i)
+            assert [stack.pop() for _ in range(20)] == list(range(19, -1, -1))
+
+    def test_interleaved_push_pop(self, tmp_path):
+        with SpillableStack(memory_budget=2,
+                            spill_dir=str(tmp_path)) as stack:
+            stack.push(1)
+            stack.push(2)
+            stack.push(3)
+            assert stack.pop() == 3
+            stack.push(4)
+            stack.push(5)
+            assert stack.pop() == 5
+            assert stack.pop() == 4
+            assert stack.pop() == 2
+            assert stack.pop() == 1
+
+    def test_spill_io_counted(self, tmp_path):
+        stats = IOStats()
+        with SpillableStack(memory_budget=2, spill_dir=str(tmp_path),
+                            stats=stats) as stack:
+            for i in range(10):
+                stack.push(i)
+            while stack:
+                stack.pop()
+        assert stats.seq_writes > 0
+        assert stats.reads > 0
+
+    def test_pop_until_inclusive(self, tmp_path):
+        with SpillableStack(memory_budget=2,
+                            spill_dir=str(tmp_path)) as stack:
+            for edge in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]:
+                stack.push(edge)
+            popped = stack.pop_until(lambda e: e == ("b", "c"))
+            assert popped == [("d", "e"), ("c", "d"), ("b", "c")]
+            assert len(stack) == 1
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(), max_size=200),
+           st.integers(min_value=1, max_value=8))
+    def test_matches_plain_list_stack(self, items, budget):
+        """A spilling stack must behave exactly like a list under any
+        push sequence followed by draining pops."""
+        stack = SpillableStack(memory_budget=budget)
+        try:
+            for item in items:
+                stack.push(item)
+            drained = [stack.pop() for _ in range(len(items))]
+            assert drained == list(reversed(items))
+        finally:
+            stack.close()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers()), max_size=100),
+           st.integers(min_value=1, max_value=5))
+    def test_random_interleaving_matches_model(self, ops, budget):
+        """Differential test: random interleavings of push/pop."""
+        stack = SpillableStack(memory_budget=budget)
+        model = []
+        try:
+            for is_push, value in ops:
+                if is_push or not model:
+                    stack.push(value)
+                    model.append(value)
+                else:
+                    assert stack.pop() == model.pop()
+            assert len(stack) == len(model)
+        finally:
+            stack.close()

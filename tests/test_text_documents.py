@@ -1,0 +1,75 @@
+"""Unit tests for the document/corpus model."""
+
+from repro.text import Document, IntervalCorpus, preprocess
+
+
+class TestPreprocess:
+    def test_removes_stopwords_and_stems(self):
+        kws = preprocess("The players are running in the galaxy")
+        assert "the" not in kws
+        assert "run" in kws
+        assert "galaxi" in kws
+        assert "player" in kws
+
+    def test_returns_set_semantics(self):
+        kws = preprocess("goal goal goal")
+        assert kws == frozenset({"goal"})
+
+    def test_no_stem_mode(self):
+        kws = preprocess("running players", do_stem=False)
+        assert kws == frozenset({"running", "players"})
+
+    def test_empty_text(self):
+        assert preprocess("") == frozenset()
+
+
+class TestDocument:
+    def test_keywords_cached_semantics(self):
+        doc = Document("d1", 0, "Beckham joins LA Galaxy")
+        assert "beckham" in doc.keywords()
+        assert "galaxi" in doc.keywords()
+
+    def test_frozen(self):
+        doc = Document("d1", 0, "text")
+        try:
+            doc.text = "other"
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestIntervalCorpus:
+    def test_add_and_counts(self):
+        corpus = IntervalCorpus()
+        corpus.add_text("d1", 0, "soccer game")
+        corpus.add_text("d2", 0, "soccer goal")
+        corpus.add_text("d3", 1, "stem cells")
+        assert corpus.num_intervals == 2
+        assert corpus.num_documents == 3
+        assert corpus.interval_indices == [0, 1]
+        assert len(corpus.documents(0)) == 2
+
+    def test_unpopulated_interval_is_empty(self):
+        corpus = IntervalCorpus()
+        assert corpus.documents(7) == []
+
+    def test_keyword_sets_stream(self):
+        corpus = IntervalCorpus()
+        corpus.add_text("d1", 0, "apple iphone")
+        sets = list(corpus.keyword_sets(0))
+        assert sets == [frozenset({"appl", "iphon"})]
+
+    def test_vocabulary_union(self):
+        corpus = IntervalCorpus()
+        corpus.add_text("d1", 0, "apple iphone")
+        corpus.add_text("d2", 1, "cisco lawsuit")
+        assert "appl" in corpus.vocabulary()
+        assert "cisco" in corpus.vocabulary()
+        assert "cisco" not in corpus.vocabulary(interval=0)
+
+    def test_extend(self):
+        corpus = IntervalCorpus()
+        corpus.extend([Document("a", 0, "x y"), Document("b", 2, "z w")])
+        assert corpus.num_documents == 2
+        assert corpus.interval_indices == [0, 2]

@@ -1,0 +1,144 @@
+"""Unit tests for the Porter stemmer.
+
+Vocabulary/expected pairs come from Porter's published test cases and
+from the stemmed keywords visible in the paper's figures (Figures 4,
+15, 16: "featur", "galaxi", "soccer", "somalia", ...).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import PorterStemmer, stem
+
+
+@pytest.mark.parametrize("word,expected", [
+    # Step 1a
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    # Step 1b
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    # Step 1c
+    ("happy", "happi"),
+    ("sky", "sky"),
+    # Step 2
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    # Step 3
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    # Step 4
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    # Step 5
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+])
+def test_porter_published_cases(word, expected):
+    assert stem(word) == expected
+
+
+@pytest.mark.parametrize("word,expected", [
+    # Keywords visible (stemmed) in the paper's figures.
+    ("features", "featur"),
+    ("galaxy", "galaxi"),
+    ("clusters", "cluster"),
+    ("stability", "stabil"),
+    ("soccer", "soccer"),
+    ("liverpool", "liverpool"),
+    ("stemming", "stem"),
+])
+def test_paper_figure_keywords(word, expected):
+    assert stem(word) == expected
+
+
+class TestEdgeCases:
+    def test_short_words_untouched(self):
+        assert stem("a") == "a"
+        assert stem("is") == "is"
+
+    def test_stemming_is_idempotent_on_common_words(self):
+        for word in ["running", "connection", "relational", "happiness"]:
+            once = stem(word)
+            assert stem(once) == once
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=20))
+    def test_never_crashes_never_grows_much(self, word):
+        result = stem(word)
+        assert isinstance(result, str)
+        # Porter may add back an 'e' but never grows a word by more
+        # than one character.
+        assert len(result) <= len(word) + 1
+
+    def test_measure_helper(self):
+        s = PorterStemmer()
+        assert s._measure("tr") == 0       # m=0: [C]
+        assert s._measure("ee") == 0       # m=0: [V]
+        assert s._measure("tree") == 0     # m=0: CV
+        assert s._measure("trouble") == 1  # m=1
+        assert s._measure("oats") == 1
+        assert s._measure("oaten") == 2    # Porter's paper lists m=2
+        assert s._measure("troubles") == 2

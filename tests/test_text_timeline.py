@@ -1,0 +1,68 @@
+"""Tests for timestamp-to-interval bucketing."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.text.timeline import Timeline
+
+JAN6 = datetime(2007, 1, 6)
+
+
+class TestIntervalOf:
+    def test_day_buckets(self):
+        timeline = Timeline(start=JAN6, bucket="day")
+        assert timeline.interval_of(JAN6) == 0
+        assert timeline.interval_of(datetime(2007, 1, 6, 23, 59)) == 0
+        assert timeline.interval_of(datetime(2007, 1, 7)) == 1
+        assert timeline.interval_of(datetime(2007, 1, 12, 12)) == 6
+
+    def test_hour_buckets(self):
+        timeline = Timeline(start=JAN6, bucket="hour")
+        assert timeline.interval_of(datetime(2007, 1, 6, 0, 59)) == 0
+        assert timeline.interval_of(datetime(2007, 1, 6, 5, 0)) == 5
+
+    def test_custom_width(self):
+        timeline = Timeline(start=JAN6, bucket=timedelta(hours=6))
+        assert timeline.interval_of(datetime(2007, 1, 6, 5)) == 0
+        assert timeline.interval_of(datetime(2007, 1, 6, 6)) == 1
+        assert timeline.interval_of(datetime(2007, 1, 7)) == 4
+
+    def test_before_start_rejected(self):
+        timeline = Timeline(start=JAN6)
+        with pytest.raises(ValueError):
+            timeline.interval_of(datetime(2007, 1, 5, 23))
+
+    def test_bad_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(start=JAN6, bucket="fortnight")
+        with pytest.raises(ValueError):
+            Timeline(start=JAN6, bucket=timedelta(0))
+
+
+class TestBounds:
+    def test_bounds_partition_time(self):
+        timeline = Timeline(start=JAN6, bucket="day")
+        low, high = timeline.bounds(2)
+        assert low == datetime(2007, 1, 8)
+        assert high == datetime(2007, 1, 9)
+        assert timeline.interval_of(low) == 2
+        assert timeline.interval_of(high) == 3
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(start=JAN6).bounds(-1)
+
+
+class TestBuildCorpus:
+    def test_groups_posts_by_day(self):
+        timeline = Timeline(start=JAN6, bucket="day")
+        posts = [
+            ("p1", datetime(2007, 1, 6, 9), "saddam hussein"),
+            ("p2", datetime(2007, 1, 6, 21), "stem cells"),
+            ("p3", datetime(2007, 1, 8, 3), "beckham galaxy"),
+        ]
+        corpus = timeline.build_corpus(posts)
+        assert corpus.interval_indices == [0, 2]
+        assert len(corpus.documents(0)) == 2
+        assert corpus.documents(2)[0].doc_id == "p3"

@@ -1,0 +1,63 @@
+"""Unit tests for tokenization and stop words."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import STOPWORDS, is_stopword, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Saddam Hussein Trial") == [
+            "saddam", "hussein", "trial"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("beckham, galaxy!") == ["beckham", "galaxy"]
+
+    def test_keeps_numbers(self):
+        assert tokenize("iphone 2007") == ["iphone", "2007"]
+
+    def test_internal_apostrophe_kept(self):
+        assert tokenize("o'clock") == ["o'clock"]
+
+    def test_hyphenated_word_kept_whole(self):
+        assert tokenize("twenty-one") == ["twenty-one"]
+
+    def test_single_letters_dropped(self):
+        assert tokenize("a b c word") == ["word"]
+
+    def test_overlong_tokens_dropped(self):
+        assert tokenize("x" * 50) == []
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_min_length_configurable(self):
+        assert tokenize("a bb", min_length=1) == ["a", "bb"]
+
+    def test_bad_min_length_rejected(self):
+        with pytest.raises(ValueError):
+            tokenize("x", min_length=0)
+
+    @given(st.text(max_size=200))
+    def test_tokens_always_lowercase_and_bounded(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert 2 <= len(token) <= 40
+
+
+class TestStopwords:
+    def test_common_function_words_are_stopwords(self):
+        for word in ["the", "and", "of", "is", "this"]:
+            assert is_stopword(word)
+
+    def test_content_words_are_not(self):
+        for word in ["soccer", "beckham", "stem", "iphone"]:
+            assert not is_stopword(word)
+
+    def test_list_is_reasonably_sized(self):
+        assert 150 <= len(STOPWORDS) <= 600
+
+    def test_all_entries_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)
