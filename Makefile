@@ -1,0 +1,21 @@
+PYTHON ?= python
+RUN := PYTHONPATH=src $(PYTHON)
+
+.PHONY: test bench bench-smoke lint
+
+test:
+	$(RUN) -m pytest -q
+
+bench:
+	$(RUN) -m pytest -q benchmarks
+
+# Tiny end-to-end smoke of the solver engine through the CLI: time
+# every applicable solver on a small synthetic graph and show the
+# planner's decision for a larger hypothetical one.
+bench-smoke:
+	$(RUN) -m repro.cli bench-graph -m 4 -n 30 -d 2 -k 3 --solvers bfs,dfs,ta
+	$(RUN) -m repro.cli bench-graph -m 5 -n 50 -d 2 -k 3 --gap 1 --length 3 --solvers bfs,dfs
+	$(RUN) -m repro.cli explain -m 12 -n 2000 -d 5 --gap 1 --length 6 --memory-budget 2
+
+lint:
+	$(PYTHON) -m flake8 src tests benchmarks examples

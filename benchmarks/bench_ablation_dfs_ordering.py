@@ -90,9 +90,10 @@ def test_ordering_and_pruning_shapes(series, shape):
         # on these dense workloads, so pruning *costs* reads here.
         # The paper's Example 2 regime (high min-k, sparse arrivals)
         # is where it wins; we record rather than assert the sign.
+        verdict = ("saved" if reads[(True, True)] <= reads[(True, False)]
+                   else "cost")
         series("Ablation: DFS heuristics",
-               f"finding: pruning {'saved' if reads[(True, True)] <= reads[(True, False)] else 'cost'} "
-               f"reads on this workload "
+               f"finding: pruning {verdict} reads on this workload "
                f"({reads[(True, True)]} vs {reads[(True, False)]})", "")
 
     shape(check)

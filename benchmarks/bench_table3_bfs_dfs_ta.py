@@ -22,14 +22,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import (
-    DFSStats,
-    TAStats,
-    bfs_stable_clusters,
-    dfs_stable_clusters,
-    ta_stable_clusters,
-)
 from repro.datagen import synthetic_cluster_graph
+from repro.engine import StableQuery, get_solver
 from repro.storage import DiskDict
 
 MS = [3, 6, 9]
@@ -42,28 +36,33 @@ def _graph(m):
     return synthetic_cluster_graph(m=m, n=N, d=D, g=G, seed=303)
 
 
+def _query():
+    return StableQuery(problem="kl", l=None, k=K, gap=G)
+
+
 @pytest.mark.parametrize("m", MS)
-def test_table3_bfs(benchmark, series, m):
+def test_table3_bfs(benchmark, series, engine_solve, m):
     graph = _graph(m)
-    paths = benchmark(lambda: bfs_stable_clusters(graph, l=m - 1, k=K))
-    assert len(paths) == K
+    report = benchmark(
+        lambda: engine_solve("bfs", graph, _query()))
+    assert len(report.paths) == K
     _TIMES[("BFS", m)] = benchmark.stats["mean"]
     series("Table 3 (top-5 full paths, seconds)",
            f"BFS m={m}", benchmark.stats["mean"])
 
 
 @pytest.mark.parametrize("m", MS)
-def test_table3_dfs_disk(benchmark, series, tmp_path, m):
+def test_table3_dfs_disk(benchmark, series, engine_solve, tmp_path, m):
     graph = _graph(m)
-    stats = DFSStats()
+    stats = get_solver("dfs").new_stats()
 
     def run():
         with DiskDict(str(tmp_path / f"dfs-{m}.bin")) as store:
-            return dfs_stable_clusters(graph, l=m - 1, k=K,
-                                       store=store, stats=stats)
+            return engine_solve("dfs", graph, _query(),
+                                backend=store, stats=stats)
 
-    paths = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert len(paths) == K
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(report.paths) == K
     _TIMES[("DFS", m)] = benchmark.stats["mean"]
     series("Table 3 (top-5 full paths, seconds)",
            f"DFS m={m} (disk store, {stats.node_reads} random reads)",
@@ -71,13 +70,13 @@ def test_table3_dfs_disk(benchmark, series, tmp_path, m):
 
 
 @pytest.mark.parametrize("m", MS)
-def test_table3_ta(benchmark, series, m):
+def test_table3_ta(benchmark, series, engine_solve, m):
     graph = _graph(m)
-    stats = TAStats()
-    paths = benchmark.pedantic(
-        lambda: ta_stable_clusters(graph, k=K, stats=stats),
+    stats = get_solver("ta").new_stats()
+    report = benchmark.pedantic(
+        lambda: engine_solve("ta", graph, _query(), stats=stats),
         rounds=1, iterations=1)
-    assert len(paths) == K
+    assert len(report.paths) == K
     _TIMES[("TA", m)] = benchmark.stats["mean"]
     series("Table 3 (top-5 full paths, seconds)",
            f"TA  m={m} ({stats.random_probes} random probes)",

@@ -9,11 +9,12 @@ reported for EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import atexit
 from collections import defaultdict
 from typing import Dict, List, Tuple
 
 import pytest
+
+from repro.engine import solve_report
 
 # (experiment, row-label) -> value; printed at session end so every
 # benchmark leaves a paper-style table in the terminal output.
@@ -31,6 +32,21 @@ def record(experiment: str, label: str, value) -> None:
 def series():
     """Fixture handing benchmarks the row recorder."""
     return record
+
+
+@pytest.fixture
+def engine_solve():
+    """Route a benchmark's search through the unified engine layer.
+
+    ``engine_solve(name, graph, query, backend=..., stats=...)``
+    returns the :class:`repro.engine.SolveReport` (paths + execution
+    plan + unified SolverStats), so benchmarks time solvers exactly
+    the way the pipeline and CLI invoke them."""
+
+    def run(name, graph, query, **kwargs):
+        return solve_report(graph, query, solver=name, **kwargs)
+
+    return run
 
 
 @pytest.fixture

@@ -9,9 +9,18 @@ Subcommands:
   from a file (one JSON object per line: ``{"interval": 0, "text":
   "..."}``) and print the per-interval keyword clusters.
 * ``stable`` — full pipeline over the same input format, printing the
-  top-k stable paths.
+  top-k stable paths; ``--solver`` picks the algorithm (default
+  ``auto`` routes through the cost-based planner) and ``--explain``
+  prints the chosen execution plan.
+* ``explain`` — print the planner's decision for a described workload
+  (graph shape + query) without running anything.
 * ``bench-graph`` — generate a Section 5.2 synthetic cluster graph and
-  time the BFS/DFS solvers on it.
+  time any set of registered solvers on it, reporting each one's
+  unified ``SolverStats`` counters.
+
+Every search path goes through the unified engine layer
+(:mod:`repro.engine`); solvers are referenced by registry name, never
+imported directly.
 """
 
 from __future__ import annotations
@@ -22,7 +31,6 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.core import bfs_stable_clusters, dfs_stable_clusters
 from repro.datagen import (
     BlogosphereGenerator,
     Event,
@@ -31,12 +39,22 @@ from repro.datagen import (
     synthetic_cluster_graph,
 )
 from repro.datagen.events import drifting_event
+from repro.engine import (
+    GraphStats,
+    StableQuery,
+    explain as plan_query,
+    get_solver,
+    solve_report,
+    solver_names,
+)
 from repro.pipeline import (
     find_stable_clusters,
     generate_interval_clusters,
     render_stable_path,
 )
 from repro.text.documents import IntervalCorpus
+
+SOLVER_CHOICES = ["auto"] + solver_names()
 
 
 def _demo_schedule() -> EventSchedule:
@@ -68,7 +86,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
     corpus = generator.generate_corpus(7)
     print(f"generated {corpus.num_documents} posts over 7 days")
     result = find_stable_clusters(corpus, l=args.length, k=args.k,
-                                  gap=args.gap, problem=args.problem)
+                                  gap=args.gap, problem=args.problem,
+                                  solver=args.solver)
     sizes = [len(c) for c in result.interval_clusters]
     print(f"clusters per day: {sizes}")
     print(f"cluster graph: {result.cluster_graph}")
@@ -107,13 +126,24 @@ def cmd_clusters(args: argparse.Namespace) -> int:
     return 0
 
 
+def _memory_budget_bytes(args: argparse.Namespace) -> Optional[int]:
+    if getattr(args, "memory_budget", None) is None:
+        return None
+    return int(args.memory_budget * 1024 * 1024)
+
+
 def cmd_stable(args: argparse.Namespace) -> int:
     """Run the full stable-cluster pipeline on a JSONL corpus."""
     corpus = _read_corpus(args.input)
     result = find_stable_clusters(corpus, l=args.length, k=args.k,
                                   gap=args.gap, problem=args.problem,
                                   rho_threshold=args.rho,
-                                  theta=args.theta)
+                                  theta=args.theta,
+                                  solver=args.solver,
+                                  memory_budget=_memory_budget_bytes(args))
+    if args.explain and result.plan is not None:
+        print(result.plan.explain())
+        print()
     if not result.paths:
         print("no stable paths found")
         return 1
@@ -123,19 +153,50 @@ def cmd_stable(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Print the planner's decision for a described workload."""
+    length = None if args.length == 0 else args.length
+    if args.problem == "normalized" and length is None:
+        print("explain: --problem normalized needs --length (lmin)",
+              file=sys.stderr)
+        return 2
+    query = StableQuery(problem=args.problem, l=length,
+                        k=args.k, gap=args.gap)
+    graph_stats = GraphStats(
+        num_intervals=args.m, max_interval_nodes=args.n,
+        avg_out_degree=float(args.d), gap=args.gap,
+        num_nodes=args.m * args.n,
+        num_edges=int(args.m * args.n * args.d))
+    execution = plan_query(graph_stats, query,
+                           memory_budget=_memory_budget_bytes(args))
+    print(execution.explain())
+    return 0
+
+
 def cmd_bench_graph(args: argparse.Namespace) -> int:
-    """Time the BFS and DFS solvers on a synthetic graph."""
+    """Time registered solvers on a synthetic graph and report each
+    one's unified SolverStats counters."""
     graph = synthetic_cluster_graph(m=args.m, n=args.n, d=args.d,
                                     g=args.gap, seed=args.seed)
     print(f"graph: {graph}")
-    l = args.length if args.length else graph.num_intervals - 1
-    for name, solver in (("BFS", bfs_stable_clusters),
-                         ("DFS", dfs_stable_clusters)):
+    length = args.length if args.length else graph.num_intervals - 1
+    query = StableQuery(problem="kl", l=length, k=args.k, gap=args.gap)
+    names = [name.strip() for name in args.solvers.split(",")
+             if name.strip()]
+    for name in names:
+        solver = get_solver(name)
+        unsupported = solver.supports(query, graph.num_intervals)
+        if unsupported is not None:
+            print(f"{name}: skipped ({unsupported})")
+            continue
+        stats = solver.new_stats()
         started = time.perf_counter()
-        paths = solver(graph, l=l, k=args.k)
+        report = solve_report(graph, query, solver=name, stats=stats)
         elapsed = time.perf_counter() - started
-        best = f"{paths[0].weight:.3f}" if paths else "none"
-        print(f"{name}: {elapsed:.3f}s  top weight: {best}")
+        best = (f"{report.paths[0].weight:.3f}"
+                if report.paths else "none")
+        print(f"{name.upper()}: {elapsed:.3f}s  top weight: {best}")
+        print(f"  stats: {stats.summary()}")
     return 0
 
 
@@ -156,6 +217,8 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--gap", type=int, default=1)
     demo.add_argument("--problem", choices=["kl", "normalized"],
                       default="kl")
+    demo.add_argument("--solver", choices=SOLVER_CHOICES,
+                      default="auto")
     demo.set_defaults(func=cmd_demo)
 
     clusters = sub.add_parser("clusters",
@@ -174,10 +237,39 @@ def build_parser() -> argparse.ArgumentParser:
     stable.add_argument("--theta", type=float, default=0.1)
     stable.add_argument("--problem", choices=["kl", "normalized"],
                         default="kl")
+    stable.add_argument("--solver", choices=SOLVER_CHOICES,
+                        default="auto",
+                        help="search algorithm; 'auto' lets the "
+                             "cost-based planner pick")
+    stable.add_argument("--memory-budget", type=float, default=None,
+                        metavar="MIB",
+                        help="planner memory budget in MiB")
+    stable.add_argument("--explain", action="store_true",
+                        help="print the execution plan before results")
     stable.set_defaults(func=cmd_stable)
 
+    explain = sub.add_parser(
+        "explain",
+        help="print the planner's decision for a workload shape")
+    explain.add_argument("-m", type=int, default=9,
+                         help="temporal intervals")
+    explain.add_argument("-n", type=int, default=400,
+                         help="clusters per interval")
+    explain.add_argument("-d", type=int, default=5,
+                         help="average out degree")
+    explain.add_argument("--gap", type=int, default=0)
+    explain.add_argument("--length", type=int, default=0,
+                         help="0 means full paths (m - 1)")
+    explain.add_argument("-k", type=int, default=5)
+    explain.add_argument("--problem", choices=["kl", "normalized"],
+                         default="kl")
+    explain.add_argument("--memory-budget", type=float, default=None,
+                         metavar="MIB",
+                         help="planner memory budget in MiB")
+    explain.set_defaults(func=cmd_explain)
+
     bench = sub.add_parser("bench-graph",
-                           help="time BFS/DFS on a synthetic graph")
+                           help="time solvers on a synthetic graph")
     bench.add_argument("-m", type=int, default=9)
     bench.add_argument("-n", type=int, default=400)
     bench.add_argument("-d", type=int, default=5)
@@ -186,6 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="0 means full paths (m - 1)")
     bench.add_argument("-k", type=int, default=5)
     bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--solvers", default="bfs,dfs",
+                       help="comma-separated registry names to time")
     bench.set_defaults(func=cmd_bench_graph)
     return parser
 
@@ -194,7 +288,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Domain errors (unsupported solver/problem combination,
+        # invalid query bounds) become clean CLI errors, not
+        # tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

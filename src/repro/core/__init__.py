@@ -29,6 +29,7 @@ from repro.core.online import (
     StreamingStableClusters,
 )
 from repro.core.paths import NodeId, Path, edge_path
+from repro.core.solver_stats import SolverStats
 from repro.core.stability import build_cluster_graph
 from repro.core.ta import TAEngine, TAStats, ta_stable_clusters
 
@@ -43,6 +44,7 @@ __all__ = [
     "NormalizedBFSEngine",
     "NormalizedStats",
     "Path",
+    "SolverStats",
     "StreamingAffinityPipeline",
     "StreamingStableClusters",
     "TAEngine",

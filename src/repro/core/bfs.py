@@ -16,13 +16,15 @@ lazily (a node at interval ``i`` can only ever hold heaps for lengths
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cluster_graph import ClusterGraph
 from repro.core.heaps import TopK
 from repro.core.paths import NodeId, Path, edge_path
-from repro.storage.diskdict import DiskDict
+from repro.core.solver_stats import SolverStats
+from repro.storage.backends import StateStore
 
 NodeHeaps = Dict[int, TopK]  # path length -> top-k paths of that length
 
@@ -33,7 +35,7 @@ def path_key(path: Path) -> Tuple[float, Tuple[NodeId, ...]]:
 
 
 @dataclass
-class BFSStats:
+class BFSStats(SolverStats):
     """Work counters for a BFS run (benchmark output)."""
 
     nodes_processed: int = 0
@@ -45,9 +47,11 @@ class BFSStats:
 class BFSEngine:
     """Sliding-window BFS over a cluster graph.
 
-    ``store`` may be a :class:`~repro.storage.DiskDict`; the paper's
-    Algorithm 2 saves each node's heaps to disk after computing them
-    (line 17), which also enables the streaming mode of Section 4.6.
+    ``store`` may be any :class:`~repro.storage.StateStore` backend
+    (e.g. a :class:`~repro.storage.DiskDict` or sharded store); the
+    paper's Algorithm 2 saves each node's heaps to disk after
+    computing them (line 17), which also enables the streaming mode of
+    Section 4.6.
 
     ``window_block_nodes`` bounds how many window nodes' heaps are
     consulted per pass.  When the window exceeds the bound, an
@@ -59,7 +63,7 @@ class BFSEngine:
     """
 
     def __init__(self, l: int, k: int, gap: int,
-                 store: Optional[DiskDict] = None,
+                 store: Optional[StateStore] = None,
                  window_block_nodes: Optional[int] = None,
                  stats: Optional[BFSStats] = None) -> None:
         if l < 1:
@@ -78,7 +82,7 @@ class BFSEngine:
         self.stats = stats if stats is not None else BFSStats()
         self.global_heap: TopK[Path] = TopK(k, key=path_key)
         self._window: Dict[NodeId, NodeHeaps] = {}
-        self._window_intervals: List[int] = []
+        self._window_intervals: Deque[int] = deque()
         self._window_nodes: Dict[int, List[NodeId]] = {}
 
     # ------------------------------------------------------------------
@@ -114,7 +118,7 @@ class BFSEngine:
         self._window_nodes[interval] = interval_nodes
         while (self._window_intervals
                and self._window_intervals[0] < interval - self.gap):
-            expired = self._window_intervals.pop(0)
+            expired = self._window_intervals.popleft()
             for node in self._window_nodes.pop(expired, []):
                 self._window.pop(node, None)
 
@@ -175,7 +179,7 @@ class BFSEngine:
 
 
 def bfs_stable_clusters(graph: ClusterGraph, l: int, k: int,
-                        store: Optional[DiskDict] = None,
+                        store: Optional[StateStore] = None,
                         window_block_nodes: Optional[int] = None,
                         stats: Optional[BFSStats] = None) -> List[Path]:
     """Top-k paths of length exactly *l*, best first (Problem 1)."""

@@ -44,7 +44,8 @@ from repro.core.cluster_graph import ClusterGraph
 from repro.core.heaps import TopK
 from repro.core.paths import NodeId, Path, edge_path
 from repro.core.bfs import path_key
-from repro.storage.diskdict import DiskDict
+from repro.core.solver_stats import SolverStats
+from repro.storage.backends import StateStore
 
 SOURCE: NodeId = (-1, -1)
 
@@ -59,7 +60,7 @@ class NodeAnnotation:
 
 
 @dataclass
-class DFSStats:
+class DFSStats(SolverStats):
     """Work/I-O counters for a DFS run (benchmark output)."""
 
     pushes: int = 0
@@ -83,7 +84,7 @@ class DFSEngine:
     """Depth-first kl-stable cluster search over a cluster graph."""
 
     def __init__(self, graph: ClusterGraph, l: int, k: int,
-                 store: Optional[DiskDict] = None,
+                 store: Optional[StateStore] = None,
                  prune: bool = True,
                  stats: Optional[DFSStats] = None) -> None:
         if l < 1:
@@ -96,7 +97,7 @@ class DFSEngine:
         self.prune = prune
         self.stats = stats if stats is not None else DFSStats()
         self.global_heap: TopK[Path] = TopK(k, key=path_key)
-        self._store: Union[DiskDict, dict]
+        self._store: Union[StateStore, dict]
         self._store = store if store is not None else {}
         self._last_interval = graph.num_intervals - 1
 
@@ -239,15 +240,30 @@ class DFSEngine:
         paths = annotation.bestpaths.setdefault(length, [])
         if path in paths:
             return
-        paths.append(path)
-        paths.sort(key=path_key, reverse=True)
-        del paths[self.k:]
+        self._insort_bounded(paths, path)
         if length == self.l:
             self.global_heap.check(path)
 
+    def _insort_bounded(self, paths: List[Path], path: Path) -> None:
+        """Insert *path* into the descending-by-key list *paths*,
+        keeping at most k entries — O(log k) compares and one O(k)
+        list shift, versus the naive append+sort's O(k log k)."""
+        key = path_key(path)
+        lo, hi = 0, len(paths)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if path_key(paths[mid]) > key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= self.k:
+            return
+        paths.insert(lo, path)
+        del paths[self.k:]
+
 
 def dfs_stable_clusters(graph: ClusterGraph, l: int, k: int,
-                        store: Optional[DiskDict] = None,
+                        store: Optional[StateStore] = None,
                         prune: bool = True,
                         stats: Optional[DFSStats] = None) -> List[Path]:
     """Top-k paths of length exactly *l*, best first (Problem 1)."""

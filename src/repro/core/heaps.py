@@ -9,7 +9,15 @@ unique and algorithm outputs are exactly comparable.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Generic, Iterable, Iterator, List, Optional, TypeVar
+from typing import (
+    Callable,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    TypeVar,
+)
 
 T = TypeVar("T")
 

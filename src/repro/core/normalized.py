@@ -30,12 +30,14 @@ so candidates are drawn from ``smallpaths[x]`` for every ``x`` with
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cluster_graph import ClusterGraph
 from repro.core.heaps import TopK
 from repro.core.paths import NodeId, Path, edge_path
+from repro.core.solver_stats import SolverStats
 
 
 def stability_key(path: Path) -> Tuple[float, Tuple[NodeId, ...]]:
@@ -44,7 +46,7 @@ def stability_key(path: Path) -> Tuple[float, Tuple[NodeId, ...]]:
 
 
 @dataclass
-class NormalizedStats:
+class NormalizedStats(SolverStats):
     """Work counters for a normalized-BFS run."""
 
     nodes_processed: int = 0
@@ -80,7 +82,7 @@ class NormalizedBFSEngine:
         self.stats = stats if stats is not None else NormalizedStats()
         self.global_heap: TopK[Path] = TopK(k, key=stability_key)
         self._window: Dict[NodeId, _NodeState] = {}
-        self._window_intervals: List[int] = []
+        self._window_intervals: Deque[int] = deque()
         self._window_nodes: Dict[int, List[NodeId]] = {}
         # Edge weights are needed to score path prefixes/suffixes in
         # Theorem-1 reductions; every edge flows through
@@ -105,7 +107,7 @@ class NormalizedBFSEngine:
         self._window_nodes[interval] = interval_nodes
         while (self._window_intervals
                and self._window_intervals[0] < interval - self.gap):
-            expired = self._window_intervals.pop(0)
+            expired = self._window_intervals.popleft()
             for node in self._window_nodes.pop(expired, []):
                 self._window.pop(node, None)
 

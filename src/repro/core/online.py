@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.bfs import BFSEngine
 from repro.core.normalized import NormalizedBFSEngine
 from repro.core.paths import NodeId, Path
-from repro.storage.diskdict import DiskDict
+from repro.storage.backends import StateStore
 
 
 class StreamingStableClusters:
@@ -30,12 +30,14 @@ class StreamingStableClusters:
 
     ``mode='kl'`` maintains Problem 1 (paths of length exactly ``l``);
     ``mode='normalized'`` maintains Problem 2 (length >= ``lmin``,
-    score weight/length).  ``l`` is interpreted accordingly.
+    score weight/length).  ``l`` is interpreted accordingly.  ``store``
+    may be any :class:`~repro.storage.StateStore` backend for the
+    per-node heaps.
     """
 
     def __init__(self, l: int, k: int, gap: int = 0,
                  mode: str = "kl",
-                 store: Optional[DiskDict] = None) -> None:
+                 store: Optional[StateStore] = None) -> None:
         if mode not in ("kl", "normalized"):
             raise ValueError(
                 f"mode must be 'kl' or 'normalized', got {mode!r}")
@@ -47,6 +49,22 @@ class StreamingStableClusters:
             self._engine = NormalizedBFSEngine(lmin=l, k=k, gap=gap)
         self._next_interval = 0
         self._interval_sizes: List[int] = []
+
+    @classmethod
+    def from_query(cls, query,
+                   store: Optional[StateStore] = None
+                   ) -> "StreamingStableClusters":
+        """Build a streaming maintainer for a
+        :class:`~repro.engine.StableQuery` (full-path queries cannot
+        stream — the target length must be known up front)."""
+        length = query.min_length if query.problem == "normalized" \
+            else query.l
+        if length is None:
+            raise ValueError(
+                "streaming needs a concrete length bound; full-path "
+                "queries (l=None) grow with the stream")
+        return cls(l=length, k=query.k, gap=query.gap,
+                   mode=query.problem, store=store)
 
     # ------------------------------------------------------------------
     # Feeding the stream

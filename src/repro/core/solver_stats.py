@@ -1,0 +1,48 @@
+"""Unified solver statistics protocol.
+
+Every solver historically carried its own ad-hoc counter dataclass
+(``BFSStats``, ``DFSStats``, ``TAStats``, ``NormalizedStats``) with no
+shared surface, so benchmarks and the CLI had to special-case each
+solver to report work done.  ``SolverStats`` is the common base: any
+dataclass of integer counters inheriting from it gains a uniform
+``counters()`` mapping, a one-line ``summary()`` and a ``reset()``,
+which is what the engine layer (``repro.engine``) and ``bench-graph``
+report for every solver without knowing which one ran.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class SolverStats:
+    """Base class for per-solver work counters.
+
+    Subclasses declare integer dataclass fields; this base turns them
+    into a uniform reporting surface.  An instance with no fields (the
+    base itself) is a valid, empty stats object, which lets generic
+    code always hold *some* stats without None checks.
+    """
+
+    def counters(self) -> Dict[str, int]:
+        """All integer counter fields as an ordered name -> value map."""
+        return {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)
+                if not f.name.startswith("_")}
+
+    def summary(self) -> str:
+        """One-line ``name=value`` rendering for benchmark output."""
+        counters = self.counters()
+        if not counters:
+            return "(no counters)"
+        return " ".join(f"{name}={value}"
+                        for name, value in counters.items())
+
+    def reset(self) -> None:
+        """Zero every counter field."""
+        for f in dataclasses.fields(self):
+            if not f.name.startswith("_"):
+                setattr(self, f.name, 0)

@@ -29,12 +29,13 @@ from repro.core.bfs import path_key
 from repro.core.cluster_graph import ClusterGraph
 from repro.core.heaps import TopK
 from repro.core.paths import NodeId, Path
+from repro.core.solver_stats import SolverStats
 
 NEG_INF = float("-inf")
 
 
 @dataclass
-class TAStats:
+class TAStats(SolverStats):
     """Work counters for a TA run (benchmark output)."""
 
     sorted_accesses: int = 0
@@ -84,6 +85,10 @@ class TAEngine:
         self._m = graph.num_intervals
         self._startwts: Dict[NodeId, float] = {}
         self._endwts: Dict[NodeId, float] = {}
+        # Canonical per-edge weights: a path found through different
+        # seed edges must get bit-identical weight (left-to-right sum)
+        # or the top-k heap would retain float-jittered duplicates.
+        self._edge_weight: Dict[Tuple[NodeId, NodeId], float] = {}
         self._lists = self._build_lists()
 
     def _build_lists(self) -> List[_EdgeList]:
@@ -92,6 +97,9 @@ class TAEngine:
         for parent, child, weight in self.graph.edges():
             by_pair.setdefault((parent[0], child[0]), []).append(
                 (weight, parent, child))
+            known = self._edge_weight.get((parent, child))
+            if known is None or weight > known:
+                self._edge_weight[(parent, child)] = weight
         lists = []
         for pair in sorted(by_pair):
             edges = sorted(by_pair[pair],
@@ -143,11 +151,12 @@ class TAEngine:
                                    default=NEG_INF)
         for prefix_weight, prefix_nodes in prefixes:
             for suffix_weight, suffix_nodes in suffixes:
-                path = Path(
-                    weight=prefix_weight + weight + suffix_weight,
-                    nodes=prefix_nodes + suffix_nodes)
+                nodes = prefix_nodes + suffix_nodes
+                total = 0.0
+                for a, b in zip(nodes, nodes[1:]):
+                    total += self._edge_weight[(a, b)]
                 self.stats.paths_enumerated += 1
-                self.global_heap.check(path)
+                self.global_heap.check(Path(weight=total, nodes=nodes))
 
     # ------------------------------------------------------------------
     # Random probes

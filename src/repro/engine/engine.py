@@ -1,0 +1,173 @@
+"""The unified solve entry point every consumer routes through.
+
+``solve(graph, query)`` is the one call that answers a
+:class:`~repro.engine.query.StableQuery` over a cluster graph: it
+plans (or accepts a solver by name), opens the planned storage
+backend, runs the solver, applies the query's diversification policy,
+and returns the top-k paths together with nothing hidden — callers
+that want the decision or the work counters use ``explain`` /
+``solve_report``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.cluster_graph import ClusterGraph
+from repro.core.diversify import diversify_paths
+from repro.core.paths import Path
+from repro.core.solver_stats import SolverStats
+from repro.engine.planner import (
+    MAX_BLOCK_PASSES,
+    ExecutionPlan,
+    GraphStats,
+    estimate_annotation_bytes,
+    estimate_window_bytes,
+    plan,
+    size_disk_backend,
+)
+from repro.engine.query import StableQuery
+from repro.engine.solvers import Solver, get_solver
+from repro.storage.backends import StateStore, open_store
+
+AUTO = "auto"
+
+
+@dataclass
+class SolveReport:
+    """Everything one engine run produced: paths, plan, counters."""
+
+    paths: List[Path]
+    plan: ExecutionPlan
+    stats: SolverStats
+
+
+def explain(graph_or_stats, query: StableQuery,
+            memory_budget: Optional[int] = None) -> ExecutionPlan:
+    """Plan *query* without executing it.
+
+    Accepts either a :class:`~repro.core.cluster_graph.ClusterGraph`
+    (measured on the spot) or pre-computed
+    :class:`~repro.engine.planner.GraphStats` — the latter lets the
+    CLI explain hypothetical workloads no one has generated yet.
+    """
+    if isinstance(graph_or_stats, GraphStats):
+        graph_stats = graph_or_stats
+    else:
+        graph_stats = GraphStats.from_graph(graph_or_stats)
+    return plan(query, graph_stats, memory_budget=memory_budget)
+
+
+def _resolve_plan(graph: ClusterGraph, query: StableQuery,
+                  solver: str) -> ExecutionPlan:
+    """The plan for *query*: the planner's, or — for a forced solver
+    — one that still applies the memory model (block-nested BFS /
+    disk-backed DFS) so ``memory_budget`` is honoured either way."""
+    if solver == AUTO:
+        return explain(graph, query)
+    chosen = get_solver(solver)
+    reason = chosen.supports(query, graph.num_intervals)
+    if reason is not None:
+        raise ValueError(reason)
+    graph_stats = GraphStats.from_graph(graph)
+    window_bytes = estimate_window_bytes(query, graph_stats)
+    budget = query.memory_budget
+    execution = ExecutionPlan(
+        solver=solver,
+        backend="memory",
+        estimated_window_bytes=window_bytes,
+        query=query,
+        graph_stats=graph_stats,
+        memory_budget=budget)
+    execution.reasons.append(f"solver {solver!r} forced by caller")
+    if budget is not None and solver == "bfs" \
+            and window_bytes > budget:
+        window_nodes = max(
+            1, graph_stats.max_interval_nodes * (graph_stats.gap + 1))
+        bytes_per_node = max(1, window_bytes // window_nodes)
+        execution.window_block_nodes = max(
+            1, int(budget // bytes_per_node))
+        execution.backend = "disk"
+        execution.reasons.append(
+            f"window exceeds budget "
+            f"{window_bytes / budget:.1f}x: block-nested passes of "
+            f"{execution.window_block_nodes} window nodes")
+    elif solver == "dfs" and budget is not None \
+            and window_bytes > MAX_BLOCK_PASSES * budget:
+        size_disk_backend(execution,
+                          estimate_annotation_bytes(query, graph_stats))
+        execution.reasons.append(
+            "annotations kept out of memory to respect the budget")
+    return execution
+
+
+def solve_report(graph: ClusterGraph, query: StableQuery,
+                 solver: str = AUTO,
+                 backend: Optional[StateStore] = None,
+                 stats: Optional[SolverStats] = None,
+                 execution_plan: Optional[ExecutionPlan] = None
+                 ) -> SolveReport:
+    """Answer *query* and return paths plus the plan and counters.
+
+    ``solver='auto'`` routes through the cost-based planner; a name
+    (``bfs``/``dfs``/``ta``/``normalized``/``bruteforce``) forces that
+    algorithm.  A caller-supplied *backend* overrides the planned one
+    (its lifecycle stays with the caller); otherwise the engine opens
+    the planned backend in a temporary directory and disposes of it
+    after the run.
+    """
+    if execution_plan is None:
+        execution_plan = _resolve_plan(graph, query, solver)
+    chosen: Solver = get_solver(execution_plan.solver)
+    reason = chosen.supports(query, graph.num_intervals)
+    if reason is not None:
+        raise ValueError(reason)
+    if stats is None:
+        stats = chosen.new_stats()
+
+    run_k = query.k
+    run_query = query
+    if query.diverse:
+        run_query = query.with_k(query.diverse_pool_factor * query.k)
+
+    owned_dir: Optional[str] = None
+    store = backend
+    try:
+        if (store is None and chosen.uses_backend
+                and execution_plan.backend != "memory"):
+            owned_dir = tempfile.mkdtemp(prefix="repro-engine-")
+            store = open_store(
+                execution_plan.backend,
+                directory=owned_dir,
+                num_shards=execution_plan.num_shards,
+                compact_garbage_bytes=(
+                    execution_plan.compact_garbage_bytes))
+        paths = chosen.solve(graph, run_query, backend=store,
+                             stats=stats, plan=execution_plan)
+    finally:
+        if owned_dir is not None:
+            if store is not None:
+                store.close()
+            shutil.rmtree(owned_dir, ignore_errors=True)
+
+    if query.diverse:
+        paths = diversify_paths(paths, run_k,
+                                policy=query.diverse_policy)
+    return SolveReport(paths=paths, plan=execution_plan, stats=stats)
+
+
+def solve(graph: ClusterGraph, query: StableQuery,
+          solver: str = AUTO,
+          backend: Optional[StateStore] = None,
+          stats: Optional[SolverStats] = None,
+          execution_plan: Optional[ExecutionPlan] = None) -> List[Path]:
+    """Answer *query* over *graph*; top-k paths, best first.
+
+    The convenience form of :func:`solve_report` for callers that only
+    want the paths.
+    """
+    return solve_report(graph, query, solver=solver, backend=backend,
+                        stats=stats, execution_plan=execution_plan).paths

@@ -1,0 +1,212 @@
+"""The solver registry: five algorithms behind one interface.
+
+Each entry adapts one of the search implementations in
+:mod:`repro.core` to the uniform :class:`Solver` surface —
+``solve(graph, query, backend=..., stats=..., plan=...)`` — so the
+pipeline, CLI, streaming front end and benchmarks can pick algorithms
+by name (or let the planner pick) instead of importing solver-specific
+functions.  ``register`` adds new solvers; future PRs plug in here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.bfs import BFSEngine, BFSStats
+from repro.core.bruteforce import bruteforce_normalized, bruteforce_topk
+from repro.core.cluster_graph import ClusterGraph
+from repro.core.dfs import DFSEngine, DFSStats
+from repro.core.normalized import NormalizedBFSEngine, NormalizedStats
+from repro.core.paths import Path
+from repro.core.solver_stats import SolverStats
+from repro.core.ta import TAEngine, TAStats
+from repro.storage.backends import StateStore
+
+
+class Solver:
+    """Base class / protocol for a registered solver.
+
+    Subclasses set ``name`` and ``problems`` (the query problems they
+    can answer) and implement :meth:`solve`.  ``supports`` returns a
+    human-readable reason when a query is out of the solver's domain,
+    or ``None`` when it can run — the engine raises on mismatch and
+    the planner uses it to restrict its choices.
+    """
+
+    name: str = ""
+    problems = ("kl",)
+    #: True when the solver only answers full-path queries (l = m - 1).
+    full_paths_only: bool = False
+    #: True when the solver can keep node state in a StateStore.
+    uses_backend: bool = False
+
+    def supports(self, query, num_intervals: int) -> Optional[str]:
+        """Reason this solver cannot answer *query* (None = it can)."""
+        if query.problem not in self.problems:
+            return (f"{self.name} answers {self.problems} queries, "
+                    f"not {query.problem!r}")
+        if (self.full_paths_only
+                and not query.is_full_paths(num_intervals)):
+            return (f"{self.name} only answers full-path queries "
+                    f"(l = m - 1)")
+        return None
+
+    def new_stats(self) -> SolverStats:
+        """A fresh stats object of this solver's counter type."""
+        return SolverStats()
+
+    def solve(self, graph: ClusterGraph, query,
+              backend: Optional[StateStore] = None,
+              stats: Optional[SolverStats] = None,
+              plan=None) -> List[Path]:
+        """Answer *query* over *graph*; top-k paths, best first."""
+        raise NotImplementedError
+
+
+class BFSSolver(Solver):
+    """Algorithm 2: one temporal pass with a sliding window of heaps.
+
+    Honours the plan's ``window_block_nodes`` (the paper's M < Mreq
+    block-nested mode) and writes per-node heaps to *backend* when one
+    is given (enabling streaming restarts)."""
+
+    name = "bfs"
+    uses_backend = True
+
+    def new_stats(self) -> BFSStats:
+        """Fresh BFS counters."""
+        return BFSStats()
+
+    def solve(self, graph, query, backend=None, stats=None,
+              plan=None) -> List[Path]:
+        """Run the sliding-window BFS for *query*."""
+        length = query.length_for(graph.num_intervals)
+        if length > graph.num_intervals - 1:
+            return []
+        window_block_nodes = getattr(plan, "window_block_nodes", None)
+        engine = BFSEngine(l=length, k=query.k, gap=graph.gap,
+                           store=backend,
+                           window_block_nodes=window_block_nodes,
+                           stats=stats)
+        for i in range(graph.num_intervals):
+            engine.process_interval(
+                i,
+                [(node, graph.parents(node))
+                 for node in graph.nodes_at(i)])
+        return engine.results()
+
+
+class DFSSolver(Solver):
+    """Algorithm 3: depth-first search with on-store node annotations
+    and the min-k pruning bound; O(m) resident frames."""
+
+    name = "dfs"
+    uses_backend = True
+
+    def new_stats(self) -> DFSStats:
+        """Fresh DFS counters."""
+        return DFSStats()
+
+    def solve(self, graph, query, backend=None, stats=None,
+              plan=None) -> List[Path]:
+        """Run the pruned DFS for *query*."""
+        length = query.length_for(graph.num_intervals)
+        engine = DFSEngine(graph, l=length, k=query.k, store=backend,
+                           stats=stats)
+        return engine.run()
+
+
+class TASolver(Solver):
+    """Section 4.4's Threshold Algorithm adaptation; full paths only,
+    practical for small m (random probes can reach m^(d-1))."""
+
+    name = "ta"
+    full_paths_only = True
+
+    def new_stats(self) -> TAStats:
+        """Fresh TA counters."""
+        return TAStats()
+
+    def solve(self, graph, query, backend=None, stats=None,
+              plan=None) -> List[Path]:
+        """Run the TA scan for *query* (l is fixed to m - 1)."""
+        if query.length_for(graph.num_intervals) > graph.num_intervals - 1:
+            return []
+        return TAEngine(graph, k=query.k, stats=stats).run()
+
+
+class NormalizedSolver(Solver):
+    """Problem 2: sliding-window search under weight/length scoring
+    with Theorem-1 pruning (or exact enumeration when asked)."""
+
+    name = "normalized"
+    problems = ("normalized",)
+
+    def new_stats(self) -> NormalizedStats:
+        """Fresh normalized-BFS counters."""
+        return NormalizedStats()
+
+    def solve(self, graph, query, backend=None, stats=None,
+              plan=None) -> List[Path]:
+        """Run the normalized BFS for *query*."""
+        lmin = query.length_for(graph.num_intervals)
+        if lmin > graph.num_intervals - 1:
+            return []
+        engine = NormalizedBFSEngine(lmin=lmin, k=query.k,
+                                     gap=graph.gap, exact=query.exact,
+                                     stats=stats)
+        for i in range(graph.num_intervals):
+            engine.process_interval(
+                i,
+                [(node, graph.parents(node))
+                 for node in graph.nodes_at(i)])
+        return engine.results()
+
+
+class BruteforceSolver(Solver):
+    """Exact exponential enumeration — the ground-truth oracle for
+    both problems (small graphs only)."""
+
+    name = "bruteforce"
+    problems = ("kl", "normalized")
+
+    def solve(self, graph, query, backend=None, stats=None,
+              plan=None) -> List[Path]:
+        """Enumerate every admissible path and keep the top-k."""
+        length = query.length_for(graph.num_intervals)
+        if length > graph.num_intervals - 1:
+            return []
+        if query.problem == "normalized":
+            return bruteforce_normalized(graph, lmin=length, k=query.k)
+        return bruteforce_topk(graph, l=length, k=query.k)
+
+
+_REGISTRY: Dict[str, Solver] = {}
+
+
+def register(solver: Solver) -> Solver:
+    """Add *solver* to the registry (last registration wins)."""
+    if not solver.name:
+        raise ValueError("solver must set a non-empty name")
+    _REGISTRY[solver.name] = solver
+    return solver
+
+
+def get_solver(name: str) -> Solver:
+    """Look up a registered solver by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {name!r}; registered: "
+            f"{sorted(_REGISTRY)}") from None
+
+
+def solver_names() -> List[str]:
+    """Names of all registered solvers, sorted."""
+    return sorted(_REGISTRY)
+
+
+for _solver in (BFSSolver(), DFSSolver(), TASolver(),
+                NormalizedSolver(), BruteforceSolver()):
+    register(_solver)

@@ -13,12 +13,11 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Union
 
 from repro.cooccur.keyword_graph import RHO_DEFAULT
-from repro.core.bfs import bfs_stable_clusters
 from repro.core.cluster_graph import ClusterGraph
-from repro.core.diversify import diverse_stable_clusters
-from repro.core.normalized import normalized_stable_clusters
 from repro.core.paths import Path
+from repro.core.solver_stats import SolverStats
 from repro.core.stability import THETA_DEFAULT, build_cluster_graph
+from repro.engine import ExecutionPlan, StableQuery, solve_report
 from repro.graph.clusters import KeywordCluster
 from repro.pipeline.cluster_generation import (
     ClusterGenerationReport,
@@ -36,6 +35,8 @@ class StableClusterResult:
     paths: List[Path]
     generation_reports: List[ClusterGenerationReport] = \
         field(default_factory=list)
+    plan: Optional[ExecutionPlan] = None
+    solver_stats: Optional[SolverStats] = None
 
     def path_keywords(self, path: Path) -> List[frozenset]:
         """The keyword sets along one stable path."""
@@ -53,7 +54,9 @@ def find_stable_clusters(corpus: IntervalCorpus,
                          external: bool = False,
                          directory: Optional[str] = None,
                          diverse: bool = False,
-                         diverse_policy: str = "prefix-suffix"
+                         diverse_policy: str = "prefix-suffix",
+                         solver: str = "auto",
+                         memory_budget: Optional[int] = None
                          ) -> StableClusterResult:
     """Run the complete two-stage pipeline over *corpus*.
 
@@ -63,12 +66,18 @@ def find_stable_clusters(corpus: IntervalCorpus,
     the reported paths are filtered so no two share a prefix/suffix
     per *diverse_policy* — the variant Section 4 sketches for
     information-discovery use.
+
+    The search stage routes through :mod:`repro.engine`: ``solver``
+    names an algorithm (``bfs``/``dfs``/``ta``/``normalized``/
+    ``bruteforce``) or ``'auto'`` to let the cost-based planner pick
+    from the graph's shape and *memory_budget* (bytes); the chosen
+    :class:`~repro.engine.ExecutionPlan` and the solver's unified
+    work counters are returned on the result.
     """
-    if problem not in ("kl", "normalized"):
-        raise ValueError(
-            f"problem must be 'kl' or 'normalized', got {problem!r}")
-    if diverse and problem != "kl":
-        raise ValueError("diverse selection applies to problem='kl'")
+    query = StableQuery(problem=problem, l=l, k=k, gap=gap,
+                        diverse=diverse,
+                        diverse_policy=diverse_policy,
+                        memory_budget=memory_budget)
 
     intervals = corpus.interval_indices
     if not intervals:
@@ -87,16 +96,13 @@ def find_stable_clusters(corpus: IntervalCorpus,
 
     graph = build_cluster_graph(interval_clusters, affinity=affinity,
                                 theta=theta, gap=gap)
-    if problem == "kl" and diverse:
-        paths = diverse_stable_clusters(graph, l=l, k=k,
-                                        policy=diverse_policy)
-    elif problem == "kl":
-        paths = bfs_stable_clusters(graph, l=l, k=k)
-    else:
-        paths = normalized_stable_clusters(graph, lmin=l, k=k)
+    report = solve_report(graph, query, solver=solver)
     return StableClusterResult(interval_clusters=interval_clusters,
-                               cluster_graph=graph, paths=paths,
-                               generation_reports=reports)
+                               cluster_graph=graph,
+                               paths=report.paths,
+                               generation_reports=reports,
+                               plan=report.plan,
+                               solver_stats=report.stats)
 
 
 def render_stable_path(result: StableClusterResult, path: Path,

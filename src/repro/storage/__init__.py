@@ -17,18 +17,35 @@ primitives those implementations use:
 * :class:`~repro.storage.spillstack.SpillableStack` — a stack whose
   bottom spills to disk beyond a memory budget (Algorithm 1's edge
   stack "can be efficiently paged to secondary storage").
+* :class:`~repro.storage.backends.StateStore` — the pluggable backend
+  protocol the search engines store node annotations through, with
+  :class:`~repro.storage.backends.MemoryStore` and the
+  hash-partitioned :class:`~repro.storage.backends.ShardedStore`
+  implementations (``DiskDict`` conforms as-is).
 """
 
+from repro.storage.backends import (
+    BACKEND_SPECS,
+    MemoryStore,
+    ShardedStore,
+    StateStore,
+    open_store,
+)
 from repro.storage.diskdict import DiskDict
 from repro.storage.iostats import IOStats
 from repro.storage.pager import BufferPool, Page, PagedFile
 from repro.storage.spillstack import SpillableStack
 
 __all__ = [
+    "BACKEND_SPECS",
     "BufferPool",
     "DiskDict",
     "IOStats",
+    "MemoryStore",
     "Page",
     "PagedFile",
+    "ShardedStore",
     "SpillableStack",
+    "StateStore",
+    "open_store",
 ]

@@ -1,0 +1,258 @@
+"""Pluggable node-state backends (the EMBANKS-style storage split).
+
+The search engines annotate cluster-graph nodes with state — BFS
+heaps, DFS ``maxweight``/``bestpaths`` records — and historically took
+an ``Optional[DiskDict]``, hard-wiring the choice between "in RAM" and
+"one specific on-disk layout".  This module makes the storage layer a
+first-class, pluggable seam:
+
+* :class:`StateStore` — the protocol every backend satisfies (a small
+  mutable-mapping surface plus ``close()``); ``DiskDict`` already
+  conforms.
+* :class:`MemoryStore` — a plain dict behind the protocol, for
+  RAM-resident runs that still want uniform accounting hooks.
+* :class:`ShardedStore` — hash-partitions node annotations across
+  multiple :class:`~repro.storage.diskdict.DiskDict` shards.  Each
+  shard is an independent append-only file, which keeps files small, is
+  layout-friendly for future parallel/async I/O, and lets compaction
+  run one shard at a time.  Shards are compacted automatically when
+  their ``garbage_bytes`` exceed a configurable threshold.
+
+``open_store(spec, ...)`` builds a backend from the planner's string
+spec (``"memory"``, ``"disk"``, ``"sharded"``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.storage.diskdict import DiskDict
+from repro.storage.iostats import IOStats
+
+BACKEND_SPECS = ("memory", "disk", "sharded")
+
+
+@runtime_checkable
+class StateStore(Protocol):
+    """What an engine needs from a node-annotation backend.
+
+    A minimal mutable mapping: item get/set/delete, membership, size,
+    iteration and ``get``; plus ``close()`` so disk-backed stores can
+    release file handles.  ``DiskDict`` satisfies this protocol as-is.
+    """
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        """Store *value* under *key* (overwriting any prior value)."""
+
+    def __getitem__(self, key: Any) -> Any:
+        """Return the value under *key*; raise KeyError when absent."""
+
+    def __delitem__(self, key: Any) -> None:
+        """Remove *key*; raise KeyError when absent."""
+
+    def __contains__(self, key: Any) -> bool:
+        """True when *key* holds a live value."""
+
+    def __len__(self) -> int:
+        """Number of live keys."""
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate over live keys."""
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return ``self[key]`` or *default* when the key is absent."""
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+
+class MemoryStore:
+    """In-memory :class:`StateStore` backed by a plain dict."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Any, Any] = {}
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._data[key]
+
+    def __delitem__(self, key: Any) -> None:
+        del self._data[key]
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return ``self[key]`` or *default* when the key is absent."""
+        return self._data.get(key, default)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over live ``(key, value)`` pairs."""
+        return iter(self._data.items())
+
+    def close(self) -> None:
+        """Nothing to release; kept for protocol symmetry."""
+
+    def __enter__(self) -> "MemoryStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"MemoryStore(keys={len(self._data)})"
+
+
+class ShardedStore:
+    """Hash-partitioned :class:`StateStore` over multiple DiskDicts.
+
+    Keys route to ``shard = stable_hash(key) % num_shards``; each shard
+    is its own append-only file under *directory*.  All shards share
+    one :class:`~repro.storage.iostats.IOStats`, so benchmarks see the
+    aggregate I/O.  When a mutation leaves a shard with more than
+    *compact_garbage_bytes* of dead data, that shard is compacted
+    automatically (the point of ``DiskDict.garbage_bytes``).
+    """
+
+    def __init__(self, directory: str, num_shards: int = 4,
+                 cache_size: int = 0,
+                 compact_garbage_bytes: Optional[int] = None,
+                 stats: Optional[IOStats] = None) -> None:
+        if num_shards < 1:
+            raise ValueError(
+                f"num_shards must be >= 1, got {num_shards}")
+        if (compact_garbage_bytes is not None
+                and compact_garbage_bytes < 1):
+            raise ValueError(
+                f"compact_garbage_bytes must be >= 1, "
+                f"got {compact_garbage_bytes}")
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.num_shards = num_shards
+        self.compact_garbage_bytes = compact_garbage_bytes
+        self.stats = stats if stats is not None else IOStats()
+        self.compactions = 0
+        self._shards = [
+            DiskDict(os.path.join(directory, f"shard-{i:03d}.bin"),
+                     cache_size=cache_size, stats=self.stats)
+            for i in range(num_shards)]
+
+    def _shard_for(self, key: Any) -> DiskDict:
+        return self._shards[hash(key) % self.num_shards]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        shard = self._shard_for(key)
+        shard[key] = value
+        self._maybe_compact(shard)
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._shard_for(key)[key]
+
+    def __delitem__(self, key: Any) -> None:
+        shard = self._shard_for(key)
+        del shard[key]
+        self._maybe_compact(shard)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._shard_for(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __iter__(self) -> Iterator[Any]:
+        for shard in self._shards:
+            yield from shard
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return ``self[key]`` or *default* when the key is absent."""
+        return self._shard_for(key).get(key, default)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over live ``(key, value)`` pairs (reads values)."""
+        for shard in self._shards:
+            yield from shard.items()
+
+    def _maybe_compact(self, shard: DiskDict) -> None:
+        if (self.compact_garbage_bytes is not None
+                and shard.garbage_bytes > self.compact_garbage_bytes):
+            shard.compact()
+            self.compactions += 1
+
+    def compact(self) -> None:
+        """Compact every shard (dead bytes drop to zero)."""
+        for shard in self._shards:
+            shard.compact()
+            self.compactions += 1
+
+    @property
+    def garbage_bytes(self) -> int:
+        """Total dead bytes across all shards."""
+        return sum(shard.garbage_bytes for shard in self._shards)
+
+    @property
+    def file_bytes(self) -> int:
+        """Total size of all shard files, garbage included."""
+        return sum(shard.file_bytes for shard in self._shards)
+
+    def shard_sizes(self) -> Dict[int, int]:
+        """Live-key count per shard (partition-balance diagnostics)."""
+        return {i: len(shard) for i, shard in enumerate(self._shards)}
+
+    def close(self) -> None:
+        """Close every shard file (idempotent)."""
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ShardedStore(shards={self.num_shards}, "
+                f"keys={len(self)}, dir={self.directory!r})")
+
+
+def open_store(spec: str, directory: Optional[str] = None,
+               num_shards: int = 4, cache_size: int = 0,
+               compact_garbage_bytes: Optional[int] = None,
+               stats: Optional[IOStats] = None):
+    """Build a :class:`StateStore` from a planner backend spec.
+
+    ``"memory"`` ignores *directory*; ``"disk"`` opens one DiskDict at
+    ``directory/state.bin``; ``"sharded"`` opens a
+    :class:`ShardedStore` under *directory*.
+    """
+    if spec == "memory":
+        return MemoryStore()
+    if directory is None:
+        raise ValueError(f"backend {spec!r} needs a directory")
+    if spec == "disk":
+        os.makedirs(directory, exist_ok=True)
+        return DiskDict(os.path.join(directory, "state.bin"),
+                        cache_size=cache_size, stats=stats)
+    if spec == "sharded":
+        return ShardedStore(directory, num_shards=num_shards,
+                            cache_size=cache_size,
+                            compact_garbage_bytes=compact_garbage_bytes,
+                            stats=stats)
+    raise ValueError(
+        f"unknown backend spec {spec!r}; expected one of {BACKEND_SPECS}")

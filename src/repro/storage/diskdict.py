@@ -37,6 +37,7 @@ class DiskDict:
         self._index: Dict[Any, Tuple[int, int]] = {}
         self._cache: "OrderedDict[Any, Any]" = OrderedDict()
         self._cache_size = cache_size
+        self._garbage_bytes = 0
         self._fh = open(path, "a+b")
         self._fh.seek(0, os.SEEK_END)
 
@@ -45,6 +46,9 @@ class DiskDict:
         self._fh.seek(0, os.SEEK_END)
         offset = self._fh.tell()
         self._fh.write(blob)
+        stale = self._index.get(key)
+        if stale is not None:
+            self._garbage_bytes += stale[1]
         self._index[key] = (offset, len(blob))
         self.stats.record_write(len(blob))
         self._cache_put(key, value)
@@ -77,7 +81,7 @@ class DiskDict:
         return default
 
     def __delitem__(self, key: Any) -> None:
-        del self._index[key]
+        self._garbage_bytes += self._index.pop(key)[1]
         self._cache.pop(key, None)
 
     def keys(self) -> Iterator[Any]:
@@ -105,12 +109,21 @@ class DiskDict:
         os.replace(tmp_path, self.path)
         self._fh = open(self.path, "a+b")
         self._index = new_index
+        self._garbage_bytes = 0
 
     @property
     def file_bytes(self) -> int:
         """Current size of the backing file, garbage included."""
         self._fh.seek(0, os.SEEK_END)
         return self._fh.tell()
+
+    @property
+    def garbage_bytes(self) -> int:
+        """Dead bytes in the data file: records superseded by a later
+        ``__setitem__`` of the same key, or orphaned by
+        ``__delitem__``.  Reset to zero by :meth:`compact`; backends
+        (e.g. the sharded store) use it to trigger compaction."""
+        return self._garbage_bytes
 
     def close(self) -> None:
         """Close the backing file (idempotent)."""

@@ -24,6 +24,26 @@ class TestParser:
         assert args.n == 50
         assert args.gap == 1
 
+    def test_stable_solver_defaults_to_auto(self):
+        args = build_parser().parse_args(["stable", "posts.jsonl"])
+        assert args.solver == "auto"
+        assert args.memory_budget is None
+        assert args.explain is False
+
+    def test_solver_choices_cover_registry(self):
+        from repro.engine import solver_names
+        args = build_parser().parse_args(
+            ["stable", "posts.jsonl", "--solver", "dfs"])
+        assert args.solver == "dfs"
+        for name in solver_names():
+            build_parser().parse_args(
+                ["stable", "posts.jsonl", "--solver", name])
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stable", "posts.jsonl", "--solver", "quantum"])
+
 
 class TestCommands:
     def _write_posts(self, tmp_path):
@@ -75,6 +95,67 @@ class TestCommands:
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "BFS" in out and "DFS" in out
+
+    def test_bench_graph_reports_unified_stats(self, capsys):
+        exit_code = main(["bench-graph", "-m", "4", "-n", "15",
+                          "-d", "2", "-k", "2",
+                          "--solvers", "bfs,dfs,ta"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        # Every timed solver prints its SolverStats counters.
+        assert out.count("stats:") == 3
+        assert "nodes_processed=" in out   # BFS counters
+        assert "node_reads=" in out        # DFS counters
+        assert "sorted_accesses=" in out   # TA counters
+
+    def test_bench_graph_skips_unsupported_solver(self, capsys):
+        # TA cannot answer a partial-length query; it must be
+        # skipped with a reason, not crash the benchmark.
+        exit_code = main(["bench-graph", "-m", "4", "-n", "15",
+                          "-d", "2", "-k", "2", "--length", "2",
+                          "--solvers", "ta,bfs"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "skipped" in out
+        assert "BFS" in out
+
+    def test_explain_command(self, capsys):
+        exit_code = main(["explain", "-m", "9", "-n", "400", "-d", "5",
+                          "--memory-budget", "1"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "execution plan" in out
+        assert "solver:" in out
+        assert "estimated" in out
+        assert "1.0MiB" in out
+
+    def test_explain_flips_solver_with_budget(self, capsys):
+        main(["explain", "-m", "9", "-n", "400", "-d", "5",
+              "--length", "4"])
+        unbounded = capsys.readouterr().out
+        main(["explain", "-m", "9", "-n", "400", "-d", "5",
+              "--length", "4", "--memory-budget", "0.001"])
+        starved = capsys.readouterr().out
+        assert "solver:   bfs" in unbounded
+        assert "solver:   dfs" in starved
+
+    def test_stable_command_explain_flag(self, tmp_path, capsys):
+        exit_code = main(["stable", self._write_posts(tmp_path),
+                          "--length", "1", "-k", "2", "--explain"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "execution plan" in out
+        assert "stable path" in out
+
+    def test_stable_command_forced_solver(self, tmp_path, capsys):
+        posts = self._write_posts(tmp_path)
+        outputs = []
+        for solver in ("auto", "bfs", "dfs", "bruteforce"):
+            exit_code = main(["stable", posts, "--length", "1",
+                              "-k", "2", "--solver", solver])
+            assert exit_code == 0
+            outputs.append(capsys.readouterr().out)
+        assert len(set(outputs)) == 1  # identical answers
 
     def test_demo_command_small(self, capsys):
         exit_code = main(["demo", "--vocabulary", "800",

@@ -7,7 +7,6 @@ heap contents).  These tests check the persisted heaps against brute
 force and the engine's work counters against graph size.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import ClusterGraph, ClusterGraphBuilder
-from repro.core.cluster_graph import EPSILON
 
 
 def paper_example_graph() -> ClusterGraph:

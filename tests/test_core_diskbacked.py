@@ -6,8 +6,6 @@ read per child consideration, one random write per pop.  These tests
 pin the algorithms' disk access patterns using the accounted DiskDict.
 """
 
-import pytest
-
 from repro.core import (
     DFSStats,
     bfs_stable_clusters,

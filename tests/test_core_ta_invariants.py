@@ -2,7 +2,6 @@
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import TAStats, bruteforce_topk, ta_stable_clusters
 from repro.core.ta import TAEngine

@@ -6,7 +6,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.extsort import external_sort, merge_runs, sort_lines_file, write_runs
+from repro.extsort import (
+    external_sort,
+    merge_runs,
+    sort_lines_file,
+    write_runs,
+)
 from repro.extsort.runs import read_run
 from repro.storage import IOStats
 

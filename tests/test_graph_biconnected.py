@@ -5,7 +5,6 @@ differential-tested against networkx.
 """
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

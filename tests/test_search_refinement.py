@@ -1,7 +1,5 @@
 """Tests for the query-refinement application."""
 
-import pytest
-
 from repro.graph import KeywordCluster
 from repro.search import QueryRefiner
 

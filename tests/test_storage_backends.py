@@ -1,0 +1,140 @@
+"""StateStore backends: memory, sharded, and the open_store factory."""
+
+import pytest
+
+from repro.storage import (
+    DiskDict,
+    IOStats,
+    MemoryStore,
+    ShardedStore,
+    StateStore,
+    open_store,
+)
+
+
+class TestMemoryStore:
+    def test_mapping_roundtrip(self):
+        store = MemoryStore()
+        store["a"] = 1
+        store["b"] = 2
+        assert store["a"] == 1
+        assert store.get("c", 9) == 9
+        assert "b" in store and "c" not in store
+        assert len(store) == 2
+        assert sorted(store) == ["a", "b"]
+        assert dict(store.items()) == {"a": 1, "b": 2}
+        del store["a"]
+        assert len(store) == 1
+        store.close()  # no-op, but part of the protocol
+
+    def test_satisfies_state_store_protocol(self):
+        assert isinstance(MemoryStore(), StateStore)
+
+
+class TestDiskDictProtocol:
+    def test_diskdict_satisfies_state_store_protocol(self, tmp_path):
+        with DiskDict(str(tmp_path / "dd.bin")) as store:
+            assert isinstance(store, StateStore)
+
+
+class TestShardedStore:
+    @pytest.fixture
+    def store(self, tmp_path):
+        sharded = ShardedStore(str(tmp_path / "shards"), num_shards=4)
+        yield sharded
+        sharded.close()
+
+    def test_mapping_roundtrip(self, store):
+        keys = [(i, j) for i in range(5) for j in range(4)]
+        for idx, key in enumerate(keys):
+            store[key] = {"value": idx}
+        assert len(store) == len(keys)
+        for idx, key in enumerate(keys):
+            assert store[key] == {"value": idx}
+            assert key in store
+        assert store.get("missing") is None
+        assert sorted(store) == sorted(keys)
+        assert dict(store.items())[(0, 0)] == {"value": 0}
+        del store[(0, 0)]
+        assert (0, 0) not in store
+        assert len(store) == len(keys) - 1
+
+    def test_partitions_across_shards(self, store):
+        for i in range(64):
+            store[(i, i)] = i
+        sizes = store.shard_sizes()
+        assert len(sizes) == 4
+        assert sum(sizes.values()) == 64
+        assert sum(1 for count in sizes.values() if count > 0) >= 2
+
+    def test_same_key_routes_to_same_shard(self, store):
+        store[(3, 4)] = "first"
+        store[(3, 4)] = "second"
+        assert store[(3, 4)] == "second"
+        assert len(store) == 1
+
+    def test_shared_iostats_across_shards(self, tmp_path):
+        stats = IOStats()
+        with ShardedStore(str(tmp_path / "s"), num_shards=3,
+                          stats=stats) as store:
+            for i in range(10):
+                store[i] = {"heaps": [i] * 4}
+            assert stats.writes == 10
+            assert stats.bytes_written > 0
+
+    def test_garbage_accumulates_and_compaction_reclaims(self, store):
+        for i in range(8):
+            store[(i, 0)] = "x" * 100
+        assert store.garbage_bytes == 0
+        for i in range(8):
+            store[(i, 0)] = "y" * 100  # supersedes every record
+        assert store.garbage_bytes > 0
+        before = store.file_bytes
+        store.compact()
+        assert store.garbage_bytes == 0
+        assert store.file_bytes < before
+        for i in range(8):
+            assert store[(i, 0)] == "y" * 100
+
+    def test_auto_compaction_on_garbage_threshold(self, tmp_path):
+        with ShardedStore(str(tmp_path / "auto"), num_shards=1,
+                          compact_garbage_bytes=500) as store:
+            payload = "z" * 200
+            store["key"] = payload
+            for _ in range(20):  # each overwrite strands ~200 bytes
+                store["key"] = payload
+            assert store.compactions > 0
+            assert store.garbage_bytes <= 500
+            assert store["key"] == payload
+
+    def test_invalid_configuration_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedStore(str(tmp_path / "bad"), num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedStore(str(tmp_path / "bad2"),
+                         compact_garbage_bytes=0)
+
+
+class TestOpenStore:
+    def test_memory_spec(self):
+        assert isinstance(open_store("memory"), MemoryStore)
+
+    def test_disk_spec(self, tmp_path):
+        with open_store("disk", directory=str(tmp_path / "d")) as store:
+            assert isinstance(store, DiskDict)
+            store["k"] = 1
+            assert store["k"] == 1
+
+    def test_sharded_spec(self, tmp_path):
+        with open_store("sharded", directory=str(tmp_path / "s"),
+                        num_shards=2) as store:
+            assert isinstance(store, ShardedStore)
+            assert store.num_shards == 2
+
+    def test_disk_specs_require_directory(self):
+        with pytest.raises(ValueError, match="directory"):
+            open_store("disk")
+
+    def test_unknown_spec_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown backend"):
+            open_store("cloud", directory=str(tmp_path))

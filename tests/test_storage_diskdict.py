@@ -98,6 +98,40 @@ class TestIOAccounting:
         assert stats.writes == 2
 
 
+class TestGarbageAccounting:
+    def test_fresh_store_has_no_garbage(self, dd):
+        dd["a"] = 1
+        dd["b"] = 2
+        assert dd.garbage_bytes == 0
+
+    def test_overwrite_strands_old_record(self, dd):
+        dd["k"] = "x" * 100
+        assert dd.garbage_bytes == 0
+        dd["k"] = "y" * 100
+        assert dd.garbage_bytes > 100  # pickled blob incl. overhead
+
+    def test_delete_strands_record(self, dd):
+        dd["k"] = "x" * 100
+        del dd["k"]
+        assert dd.garbage_bytes > 100
+
+    def test_garbage_accumulates_across_mutations(self, dd):
+        dd["a"] = "x" * 50
+        dd["a"] = "y" * 50
+        after_overwrite = dd.garbage_bytes
+        dd["b"] = "z" * 50
+        del dd["b"]
+        assert dd.garbage_bytes > after_overwrite
+
+    def test_compact_resets_garbage(self, dd):
+        for _ in range(5):
+            dd["k"] = list(range(50))
+        assert dd.garbage_bytes > 0
+        dd.compact()
+        assert dd.garbage_bytes == 0
+        assert dd["k"] == list(range(50))
+
+
 class TestCompaction:
     def test_compact_shrinks_file(self, dd):
         for i in range(50):
