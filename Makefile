@@ -1,7 +1,7 @@
 PYTHON ?= python
 RUN := PYTHONPATH=src $(PYTHON)
 
-.PHONY: test bench bench-smoke lint
+.PHONY: test bench bench-smoke stream-demo lint
 
 test:
 	$(RUN) -m pytest -q
@@ -11,11 +11,20 @@ bench:
 
 # Tiny end-to-end smoke of the solver engine through the CLI: time
 # every applicable solver on a small synthetic graph and show the
-# planner's decision for a larger hypothetical one.
+# planner's decision for a larger hypothetical one.  The streaming
+# ingest benchmark runs standalone (no pytest) at smoke scale.
 bench-smoke:
 	$(RUN) -m repro.cli bench-graph -m 4 -n 30 -d 2 -k 3 --solvers bfs,dfs,ta
 	$(RUN) -m repro.cli bench-graph -m 5 -n 50 -d 2 -k 3 --gap 1 --length 3 --solvers bfs,dfs
 	$(RUN) -m repro.cli explain -m 12 -n 2000 -d 5 --gap 1 --length 6 --memory-budget 2
+	$(RUN) benchmarks/bench_streaming_ingest.py --smoke
+
+# Generate a synthetic week of posts and replay it through the
+# streaming subcommand (documents -> incremental top-k, end to end).
+STREAM_DEMO_FILE ?= /tmp/repro-stream-week.jsonl
+stream-demo:
+	$(RUN) examples/stream_corpus.py $(STREAM_DEMO_FILE)
+	$(RUN) -m repro.cli stream $(STREAM_DEMO_FILE) --length 3 -k 3 --gap 1 --follow --explain
 
 lint:
 	$(PYTHON) -m flake8 src tests benchmarks examples

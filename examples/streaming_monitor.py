@@ -1,25 +1,29 @@
 #!/usr/bin/env python3
-"""Streaming monitor: stable clusters maintained as intervals arrive.
+"""Streaming monitor: stable clusters maintained as documents arrive.
 
 The blogosphere never stops — Section 4.6's online algorithms update
 the result set as each new interval lands, without recomputing the
-past.  This example simulates a live feed: each "day", new posts
-arrive, the day's keyword clusters are generated, and the streaming
-pipeline links them to the recent window and refreshes the top-k.
+past.  This example simulates a live feed with the full document
+pipeline: each "day", new posts arrive and flow straight into
+:class:`repro.streaming.StreamingDocumentPipeline`, which clusters
+them (Section 3), links them to the recent window with the indexed
+affinity join (Section 4.1), refreshes the top-k, and evicts state
+older than ``gap + 1`` intervals — bounded memory for an unbounded
+stream.
 
 Usage::
 
     python examples/streaming_monitor.py
 """
 
-from repro.core.online import StreamingAffinityPipeline
 from repro.datagen import (
     BlogosphereGenerator,
     Event,
     EventSchedule,
     ZipfVocabulary,
 )
-from repro.pipeline import generate_interval_clusters
+from repro.storage import MemoryStore
+from repro.streaming import StreamingDocumentPipeline
 
 
 def main() -> None:
@@ -36,19 +40,21 @@ def main() -> None:
     generator = BlogosphereGenerator(vocabulary, schedule,
                                      background_posts=600, seed=32)
 
-    # Problem 1, paths of length exactly 3, gap tolerance 2.
-    monitor = StreamingAffinityPipeline(l=3, k=3, gap=2, theta=0.1)
+    # Problem 1, paths of length exactly 3, gap tolerance 2.  The
+    # store could equally be a DiskDict or ShardedStore — it only
+    # ever holds gap + 1 = 3 intervals of node state.
+    store = MemoryStore()
+    monitor = StreamingDocumentPipeline(l=3, k=3, gap=2, theta=0.1,
+                                        store=store)
 
     for day in range(6):
-        # A new day of posts arrives...
+        # A new day of posts arrives and flows into the pipeline.
         documents = generator.generate_interval(day)
-        corpus_day = _single_interval_corpus(documents, day)
-        clusters = generate_interval_clusters(corpus_day, day)
-        # ...and flows into the online pipeline.
-        monitor.add_interval(clusters)
+        report = monitor.add_documents(documents)
 
-        print(f"day {day}: {len(documents)} posts -> "
-              f"{len(clusters)} clusters")
+        print(report.describe())
+        print(f"  store: {len(store)} node states "
+              f"({len({n[0] for n in store})} intervals resident)")
         top = monitor.top_k()
         if not top:
             print("  no stable paths yet")
@@ -60,13 +66,6 @@ def main() -> None:
             if latest is not None:
                 keywords = " ".join(sorted(latest.keywords)[:6])
                 print(f"      latest keywords: {keywords}")
-
-
-def _single_interval_corpus(documents, day):
-    from repro.text.documents import IntervalCorpus
-    corpus = IntervalCorpus()
-    corpus.extend(documents)
-    return corpus
 
 
 if __name__ == "__main__":

@@ -15,8 +15,10 @@ Supporting packages: :mod:`repro.text` (tokenize/stopwords/Porter),
 (paged files, disk dicts, I/O accounting), :mod:`repro.affinity`
 (cluster overlap measures and threshold similarity join),
 :mod:`repro.datagen` (synthetic blogosphere and cluster graphs),
-:mod:`repro.baselines` (cut clustering, KwikCluster) and
-:mod:`repro.pipeline` (end-to-end driver).
+:mod:`repro.baselines` (cut clustering, KwikCluster),
+:mod:`repro.pipeline` (end-to-end batch driver) and
+:mod:`repro.streaming` (per-interval document ingestion into
+incrementally maintained top-k with bounded state).
 """
 
 __version__ = "1.0.0"

@@ -20,9 +20,14 @@ from repro.affinity.measures import (
     weighted_jaccard,
 )
 from repro.affinity.simjoin import threshold_jaccard_join
+from repro.affinity.windowjoin import (
+    STREAM_SIMJOIN_CUTOFF,
+    window_affinity_edges,
+)
 
 __all__ = [
     "AFFINITY_MEASURES",
+    "STREAM_SIMJOIN_CUTOFF",
     "dice",
     "get_measure",
     "intersection_size",
@@ -30,4 +35,5 @@ __all__ = [
     "overlap_coefficient",
     "threshold_jaccard_join",
     "weighted_jaccard",
+    "window_affinity_edges",
 ]

@@ -1,0 +1,112 @@
+"""Affinity edges between a streaming window and a new interval.
+
+The batch graph construction (:mod:`repro.core.stability`) compares
+cluster pairs either all-pairs or — for Jaccard — through the
+prefix-filter similarity join of :mod:`repro.affinity.simjoin`.  The
+streaming front ends need the same computation against the sliding
+window of the previous ``g + 1`` intervals; this module provides it
+once so online and offline paths build *identical* edge sets.
+
+Weight semantics match the batch builder's: an edge is kept when its
+affinity strictly exceeds θ, and weights must already lie in
+``(0, 1]`` (up to float slop).  The batch path can normalize an
+unbounded measure by the global maximum after seeing every edge; a
+stream cannot revisit past edges, so unbounded measures are rejected
+here instead of being silently clamped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.affinity.measures import jaccard
+from repro.affinity.simjoin import threshold_jaccard_join
+
+# Matches repro.core.cluster_graph.EPSILON (float-slop tolerance on
+# the (0, 1] weight bound); duplicated to keep affinity a leaf module.
+EPSILON = 1e-12
+
+# Engage the prefix-filter join once an interval pair implies more
+# than this many comparisons.  Streaming intervals are latency
+# sensitive, so the cutoff is far lower than the batch default (the
+# join is exact for Jaccard — the choice affects speed, not results).
+STREAM_SIMJOIN_CUTOFF = 64
+
+NodeId = Tuple[int, int]
+WindowEntry = Tuple[Sequence[NodeId], Sequence]
+
+
+def _checked(weight: float, measure: Callable) -> float:
+    if weight > 1.0 + EPSILON:
+        name = getattr(measure, "__name__", repr(measure))
+        raise ValueError(
+            f"affinity measure {name} returned {weight}, outside "
+            f"(0, 1]: a stream cannot renormalize past edges by a "
+            f"global maximum — use a bounded measure (jaccard, dice, "
+            f"overlap) or pre-normalized weights")
+    return min(weight, 1.0)
+
+
+def window_affinity_edges(window: Sequence[WindowEntry],
+                          clusters: Sequence,
+                          measure: Callable = jaccard,
+                          theta: float = 0.1,
+                          use_simjoin: Optional[bool] = None,
+                          simjoin_cutoff: int = STREAM_SIMJOIN_CUTOFF
+                          ) -> List[Tuple[NodeId, int, float]]:
+    """Edges from the recent *window* to a new interval's *clusters*.
+
+    ``window`` holds ``(node_ids, clusters)`` pairs for the previous
+    ``g + 1`` intervals, oldest first; cluster objects expose
+    ``keywords``.  Returns ``(parent_node, local_index, weight)``
+    triples with ``weight > theta``, the shape
+    :meth:`~repro.core.online.StreamingStableClusters.add_interval`
+    consumes.  ``use_simjoin`` forces the prefix-filter join on or
+    off; by default it engages for Jaccard once the whole window's
+    comparison count exceeds ``simjoin_cutoff``².  When engaged, the
+    window's clusters are joined against the new interval in a
+    *single* call — one frequency counter and one inverted index per
+    ingested interval, not one per window interval (per-interval
+    latency is the serving metric).  The join is exact only for
+    Jaccard, so forcing it on with another measure raises rather
+    than silently falling back to all-pairs.
+    """
+    if not 0.0 < theta <= 1.0:
+        raise ValueError(f"theta must be in (0, 1], got {theta}")
+    is_jaccard = measure is jaccard
+    if use_simjoin and not is_jaccard:
+        name = getattr(measure, "__name__", repr(measure))
+        raise ValueError(
+            f"use_simjoin=True requires the jaccard measure (the "
+            f"prefix-filter join is only exact for it), got {name}")
+    edges: List[Tuple[NodeId, int, float]] = []
+    if not clusters:
+        return edges
+    window_size = sum(len(old) for _, old in window)
+    engage_join = use_simjoin if use_simjoin is not None else (
+        is_jaccard
+        and window_size * len(clusters) > simjoin_cutoff ** 2)
+    if engage_join:  # only ever true for Jaccard (checked above)
+        # Concatenate the window oldest-first so edge order matches
+        # the all-pairs path (results are order-insensitive anyway).
+        owners: List[NodeId] = []
+        old_sets = []
+        for node_ids, old_clusters in window:
+            for a, old_cluster in enumerate(old_clusters):
+                owners.append(node_ids[a])
+                old_sets.append(old_cluster.keywords)
+        new_sets = [cluster.keywords for cluster in clusters]
+        for a, b, weight in threshold_jaccard_join(old_sets,
+                                                   new_sets, theta):
+            # The join is >= theta; the paper keeps > theta.
+            if weight > theta:
+                edges.append((owners[a], b, weight))
+        return edges
+    for node_ids, old_clusters in window:
+        for a, old_cluster in enumerate(old_clusters):
+            for b, cluster in enumerate(clusters):
+                weight = measure(old_cluster, cluster)
+                if weight > theta:
+                    edges.append((node_ids[a], b,
+                                  _checked(weight, measure)))
+    return edges

@@ -12,6 +12,12 @@ Subcommands:
   top-k stable paths; ``--solver`` picks the algorithm (default
   ``auto`` routes through the cost-based planner) and ``--explain``
   prints the chosen execution plan.
+* ``stream`` — replay the same JSONL input *incrementally*: each
+  interval's documents are clustered, joined against the recent
+  window, and folded into the maintained top-k (Section 4.6), with
+  node state evicted past ``gap + 1`` intervals; ``--follow`` prints
+  the evolving results per interval, ``--backend``/``--memory-budget``
+  control (or let the streaming planner pick) where node state lives.
 * ``explain`` — print the planner's decision for a described workload
   (graph shape + query) without running anything.
 * ``bench-graph`` — generate a Section 5.2 synthetic cluster graph and
@@ -26,8 +32,9 @@ imported directly.
 from __future__ import annotations
 
 import argparse
-import json
+import shutil
 import sys
+import tempfile
 import time
 from typing import List, Optional
 
@@ -44,13 +51,21 @@ from repro.engine import (
     StableQuery,
     explain as plan_query,
     get_solver,
+    plan_streaming,
     solve_report,
     solver_names,
 )
 from repro.pipeline import (
     find_stable_clusters,
     generate_interval_clusters,
+    render_path_clusters,
     render_stable_path,
+)
+from repro.storage import open_store
+from repro.streaming import (
+    StreamingDocumentPipeline,
+    interval_batches,
+    read_jsonl_documents,
 )
 from repro.text.documents import IntervalCorpus
 
@@ -102,15 +117,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def _read_corpus(path: str) -> IntervalCorpus:
     corpus = IntervalCorpus()
-    with open(path, "r", encoding="utf-8") as fh:
-        for line_no, line in enumerate(fh):
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            corpus.add_text(doc_id=record.get("id", f"doc{line_no}"),
-                            interval=int(record["interval"]),
-                            text=record["text"])
+    corpus.extend(read_jsonl_documents(path))
     return corpus
 
 
@@ -150,6 +157,107 @@ def cmd_stable(args: argparse.Namespace) -> int:
     for path in result.paths:
         print(render_stable_path(result, path))
         print()
+    return 0
+
+
+def _render_stream_path(pipeline: StreamingDocumentPipeline,
+                        path) -> str:
+    """Render one maintained path; clusters older than the window
+    have been evicted and render as such."""
+    return render_path_clusters(
+        path, pipeline.cluster_for,
+        missing="(evicted from the g + 1 window)")
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Replay a JSONL corpus interval by interval through the
+    streaming ingestion pipeline (Section 4.6 serving mode)."""
+    query = StableQuery(problem=args.problem, l=args.length,
+                        k=args.k, gap=args.gap,
+                        memory_budget=_memory_budget_bytes(args))
+    if args.solver not in ("auto", query.streaming_solver):
+        raise ValueError(
+            f"solver {args.solver!r} cannot stream "
+            f"problem={args.problem!r}; the streaming engine for it "
+            f"is {query.streaming_solver!r}")
+    all_documents = read_jsonl_documents(args.input)
+    if not all_documents:
+        print("error: no documents in input", file=sys.stderr)
+        return 2
+    first_seen = min(doc.interval for doc in all_documents)
+    num_intervals = max(doc.interval
+                        for doc in all_documents) - first_seen + 1
+
+    # Cluster the first interval up front: its cluster count is the
+    # planner's estimate of the per-interval shape (a live deployment
+    # would measure the first intervals the same way); the remaining
+    # batches are consumed lazily as the replay reaches them.
+    batches = interval_batches(all_documents)
+    first_interval, first_docs = next(batches)
+    corpus0 = IntervalCorpus()
+    corpus0.extend(first_docs)
+    clustering_started = time.perf_counter()
+    clusters0 = generate_interval_clusters(
+        corpus0, first_interval, rho_threshold=args.rho)
+    clustering_seconds = time.perf_counter() - clustering_started
+    graph_stats = GraphStats(
+        num_intervals=num_intervals,
+        max_interval_nodes=max(1, len(clusters0)),
+        avg_out_degree=0.0, gap=args.gap)
+    execution = plan_streaming(query, graph_stats)
+    if args.backend != "auto":
+        execution.backend = args.backend
+        if args.backend == "sharded" and execution.num_shards < 2:
+            execution.num_shards = 4
+        execution.reasons.append(
+            f"backend {args.backend!r} forced by --backend")
+    if args.explain:
+        print(execution.explain())
+        print()
+
+    owned_dir: Optional[str] = None
+    store = None
+    try:
+        if execution.backend != "memory":
+            state_dir = args.state_dir
+            if state_dir is None:
+                owned_dir = tempfile.mkdtemp(prefix="repro-stream-")
+                state_dir = owned_dir
+            store = open_store(
+                execution.backend, directory=state_dir,
+                num_shards=execution.num_shards,
+                compact_garbage_bytes=execution.compact_garbage_bytes)
+        pipeline = StreamingDocumentPipeline.from_query(
+            query, rho_threshold=args.rho, theta=args.theta,
+            store=store)
+
+        def emit(report) -> None:
+            if not args.follow:
+                return
+            print(report.describe())
+            for path in pipeline.top_k():
+                print(f"  {path}")
+
+        report = pipeline.add_clusters(clusters0)
+        report.num_documents = len(first_docs)
+        report.seconds_clustering = clustering_seconds
+        emit(report)
+        for interval, documents in batches:
+            emit(pipeline.add_documents(documents))
+        paths = pipeline.top_k()
+        if not paths:
+            print("no stable paths found")
+            return 1
+        if args.follow:
+            print()
+        for path in paths:
+            print(_render_stream_path(pipeline, path))
+            print()
+    finally:
+        if store is not None:
+            store.close()
+        if owned_dir is not None:
+            shutil.rmtree(owned_dir, ignore_errors=True)
     return 0
 
 
@@ -247,6 +355,44 @@ def build_parser() -> argparse.ArgumentParser:
     stable.add_argument("--explain", action="store_true",
                         help="print the execution plan before results")
     stable.set_defaults(func=cmd_stable)
+
+    stream = sub.add_parser(
+        "stream",
+        help="incremental top-k maintenance over a JSONL stream")
+    stream.add_argument("input", help="JSONL file of posts, replayed "
+                                      "interval by interval")
+    stream.add_argument("--length", type=int, default=3,
+                        help="target path length (lmin for "
+                             "--problem normalized)")
+    stream.add_argument("-k", type=int, default=5)
+    stream.add_argument("--gap", type=int, default=0)
+    stream.add_argument("--rho", type=float, default=0.2)
+    stream.add_argument("--theta", type=float, default=0.1)
+    stream.add_argument("--problem", choices=["kl", "normalized"],
+                        default="kl")
+    stream.add_argument("--solver",
+                        choices=["auto", "bfs", "normalized"],
+                        default="auto",
+                        help="streaming engine; 'auto' follows "
+                             "--problem (bfs for kl)")
+    stream.add_argument("--memory-budget", type=float, default=None,
+                        metavar="MIB",
+                        help="planner memory budget in MiB")
+    stream.add_argument("--backend",
+                        choices=["auto", "memory", "disk", "sharded"],
+                        default="auto",
+                        help="node-state backend; 'auto' lets the "
+                             "streaming planner pick")
+    stream.add_argument("--state-dir", default=None,
+                        help="directory for disk-backed state "
+                             "(default: a temporary directory)")
+    stream.add_argument("--follow", action="store_true",
+                        help="print each interval's ingest report "
+                             "and the evolving top-k")
+    stream.add_argument("--explain", action="store_true",
+                        help="print the streaming execution plan "
+                             "before replaying")
+    stream.set_defaults(func=cmd_stream)
 
     explain = sub.add_parser(
         "explain",

@@ -51,7 +51,11 @@ class BFSEngine:
     (e.g. a :class:`~repro.storage.DiskDict` or sharded store); the
     paper's Algorithm 2 saves each node's heaps to disk after
     computing them (line 17), which also enables the streaming mode of
-    Section 4.6.
+    Section 4.6.  ``evict_store=True`` deletes a node's stored heaps
+    when its interval slides out of the ``g + 1`` window, so a
+    long-running stream holds state for at most ``g + 1`` intervals
+    (batch runs default to keeping every node, preserving the
+    Algorithm-2 "saved to disk" artifact).
 
     ``window_block_nodes`` bounds how many window nodes' heaps are
     consulted per pass.  When the window exceeds the bound, an
@@ -65,6 +69,7 @@ class BFSEngine:
     def __init__(self, l: int, k: int, gap: int,
                  store: Optional[StateStore] = None,
                  window_block_nodes: Optional[int] = None,
+                 evict_store: bool = False,
                  stats: Optional[BFSStats] = None) -> None:
         if l < 1:
             raise ValueError(f"l must be >= 1, got {l}")
@@ -78,6 +83,7 @@ class BFSEngine:
         self.k = k
         self.gap = gap
         self.store = store
+        self.evict_store = evict_store
         self.window_block_nodes = window_block_nodes
         self.stats = stats if stats is not None else BFSStats()
         self.global_heap: TopK[Path] = TopK(k, key=path_key)
@@ -121,6 +127,8 @@ class BFSEngine:
             expired = self._window_intervals.popleft()
             for node in self._window_nodes.pop(expired, []):
                 self._window.pop(node, None)
+                if self.store is not None and self.evict_store:
+                    del self.store[node]
 
     def _window_blocks(self):
         """Partition the current window's nodes into memory-sized

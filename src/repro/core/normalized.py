@@ -38,6 +38,7 @@ from repro.core.cluster_graph import ClusterGraph
 from repro.core.heaps import TopK
 from repro.core.paths import NodeId, Path, edge_path
 from repro.core.solver_stats import SolverStats
+from repro.storage.backends import StateStore
 
 
 def stability_key(path: Path) -> Tuple[float, Tuple[NodeId, ...]]:
@@ -64,11 +65,22 @@ class _NodeState:
 
 
 class NormalizedBFSEngine:
-    """Sliding-window search for normalized stable clusters."""
+    """Sliding-window search for normalized stable clusters.
+
+    ``store`` may be any :class:`~repro.storage.StateStore` backend;
+    each node's ``smallpaths``/``bestpaths`` state is saved after it
+    is computed, mirroring what the BFS engine does with its heaps.
+    ``evict_store=True`` (the streaming mode) deletes stored state —
+    and prunes recorded edge weights down to the edges still
+    referenced by window paths — once an interval slides out of the
+    ``g + 1`` window, bounding memory regardless of stream length.
+    """
 
     def __init__(self, lmin: int, k: int, gap: int,
                  exact: bool = False,
                  max_best_per_node: Optional[int] = None,
+                 store: Optional[StateStore] = None,
+                 evict_store: bool = False,
                  stats: Optional[NormalizedStats] = None) -> None:
         if lmin < 1:
             raise ValueError(f"lmin must be >= 1, got {lmin}")
@@ -79,6 +91,8 @@ class NormalizedBFSEngine:
         self.gap = gap
         self.exact = exact
         self.max_best_per_node = max_best_per_node
+        self.store = store
+        self.evict_store = evict_store
         self.stats = stats if stats is not None else NormalizedStats()
         self.global_heap: TopK[Path] = TopK(k, key=stability_key)
         self._window: Dict[NodeId, _NodeState] = {}
@@ -100,16 +114,49 @@ class NormalizedBFSEngine:
         """Compute small/best path state for one interval's nodes."""
         interval_nodes = []
         for node, parent_edges in nodes_with_parents:
-            self._window[node] = self._compute_node_state(node,
-                                                          parent_edges)
+            state = self._compute_node_state(node, parent_edges)
+            self._window[node] = state
             interval_nodes.append(node)
+            if self.store is not None:
+                self.store[node] = {"small": state.small,
+                                    "best": state.best}
         self._window_intervals.append(interval)
         self._window_nodes[interval] = interval_nodes
+        evicted = False
         while (self._window_intervals
                and self._window_intervals[0] < interval - self.gap):
             expired = self._window_intervals.popleft()
             for node in self._window_nodes.pop(expired, []):
                 self._window.pop(node, None)
+                evicted = True
+                if self.store is not None and self.evict_store:
+                    del self.store[node]
+        if evicted and self.evict_store:
+            self._prune_edge_weights()
+
+    def _prune_edge_weights(self) -> None:
+        """Drop recorded edge weights no longer reachable.
+
+        Future Theorem-1 reductions only consult edges of candidate
+        paths, and every candidate extends a path held by a window
+        node (or is a brand-new edge, recorded on arrival) — so the
+        consecutive node pairs of the window's small/best paths are
+        exactly the weights worth keeping.  Without this, a
+        long-running stream's ``_edge_weights`` grows without bound.
+        """
+        live: Dict[Tuple[NodeId, NodeId], float] = {}
+        for state in self._window.values():
+            for paths in state.small.values():
+                for path in paths:
+                    self._collect_edges(path, live)
+            for path in state.best:
+                self._collect_edges(path, live)
+        self._edge_weights = live
+
+    def _collect_edges(self, path: Path,
+                       live: Dict[Tuple[NodeId, NodeId], float]) -> None:
+        for edge in zip(path.nodes, path.nodes[1:]):
+            live[edge] = self._edge_weights[edge]
 
     def _compute_node_state(self, node: NodeId,
                             parent_edges: Sequence[Tuple[NodeId, float]]
@@ -225,6 +272,7 @@ class NormalizedBFSEngine:
 def normalized_stable_clusters(graph: ClusterGraph, lmin: int, k: int,
                                exact: bool = False,
                                max_best_per_node: Optional[int] = None,
+                               store: Optional[StateStore] = None,
                                stats: Optional[NormalizedStats] = None
                                ) -> List[Path]:
     """Top-k paths of length >= *lmin* by stability (Problem 2)."""
@@ -233,6 +281,7 @@ def normalized_stable_clusters(graph: ClusterGraph, lmin: int, k: int,
     engine = NormalizedBFSEngine(lmin=lmin, k=k, gap=graph.gap,
                                  exact=exact,
                                  max_best_per_node=max_best_per_node,
+                                 store=store,
                                  stats=stats)
     for i in range(graph.num_intervals):
         engine.process_interval(

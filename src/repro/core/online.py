@@ -12,17 +12,36 @@ for both problems (kl-stable and normalized).
 push each new interval's clusters and affinity edges (or raw
 per-interval keyword clusters, letting the affinity threshold and gap
 policy of Section 4.1 build the edges), and read the current top-k at
-any time.
+any time.  Both modes honour a pluggable
+:class:`~repro.storage.StateStore` and evict stored node state once an
+interval leaves the ``gap + 1`` window, so memory (and store size)
+stays bounded no matter how long the stream runs.
+
+For raw *documents* rather than clusters or edges, see
+:class:`repro.streaming.StreamingDocumentPipeline`, which runs the
+Section-3 cluster generation per interval and feeds this module.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.affinity.windowjoin import (
+    STREAM_SIMJOIN_CUTOFF,
+    window_affinity_edges,
+)
 from repro.core.bfs import BFSEngine
+from repro.core.cluster_graph import EPSILON
 from repro.core.normalized import NormalizedBFSEngine
 from repro.core.paths import NodeId, Path
 from repro.storage.backends import StateStore
+
+# Dead bytes a disk-backed store may accumulate before the streaming
+# maintainer compacts it.  Eviction deletes keys, but an append-only
+# layout only grows — without compaction the state file would expand
+# with stream length even though the live key set is bounded.
+# Mirrors the planner's COMPACT_GARBAGE_BYTES.
+STREAM_COMPACT_GARBAGE_BYTES = 4 * 1024 * 1024
 
 
 class StreamingStableClusters:
@@ -32,21 +51,33 @@ class StreamingStableClusters:
     ``mode='normalized'`` maintains Problem 2 (length >= ``lmin``,
     score weight/length).  ``l`` is interpreted accordingly.  ``store``
     may be any :class:`~repro.storage.StateStore` backend for the
-    per-node heaps.
+    per-node state; both modes honour it, and stored state is evicted
+    with the sliding window (``evict=False`` keeps every interval, the
+    batch Algorithm-2 behaviour).  Disk-backed stores are additionally
+    compacted once their dead bytes pass *compact_garbage_bytes*
+    (``None`` disables), so the state *file* stays bounded too, not
+    just the key count.
     """
 
     def __init__(self, l: int, k: int, gap: int = 0,
                  mode: str = "kl",
-                 store: Optional[StateStore] = None) -> None:
+                 store: Optional[StateStore] = None,
+                 evict: bool = True,
+                 compact_garbage_bytes: Optional[int] =
+                 STREAM_COMPACT_GARBAGE_BYTES) -> None:
         if mode not in ("kl", "normalized"):
             raise ValueError(
                 f"mode must be 'kl' or 'normalized', got {mode!r}")
         self.mode = mode
         self.gap = gap
+        self.compact_garbage_bytes = compact_garbage_bytes
         if mode == "kl":
-            self._engine = BFSEngine(l=l, k=k, gap=gap, store=store)
+            self._engine = BFSEngine(l=l, k=k, gap=gap, store=store,
+                                     evict_store=evict)
         else:
-            self._engine = NormalizedBFSEngine(lmin=l, k=k, gap=gap)
+            self._engine = NormalizedBFSEngine(lmin=l, k=k, gap=gap,
+                                               store=store,
+                                               evict_store=evict)
         self._next_interval = 0
         self._interval_sizes: List[int] = []
 
@@ -57,14 +88,8 @@ class StreamingStableClusters:
         """Build a streaming maintainer for a
         :class:`~repro.engine.StableQuery` (full-path queries cannot
         stream — the target length must be known up front)."""
-        length = query.min_length if query.problem == "normalized" \
-            else query.l
-        if length is None:
-            raise ValueError(
-                "streaming needs a concrete length bound; full-path "
-                "queries (l=None) grow with the stream")
-        return cls(l=length, k=query.k, gap=query.gap,
-                   mode=query.problem, store=store)
+        return cls(l=query.streaming_length(), k=query.k,
+                   gap=query.gap, mode=query.problem, store=store)
 
     # ------------------------------------------------------------------
     # Feeding the stream
@@ -83,7 +108,10 @@ class StreamingStableClusters:
         ``edges`` are ``(parent_node, local_index, weight)`` where
         ``parent_node`` is a node id returned for one of the previous
         ``gap + 1`` intervals and ``local_index`` indexes this
-        interval's new clusters.  Returns the new node ids.
+        interval's new clusters.  Weights follow the batch graph's
+        semantics — ``(0, 1]`` up to float slop, clamped to 1.0 —
+        so a streamed graph and a batch-built one are identical.
+        Returns the new node ids.
         """
         interval = self._next_interval
         nodes = [(interval, j) for j in range(num_clusters)]
@@ -99,15 +127,31 @@ class StreamingStableClusters:
                 raise ValueError(
                     f"parent {parent} is {length} intervals back; the "
                     f"gap policy allows 1..{self.gap + 1}")
-            if not 0.0 < weight <= 1.0:
+            if not 0.0 < weight <= 1.0 + EPSILON:
                 raise ValueError(
                     f"affinity weight must be in (0, 1], got {weight}")
-            incoming[(interval, local_index)].append((parent, weight))
+            incoming[(interval, local_index)].append(
+                (parent, min(weight, 1.0)))
         self._engine.process_interval(
             interval, [(node, incoming[node]) for node in nodes])
+        self._maybe_compact_store()
         self._interval_sizes.append(num_clusters)
         self._next_interval += 1
         return nodes
+
+    def _maybe_compact_store(self) -> None:
+        """Compact a disk-backed store once evicted records have left
+        enough dead bytes behind (no-op for stores without a
+        garbage/compact surface, e.g. MemoryStore; a backstop for
+        sharded stores not configured to self-compact)."""
+        store = self._engine.store
+        if store is None or self.compact_garbage_bytes is None:
+            return
+        garbage = getattr(store, "garbage_bytes", None)
+        compact = getattr(store, "compact", None)
+        if garbage is not None and compact is not None \
+                and garbage > self.compact_garbage_bytes:
+            compact()
 
     # ------------------------------------------------------------------
     # Reading results
@@ -129,31 +173,42 @@ class StreamingAffinityPipeline:
     Wraps :class:`StreamingStableClusters`, computing affinity edges
     against the clusters of the previous ``gap + 1`` intervals with the
     supplied measure and threshold θ (Section 4.1's construction,
-    applied online).  Cluster objects must expose ``keywords``.
+    applied online).  Cluster objects must expose ``keywords``.  The
+    comparison uses the same inverted-keyword-index candidate join as
+    the batch graph builder once interval sizes warrant it
+    (:func:`~repro.affinity.window_affinity_edges`), not an all-pairs
+    loop, and the same weight semantics — edges above θ, weights in
+    ``(0, 1]``; an unbounded measure raises instead of being silently
+    clamped.  ``store`` is forwarded to the underlying maintainer.
     """
 
     def __init__(self, l: int, k: int, gap: int = 0,
                  affinity: Optional[Callable] = None,
                  theta: float = 0.1,
-                 mode: str = "kl") -> None:
+                 mode: str = "kl",
+                 store: Optional[StateStore] = None,
+                 use_simjoin: Optional[bool] = None,
+                 simjoin_cutoff: int = STREAM_SIMJOIN_CUTOFF) -> None:
         from repro.affinity import jaccard
         if not 0.0 < theta <= 1.0:
             raise ValueError(f"theta must be in (0, 1], got {theta}")
         self.affinity = affinity if affinity is not None else jaccard
         self.theta = theta
-        self.stream = StreamingStableClusters(l=l, k=k, gap=gap, mode=mode)
+        self.use_simjoin = use_simjoin
+        self.simjoin_cutoff = simjoin_cutoff
+        self.stream = StreamingStableClusters(l=l, k=k, gap=gap,
+                                              mode=mode, store=store)
+        self.last_num_edges = 0
         self._recent: List[Tuple[List[NodeId], List]] = []  # per interval
 
     def add_interval(self, clusters: Sequence) -> List[NodeId]:
         """Append one interval's keyword clusters; affinity edges to
         the recent window are computed here."""
-        edges: List[Tuple[NodeId, int, float]] = []
-        for node_ids, old_clusters in self._recent:
-            for parent_id, old_cluster in zip(node_ids, old_clusters):
-                for j, cluster in enumerate(clusters):
-                    weight = self.affinity(old_cluster, cluster)
-                    if weight > self.theta:
-                        edges.append((parent_id, j, min(weight, 1.0)))
+        edges = window_affinity_edges(
+            self._recent, clusters, measure=self.affinity,
+            theta=self.theta, use_simjoin=self.use_simjoin,
+            simjoin_cutoff=self.simjoin_cutoff)
+        self.last_num_edges = len(edges)
         node_ids = self.stream.add_interval(len(clusters), edges)
         self._recent.append((node_ids, list(clusters)))
         if len(self._recent) > self.stream.gap + 1:

@@ -35,6 +35,7 @@ from repro.engine.planner import (
     estimate_ta_probes,
     estimate_window_bytes,
     plan,
+    plan_streaming,
 )
 from repro.engine.query import PROBLEMS, StableQuery
 from repro.engine.solvers import (
@@ -69,6 +70,7 @@ __all__ = [
     "explain",
     "get_solver",
     "plan",
+    "plan_streaming",
     "register",
     "solve",
     "solve_report",

@@ -266,6 +266,52 @@ def plan(query: StableQuery, graph_stats: GraphStats,
     return result
 
 
+def plan_streaming(query: StableQuery, graph_stats: GraphStats,
+                   memory_budget: Optional[int] = None) -> ExecutionPlan:
+    """Pick the engine and backend for a *streaming* query.
+
+    Streaming has one incremental engine per problem (the BFS of
+    Section 4.6 for kl, the normalized sliding-window engine for
+    Problem 2), so the planner's job reduces to the storage decision.
+    Because the stream evicts node state older than ``g + 1``
+    intervals, the resident volume is the window estimate — not the
+    all-intervals annotation volume a batch DFS would pay — and the
+    backend is chosen by comparing that window to the budget:
+    in-memory when it fits, disk otherwise, sharded at volume.
+    ``graph_stats`` describes the *expected* interval shape (for a
+    live stream, measured from the first intervals seen).
+    """
+    query.streaming_length()  # raises for full-path queries
+    budget = (memory_budget if memory_budget is not None
+              else query.memory_budget)
+    window_bytes = estimate_window_bytes(query, graph_stats)
+    solver = query.streaming_solver
+    result = ExecutionPlan(solver=solver, backend="memory",
+                           estimated_window_bytes=window_bytes,
+                           memory_budget=budget, query=query,
+                           graph_stats=graph_stats)
+    result.reasons.append(
+        f"streaming query: incremental {solver} engine, store "
+        f"eviction bounds state to g + 1 = {graph_stats.gap + 1} "
+        f"intervals")
+    if budget is None or window_bytes <= budget:
+        result.reasons.append(
+            "evicted window fits the budget: node state stays "
+            "in memory")
+        return result
+    size_disk_backend(result, window_bytes)
+    # Eviction deletes keys but an append-only file only grows;
+    # streaming stores must compact whatever the layout (the sharded
+    # store self-compacts, the streaming maintainer compacts plain
+    # disk stores past this threshold).
+    result.compact_garbage_bytes = COMPACT_GARBAGE_BYTES
+    result.reasons.append(
+        f"window exceeds budget {window_bytes / budget:.1f}x: "
+        f"node state spilled to the {result.backend} backend and "
+        f"evicted as intervals expire")
+    return result
+
+
 def size_disk_backend(result: ExecutionPlan,
                       annotation_bytes: int) -> None:
     """Pick disk vs sharded layout for *annotation_bytes* of node

@@ -98,6 +98,26 @@ class StableQuery:
         return (self.problem == "kl"
                 and self.length_for(num_intervals) == num_intervals - 1)
 
+    @property
+    def streaming_solver(self) -> str:
+        """The incremental engine for this query's problem (streaming
+        has exactly one per problem — Section 4.6)."""
+        return "normalized" if self.problem == "normalized" else "bfs"
+
+    def streaming_length(self) -> int:
+        """The concrete length bound a streaming maintainer needs.
+
+        Raises when the query asks for full paths: ``l = m - 1``
+        grows with the stream, so it cannot be maintained online.
+        """
+        length = self.min_length if self.problem == "normalized" \
+            else self.l
+        if length is None:
+            raise ValueError(
+                "streaming needs a concrete length bound; full-path "
+                "queries (l=None) grow with the stream")
+        return length
+
     def with_k(self, k: int) -> "StableQuery":
         """A copy of this query asking for a different *k* (the
         diversification pool over-fetch uses this)."""

@@ -141,6 +141,7 @@ class NormalizedSolver(Solver):
 
     name = "normalized"
     problems = ("normalized",)
+    uses_backend = True
 
     def new_stats(self) -> NormalizedStats:
         """Fresh normalized-BFS counters."""
@@ -154,6 +155,7 @@ class NormalizedSolver(Solver):
             return []
         engine = NormalizedBFSEngine(lmin=lmin, k=query.k,
                                      gap=graph.gap, exact=query.exact,
+                                     store=backend,
                                      stats=stats)
         for i in range(graph.num_intervals):
             engine.process_interval(

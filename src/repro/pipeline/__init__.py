@@ -7,6 +7,7 @@ from repro.pipeline.cluster_generation import (
 from repro.pipeline.stable_pipeline import (
     StableClusterResult,
     find_stable_clusters,
+    render_path_clusters,
     render_stable_path,
 )
 
@@ -15,5 +16,6 @@ __all__ = [
     "StableClusterResult",
     "find_stable_clusters",
     "generate_interval_clusters",
+    "render_path_clusters",
     "render_stable_path",
 ]

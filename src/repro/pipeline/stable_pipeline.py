@@ -105,15 +105,33 @@ def find_stable_clusters(corpus: IntervalCorpus,
                                solver_stats=report.stats)
 
 
-def render_stable_path(result: StableClusterResult, path: Path,
-                       max_keywords: int = 8) -> str:
-    """Human-readable rendering of one stable path (for the CLI and
-    examples): one line per cluster with its interval and keywords."""
+def render_path_clusters(path: Path, cluster_lookup,
+                         max_keywords: int = 8,
+                         missing: str = "(cluster unavailable)") -> str:
+    """Human-readable rendering of one stable path: a header line and
+    one line per cluster with its interval and keywords.
+
+    ``cluster_lookup(node)`` returns the cluster behind a node or
+    ``None`` (a streaming window may have evicted it, rendered as
+    *missing*).  Batch and streaming front ends share this renderer so
+    their outputs stay byte-comparable.
+    """
     lines = [f"stable path: weight={path.weight:.3f} "
              f"length={path.length} stability={path.stability:.3f}"]
     for node in path.nodes:
-        cluster = result.cluster_graph.payload(node)
+        cluster = cluster_lookup(node)
+        if cluster is None:
+            lines.append(f"  t{node[0]}: {missing}")
+            continue
         keywords = sorted(cluster.keywords)[:max_keywords]
         suffix = " ..." if len(cluster.keywords) > max_keywords else ""
         lines.append(f"  t{node[0]}: {' '.join(keywords)}{suffix}")
     return "\n".join(lines)
+
+
+def render_stable_path(result: StableClusterResult, path: Path,
+                       max_keywords: int = 8) -> str:
+    """Human-readable rendering of one stable path (for the CLI and
+    examples): one line per cluster with its interval and keywords."""
+    return render_path_clusters(path, result.cluster_graph.payload,
+                                max_keywords=max_keywords)

@@ -1,0 +1,36 @@
+"""Streaming ingestion subsystem: documents -> incremental top-k.
+
+Section 4.6's observation — per-node heaps for a new interval need no
+past recomputation — makes the stable-cluster engines a serving tier,
+not just a batch job.  This package is the front end for that tier:
+
+* :class:`~repro.streaming.pipeline.StreamingDocumentPipeline` — raw
+  per-interval documents through Section-3 cluster generation, the
+  indexed window-affinity join, and the incremental engines, with
+  per-interval :class:`~repro.streaming.pipeline.IntervalIngestReport`
+  latency accounting;
+* :mod:`~repro.streaming.source` — JSONL interval batching shared
+  with the ``stable-clusters stream`` CLI subcommand.
+
+State is bounded: engine windows *and* any pluggable
+:class:`~repro.storage.StateStore` backend hold at most ``gap + 1``
+intervals of node state, however long the stream runs.
+"""
+
+from repro.streaming.pipeline import (
+    IntervalIngestReport,
+    StreamingDocumentPipeline,
+)
+from repro.streaming.source import (
+    interval_batches,
+    read_interval_batches,
+    read_jsonl_documents,
+)
+
+__all__ = [
+    "IntervalIngestReport",
+    "StreamingDocumentPipeline",
+    "interval_batches",
+    "read_interval_batches",
+    "read_jsonl_documents",
+]

@@ -1,0 +1,178 @@
+"""End-to-end streaming ingestion: raw documents -> incremental top-k.
+
+The batch pipeline (:func:`repro.pipeline.find_stable_clusters`) sees
+the whole corpus at once; a serving tier sees one interval at a time.
+:class:`StreamingDocumentPipeline` runs the same two stages
+incrementally: each pushed interval's documents go through Section-3
+cluster generation (co-occurrence counting, chi-square and
+correlation pruning, biconnected components), the resulting keyword
+clusters are joined against the previous ``gap + 1`` intervals with
+the inverted-keyword-index candidate join of Section 4.1, and the
+edges feed the incremental BFS engines of Section 4.6 — so after m
+intervals the maintained top-k equals what the batch pipeline computes
+over the same m-interval corpus, while resident state (and any
+:class:`~repro.storage.StateStore` backend) holds at most ``gap + 1``
+intervals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.affinity import STREAM_SIMJOIN_CUTOFF, get_measure
+from repro.cooccur.keyword_graph import RHO_DEFAULT
+from repro.core.online import StreamingAffinityPipeline
+from repro.core.paths import NodeId, Path
+from repro.core.stability import THETA_DEFAULT
+from repro.pipeline.cluster_generation import generate_interval_clusters
+from repro.storage.backends import StateStore
+from repro.text.documents import Document, IntervalCorpus
+
+
+@dataclass
+class IntervalIngestReport:
+    """What ingesting one interval cost and produced."""
+
+    interval: int = 0
+    num_documents: int = 0
+    num_clusters: int = 0
+    num_edges: int = 0
+    seconds_clustering: float = 0.0
+    seconds_linking: float = 0.0
+
+    @property
+    def seconds_total(self) -> float:
+        """Whole per-interval ingest latency."""
+        return self.seconds_clustering + self.seconds_linking
+
+    def describe(self) -> str:
+        """One status line for monitors and the CLI's --follow mode."""
+        return (f"interval {self.interval}: {self.num_documents} docs "
+                f"-> {self.num_clusters} clusters, "
+                f"{self.num_edges} edges "
+                f"({self.seconds_total * 1000:.1f}ms)")
+
+
+@dataclass
+class _PipelineConfig:
+    rho_threshold: float = RHO_DEFAULT
+    min_edges: int = 2
+    theta: float = THETA_DEFAULT
+
+
+class StreamingDocumentPipeline:
+    """Ingests per-interval documents, maintains incremental top-k.
+
+    ``problem`` selects kl-stable (``'kl'``, paths of length exactly
+    *l*) or normalized (``'normalized'``, length >= *l*, scored
+    weight/length) maintenance.  ``store`` may be any
+    :class:`~repro.storage.StateStore`; node state older than
+    ``gap + 1`` intervals is evicted from it, so the store stays
+    bounded however long the stream runs.  Per-interval costs are
+    recorded as :class:`IntervalIngestReport` objects on ``reports``.
+    """
+
+    def __init__(self, l: int, k: int, gap: int = 0,
+                 problem: str = "kl",
+                 rho_threshold: float = RHO_DEFAULT,
+                 affinity: Union[str, Callable] = "jaccard",
+                 theta: float = THETA_DEFAULT,
+                 min_edges: int = 2,
+                 store: Optional[StateStore] = None,
+                 use_simjoin: Optional[bool] = None,
+                 simjoin_cutoff: int = STREAM_SIMJOIN_CUTOFF) -> None:
+        measure = get_measure(affinity) if isinstance(affinity, str) \
+            else affinity
+        self.config = _PipelineConfig(rho_threshold=rho_threshold,
+                                      min_edges=min_edges, theta=theta)
+        self.linker = StreamingAffinityPipeline(
+            l=l, k=k, gap=gap, affinity=measure, theta=theta,
+            mode=problem, store=store, use_simjoin=use_simjoin,
+            simjoin_cutoff=simjoin_cutoff)
+        self.reports: List[IntervalIngestReport] = []
+
+    @classmethod
+    def from_query(cls, query, **kwargs) -> "StreamingDocumentPipeline":
+        """Build a document pipeline for a
+        :class:`~repro.engine.StableQuery` (keyword arguments pass
+        through to the constructor)."""
+        return cls(l=query.streaming_length(), k=query.k,
+                   gap=query.gap, problem=query.problem, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Feeding the stream
+    # ------------------------------------------------------------------
+
+    @property
+    def num_intervals(self) -> int:
+        """Intervals ingested so far."""
+        return self.linker.stream.num_intervals
+
+    def add_texts(self, texts: Sequence[str]) -> IntervalIngestReport:
+        """Ingest one interval given raw post texts."""
+        interval = self.num_intervals
+        return self.add_documents([
+            Document(doc_id=f"t{interval}.{i}", interval=interval,
+                     text=text)
+            for i, text in enumerate(texts)])
+
+    def add_documents(self, documents: Sequence[Document]
+                      ) -> IntervalIngestReport:
+        """Ingest one interval's documents (cluster, link, search).
+
+        Documents are re-homed to the stream's current interval index;
+        their own ``interval`` fields are ignored (the stream defines
+        time, not the payload).
+        """
+        interval = self.num_intervals
+        started = time.perf_counter()
+        corpus = IntervalCorpus()
+        for doc in documents:
+            if doc.interval != interval:
+                doc = dataclasses.replace(doc, interval=interval)
+            corpus.add(doc)
+        clusters = generate_interval_clusters(
+            corpus, interval,
+            rho_threshold=self.config.rho_threshold,
+            min_edges=self.config.min_edges)
+        clustered = time.perf_counter()
+        report = self.add_clusters(clusters)
+        report.num_documents = len(documents)
+        report.seconds_clustering = clustered - started
+        return report
+
+    def add_clusters(self, clusters: Sequence) -> IntervalIngestReport:
+        """Ingest one interval's pre-generated keyword clusters
+        (the document stages already ran elsewhere)."""
+        interval = self.num_intervals
+        started = time.perf_counter()
+        self.linker.add_interval(clusters)
+        finished = time.perf_counter()
+        report = IntervalIngestReport(
+            interval=interval,
+            num_clusters=len(clusters),
+            num_edges=self.linker.last_num_edges,
+            seconds_linking=finished - started)
+        self.reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Reading results
+    # ------------------------------------------------------------------
+
+    def top_k(self) -> List[Path]:
+        """Current top-k paths, best first."""
+        return self.linker.top_k()
+
+    def cluster_for(self, node: NodeId):
+        """The keyword cluster behind *node*, if its interval is still
+        within the ``gap + 1`` window (older clusters are evicted)."""
+        return self.linker.cluster_for(node)
+
+    @property
+    def stats(self):
+        """The underlying engine's work counters."""
+        return self.linker.stream.stats

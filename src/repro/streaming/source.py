@@ -1,0 +1,69 @@
+"""Interval-batched document sources for the streaming pipeline.
+
+The wire format matches the batch CLI's: one JSON object per line,
+``{"interval": 0, "text": "...", "id": "optional"}``.  A stream
+replays those records interval by interval — exactly what a tailing
+ingester would hand the pipeline, so the same file can drive both
+``stable-clusters stable`` (batch) and ``stable-clusters stream``
+(incremental) and the results can be compared.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator, List, Tuple, Union
+
+from repro.text.documents import Document
+
+
+def read_jsonl_documents(source: Union[str, IO[str]]) -> List[Document]:
+    """Parse a JSONL post file (path or open handle) into documents."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            return read_jsonl_documents(fh)
+    documents: List[Document] = []
+    for line_no, line in enumerate(source):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        documents.append(Document(
+            doc_id=str(record.get("id", f"doc{line_no}")),
+            interval=int(record["interval"]),
+            text=record["text"]))
+    return documents
+
+
+def interval_batches(documents: List[Document]
+                     ) -> Iterator[Tuple[int, List[Document]]]:
+    """Group documents into dense interval batches, oldest first.
+
+    Yields ``(interval, documents)`` for every interval from the
+    smallest seen through the largest — including *empty* intervals in
+    between, because a silent day still advances the stream clock (an
+    absent interval is what the gap policy is about).  Interval
+    numbers that look like raw timestamps (a span vastly exceeding
+    the populated count) are rejected rather than replayed as
+    millions of empty ticks.
+    """
+    if not documents:
+        return
+    by_interval: dict = {}
+    for doc in documents:
+        by_interval.setdefault(doc.interval, []).append(doc)
+    first, last = min(by_interval), max(by_interval)
+    span = last - first + 1
+    if span > max(1000, 100 * len(by_interval)):
+        raise ValueError(
+            f"interval indices span {span} ticks but only "
+            f"{len(by_interval)} are populated — they look like raw "
+            f"timestamps; renumber intervals densely (0, 1, 2, ...) "
+            f"before streaming")
+    for interval in range(first, last + 1):
+        yield interval, by_interval.get(interval, [])
+
+
+def read_interval_batches(source: Union[str, IO[str]]
+                          ) -> Iterator[Tuple[int, List[Document]]]:
+    """JSONL file (path or handle) -> dense per-interval batches."""
+    return interval_batches(read_jsonl_documents(source))

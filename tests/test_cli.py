@@ -44,6 +44,18 @@ class TestParser:
             build_parser().parse_args(
                 ["stable", "posts.jsonl", "--solver", "quantum"])
 
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream", "posts.jsonl"])
+        assert args.solver == "auto"
+        assert args.backend == "auto"
+        assert args.follow is False
+        assert args.memory_budget is None
+
+    def test_stream_rejects_batch_only_solver(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stream", "posts.jsonl", "--solver", "dfs"])
+
 
 class TestCommands:
     def _write_posts(self, tmp_path):
@@ -156,6 +168,84 @@ class TestCommands:
             assert exit_code == 0
             outputs.append(capsys.readouterr().out)
         assert len(set(outputs)) == 1  # identical answers
+
+    def _write_stream_posts(self, tmp_path, m=4):
+        lines = []
+        doc = 0
+        for interval in range(m):
+            for i in range(25):
+                lines.append({"interval": interval,
+                              "text": "beckham galaxy madrid transfer",
+                              "id": f"e{doc}"})
+                doc += 1
+            for i in range(8):
+                lines.append({"interval": interval,
+                              "text": f"filler{i} words{i} noise{doc}",
+                              "id": f"b{doc}"})
+                doc += 1
+        path = tmp_path / "stream.jsonl"
+        path.write_text("\n".join(json.dumps(x) for x in lines))
+        return str(path)
+
+    def test_stream_command(self, tmp_path, capsys):
+        exit_code = main(["stream", self._write_stream_posts(tmp_path),
+                          "--length", "2", "-k", "2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "stable path" in out
+        assert "beckham" in out
+
+    def test_stream_follow_prints_per_interval(self, tmp_path, capsys):
+        exit_code = main(["stream", self._write_stream_posts(tmp_path),
+                          "--length", "2", "-k", "2", "--follow",
+                          "--explain"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "execution plan" in out
+        assert "solver:   bfs" in out
+        assert "interval 0" in out and "interval 3" in out
+        assert "docs ->" in out
+
+    def test_stream_matches_batch_results(self, tmp_path, capsys):
+        """The streamed top-k equals the batch pipeline's over the
+        same file (the Section 4.6 claim, end to end via the CLI)."""
+        posts = self._write_stream_posts(tmp_path)
+        assert main(["stable", posts, "--length", "2", "-k", "2"]) == 0
+        batch = capsys.readouterr().out
+        assert main(["stream", posts, "--length", "2", "-k", "2"]) == 0
+        streamed = capsys.readouterr().out
+        batch_weights = [line for line in batch.splitlines()
+                         if line.startswith("stable path")]
+        stream_weights = [line for line in streamed.splitlines()
+                          if line.startswith("stable path")]
+        assert batch_weights == stream_weights
+
+    def test_stream_normalized_with_disk_backend(self, tmp_path,
+                                                 capsys):
+        state_dir = tmp_path / "state"
+        exit_code = main(["stream", self._write_stream_posts(tmp_path),
+                          "--length", "2", "-k", "2",
+                          "--problem", "normalized",
+                          "--backend", "disk",
+                          "--state-dir", str(state_dir)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "stable path" in out
+        assert (state_dir / "state.bin").exists()
+
+    def test_stream_solver_problem_mismatch(self, tmp_path, capsys):
+        exit_code = main(["stream", self._write_stream_posts(tmp_path),
+                          "--solver", "normalized"])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "cannot stream" in err
+
+    def test_stream_empty_input(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        exit_code = main(["stream", str(path)])
+        assert exit_code == 2
+        assert "no documents" in capsys.readouterr().err
 
     def test_demo_command_small(self, capsys):
         exit_code = main(["demo", "--vocabulary", "800",
