@@ -1,7 +1,7 @@
 PYTHON ?= python
 RUN := PYTHONPATH=src $(PYTHON)
 
-.PHONY: test bench bench-smoke stream-demo lint
+.PHONY: test bench bench-smoke stream-demo parallel-demo lint
 
 test:
 	$(RUN) -m pytest -q
@@ -16,8 +16,9 @@ bench:
 bench-smoke:
 	$(RUN) -m repro.cli bench-graph -m 4 -n 30 -d 2 -k 3 --solvers bfs,dfs,ta
 	$(RUN) -m repro.cli bench-graph -m 5 -n 50 -d 2 -k 3 --gap 1 --length 3 --solvers bfs,dfs
-	$(RUN) -m repro.cli explain -m 12 -n 2000 -d 5 --gap 1 --length 6 --memory-budget 2
+	$(RUN) -m repro.cli explain -m 12 -n 2000 -d 5 --gap 1 --length 6 --memory-budget 2 --workers 2
 	$(RUN) benchmarks/bench_streaming_ingest.py --smoke
+	$(RUN) benchmarks/bench_parallel_scaling.py --smoke --workers 2
 
 # Generate a synthetic week of posts and replay it through the
 # streaming subcommand (documents -> incremental top-k, end to end).
@@ -25,6 +26,13 @@ STREAM_DEMO_FILE ?= /tmp/repro-stream-week.jsonl
 stream-demo:
 	$(RUN) examples/stream_corpus.py $(STREAM_DEMO_FILE)
 	$(RUN) -m repro.cli stream $(STREAM_DEMO_FILE) --length 3 -k 3 --gap 1 --follow --explain
+
+# Fan the synthetic week's per-interval stages across two worker
+# processes, end to end through both front ends (batch + stream).
+parallel-demo:
+	$(RUN) -m repro.cli demo --workers 2
+	$(RUN) examples/stream_corpus.py $(STREAM_DEMO_FILE)
+	$(RUN) -m repro.cli stream $(STREAM_DEMO_FILE) --length 3 -k 3 --gap 1 --workers 2 --explain
 
 lint:
 	$(PYTHON) -m flake8 src tests benchmarks examples

@@ -22,6 +22,8 @@ from repro.affinity.measures import (
 from repro.affinity.simjoin import threshold_jaccard_join
 from repro.affinity.windowjoin import (
     STREAM_SIMJOIN_CUTOFF,
+    join_partition_task,
+    partition_join_payloads,
     window_affinity_edges,
 )
 
@@ -32,7 +34,9 @@ __all__ = [
     "get_measure",
     "intersection_size",
     "jaccard",
+    "join_partition_task",
     "overlap_coefficient",
+    "partition_join_payloads",
     "threshold_jaccard_join",
     "weighted_jaccard",
     "window_affinity_edges",

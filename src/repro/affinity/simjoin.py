@@ -8,18 +8,55 @@ set's tokens by ascending global frequency; a pair with
 ``|s| - ceil(t * |s|) + 1`` tokens of either set, so an inverted index
 over those prefixes yields a complete candidate set, which is then
 verified exactly.
+
+The building blocks — :func:`global_frequencies`,
+:func:`ordered_prefix`, :func:`verify_jaccard` — are public because
+the partitioned parallel join (:mod:`repro.affinity.windowjoin`)
+must compute the *identical* ordering, prefix slice, and verification
+to guarantee its per-partition results merge into exactly this join's
+output.  One implementation, two drivers.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 
 def _prefix_length(size: int, threshold: float) -> int:
     """Tokens of the ordered set that must be indexed."""
     return size - int(math.ceil(threshold * size)) + 1
+
+
+def global_frequencies(*collections: Iterable[FrozenSet[str]]
+                       ) -> Counter:
+    """Token -> occurrence count over every set of every collection
+    (the shared ordering key both join drivers must agree on)."""
+    frequency: Counter = Counter()
+    for collection in collections:
+        for item in collection:
+            frequency.update(item)
+    return frequency
+
+
+def ordered_prefix(item: FrozenSet[str], frequency: Counter,
+                   threshold: float) -> List[str]:
+    """The prefix-filter tokens of *item*: rare-first ordering (ties
+    broken lexicographically for determinism), truncated to the
+    prefix length for *threshold*.  Empty for the empty set."""
+    tokens = sorted(item, key=lambda token: (frequency[token], token))
+    if not tokens:
+        return []
+    return tokens[:_prefix_length(len(tokens), threshold)]
+
+
+def verify_jaccard(item: FrozenSet[str],
+                   other: FrozenSet[str]) -> float:
+    """Exact Jaccard similarity (0.0 when both sets are empty)."""
+    intersection = len(item & other)
+    union = len(item) + len(other) - intersection
+    return intersection / union if union else 0.0
 
 
 def threshold_jaccard_join(left: Sequence[FrozenSet[str]],
@@ -34,40 +71,21 @@ def threshold_jaccard_join(left: Sequence[FrozenSet[str]],
         raise ValueError(
             f"threshold must be in (0, 1], got {threshold}")
 
-    frequency: Counter = Counter()
-    for collection in (left, right):
-        for item in collection:
-            frequency.update(item)
-
-    def ordered(item: FrozenSet[str]) -> List[str]:
-        # Rare-first ordering minimizes index postings; ties broken
-        # lexicographically for determinism.
-        return sorted(item, key=lambda token: (frequency[token], token))
+    frequency = global_frequencies(left, right)
 
     # Inverted index over the prefixes of the right-hand collection.
     index: Dict[str, List[int]] = {}
-    right_ordered: List[List[str]] = []
     for j, item in enumerate(right):
-        tokens = ordered(item)
-        right_ordered.append(tokens)
-        if not tokens:
-            continue
-        for token in tokens[:_prefix_length(len(tokens), threshold)]:
+        for token in ordered_prefix(item, frequency, threshold):
             index.setdefault(token, []).append(j)
 
     results: List[Tuple[int, int, float]] = []
     for i, item in enumerate(left):
-        tokens = ordered(item)
-        if not tokens:
-            continue
         candidates = set()
-        for token in tokens[:_prefix_length(len(tokens), threshold)]:
+        for token in ordered_prefix(item, frequency, threshold):
             candidates.update(index.get(token, ()))
         for j in sorted(candidates):
-            other = right[j]
-            intersection = len(item & other)
-            union = len(item) + len(other) - intersection
-            similarity = intersection / union if union else 0.0
+            similarity = verify_jaccard(item, right[j])
             if similarity >= threshold:
                 results.append((i, j, similarity))
     return results

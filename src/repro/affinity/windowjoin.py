@@ -17,10 +17,24 @@ here instead of being silently clamped.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+import zlib
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.affinity.measures import jaccard
-from repro.affinity.simjoin import threshold_jaccard_join
+from repro.affinity.simjoin import (
+    global_frequencies,
+    ordered_prefix,
+    threshold_jaccard_join,
+    verify_jaccard,
+)
 
 # Matches repro.core.cluster_graph.EPSILON (float-slop tolerance on
 # the (0, 1] weight bound); duplicated to keep affinity a leaf module.
@@ -34,6 +48,106 @@ STREAM_SIMJOIN_CUTOFF = 64
 
 NodeId = Tuple[int, int]
 WindowEntry = Tuple[Sequence[NodeId], Sequence]
+
+# One partitioned-join work item: probe list (left index, its prefix
+# tokens in this partition), the partition's inverted index over the
+# right side's prefixes, the keyword sets either side needs for exact
+# verification, and the threshold.  Everything is builtin types, so
+# payloads pickle to worker processes.
+JoinPartition = Tuple[
+    List[Tuple[int, List[str]]],
+    Dict[str, List[int]],
+    Dict[int, FrozenSet[str]],
+    Dict[int, FrozenSet[str]],
+    float,
+]
+
+
+def _token_partition(token: str, num_partitions: int) -> int:
+    """Deterministic token -> partition assignment (crc32, not
+    ``hash()``, which is salted per process)."""
+    return zlib.crc32(token.encode("utf-8")) % num_partitions
+
+
+def join_partition_task(payload: JoinPartition
+                        ) -> List[Tuple[int, int, float]]:
+    """Verify one index-token partition of the prefix-filter join.
+
+    Pure and picklable: the unit of work a
+    :class:`~repro.parallel.ProcessExecutor` receives.  Candidates are
+    pairs sharing a prefix token *assigned to this partition*;
+    verification computes the exact Jaccard, so any pair this returns
+    is correct — partitioning affects only which partition(s) discover
+    it.
+    """
+    probes, postings, left_sets, right_sets, threshold = payload
+    results: List[Tuple[int, int, float]] = []
+    for i, tokens in probes:
+        candidates = set()
+        for token in tokens:
+            candidates.update(postings.get(token, ()))
+        if not candidates:
+            continue
+        item = left_sets[i]
+        for j in sorted(candidates):
+            similarity = verify_jaccard(item, right_sets[j])
+            if similarity >= threshold:
+                results.append((i, j, similarity))
+    return results
+
+
+def partition_join_payloads(left_sets: Sequence[FrozenSet[str]],
+                            right_sets: Sequence[FrozenSet[str]],
+                            threshold: float,
+                            num_partitions: int) -> List[JoinPartition]:
+    """Split the prefix-filter join into per-token-partition payloads.
+
+    Ordering and prefix lengths come from the same
+    :func:`~repro.affinity.simjoin.ordered_prefix` /
+    :func:`~repro.affinity.simjoin.global_frequencies` helpers the
+    serial join uses, computed once here against the *global* token
+    frequencies (they must agree across partitions for the prefix
+    filter to stay complete); each prefix token then routes its
+    postings and probes to ``crc32(token) % num_partitions``.  A
+    qualifying pair shares at least one prefix token, so it is
+    discovered by at least the partition that token maps to; a pair
+    sharing prefix tokens in several partitions is found by each —
+    with the same exact weight — and deduplicated on merge.  The
+    merged result is therefore *exactly* the serial join's.
+    """
+    frequency = global_frequencies(left_sets, right_sets)
+
+    def prefix(item: FrozenSet[str]) -> List[str]:
+        return ordered_prefix(item, frequency, threshold)
+
+    probes: List[List[Tuple[int, List[str]]]] = \
+        [[] for _ in range(num_partitions)]
+    postings: List[Dict[str, List[int]]] = \
+        [{} for _ in range(num_partitions)]
+    right_needed: List[set] = [set() for _ in range(num_partitions)]
+    for j, item in enumerate(right_sets):
+        for token in prefix(item):
+            p = _token_partition(token, num_partitions)
+            postings[p].setdefault(token, []).append(j)
+            right_needed[p].add(j)
+    for i, item in enumerate(left_sets):
+        by_partition: Dict[int, List[str]] = {}
+        for token in prefix(item):
+            p = _token_partition(token, num_partitions)
+            if postings[p].get(token):
+                by_partition.setdefault(p, []).append(token)
+        for p, tokens in by_partition.items():
+            probes[p].append((i, tokens))
+
+    payloads: List[JoinPartition] = []
+    for p in range(num_partitions):
+        if not probes[p]:
+            continue
+        left_slice = {i: left_sets[i] for i, _ in probes[p]}
+        right_slice = {j: right_sets[j] for j in right_needed[p]}
+        payloads.append((probes[p], postings[p], left_slice,
+                         right_slice, threshold))
+    return payloads
 
 
 def _checked(weight: float, measure: Callable) -> float:
@@ -52,7 +166,9 @@ def window_affinity_edges(window: Sequence[WindowEntry],
                           measure: Callable = jaccard,
                           theta: float = 0.1,
                           use_simjoin: Optional[bool] = None,
-                          simjoin_cutoff: int = STREAM_SIMJOIN_CUTOFF
+                          simjoin_cutoff: int = STREAM_SIMJOIN_CUTOFF,
+                          executor=None,
+                          num_partitions: Optional[int] = None
                           ) -> List[Tuple[NodeId, int, float]]:
     """Edges from the recent *window* to a new interval's *clusters*.
 
@@ -70,6 +186,12 @@ def window_affinity_edges(window: Sequence[WindowEntry],
     latency is the serving metric).  The join is exact only for
     Jaccard, so forcing it on with another measure raises rather
     than silently falling back to all-pairs.
+
+    ``executor`` (a :class:`~repro.parallel.Executor` with more than
+    one worker) additionally partitions the engaged join by index
+    token across *num_partitions* pieces (default: the executor's
+    worker count) and merges the per-partition results exactly — same
+    edges, same order, parallel wall-clock.
     """
     if not 0.0 < theta <= 1.0:
         raise ValueError(f"theta must be in (0, 1], got {theta}")
@@ -96,8 +218,20 @@ def window_affinity_edges(window: Sequence[WindowEntry],
                 owners.append(node_ids[a])
                 old_sets.append(old_cluster.keywords)
         new_sets = [cluster.keywords for cluster in clusters]
-        for a, b, weight in threshold_jaccard_join(old_sets,
-                                                   new_sets, theta):
+        if executor is not None and executor.workers > 1:
+            pieces = num_partitions or executor.workers
+            payloads = partition_join_payloads(old_sets, new_sets,
+                                               theta, pieces)
+            merged: Dict[Tuple[int, int], float] = {}
+            for results in executor.map_stages(join_partition_task,
+                                               payloads):
+                for a, b, weight in results:
+                    merged[(a, b)] = weight
+            matches = [(a, b, merged[(a, b)])
+                       for a, b in sorted(merged)]
+        else:
+            matches = threshold_jaccard_join(old_sets, new_sets, theta)
+        for a, b, weight in matches:
             # The join is >= theta; the paper keeps > theta.
             if weight > theta:
                 edges.append((owners[a], b, weight))

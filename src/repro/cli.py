@@ -102,7 +102,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(f"generated {corpus.num_documents} posts over 7 days")
     result = find_stable_clusters(corpus, l=args.length, k=args.k,
                                   gap=args.gap, problem=args.problem,
-                                  solver=args.solver)
+                                  solver=args.solver,
+                                  workers=args.workers)
     sizes = [len(c) for c in result.interval_clusters]
     print(f"clusters per day: {sizes}")
     print(f"cluster graph: {result.cluster_graph}")
@@ -147,7 +148,8 @@ def cmd_stable(args: argparse.Namespace) -> int:
                                   rho_threshold=args.rho,
                                   theta=args.theta,
                                   solver=args.solver,
-                                  memory_budget=_memory_budget_bytes(args))
+                                  memory_budget=_memory_budget_bytes(args),
+                                  workers=args.workers)
     if args.explain and result.plan is not None:
         print(result.plan.explain())
         print()
@@ -174,7 +176,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
     streaming ingestion pipeline (Section 4.6 serving mode)."""
     query = StableQuery(problem=args.problem, l=args.length,
                         k=args.k, gap=args.gap,
-                        memory_budget=_memory_budget_bytes(args))
+                        memory_budget=_memory_budget_bytes(args),
+                        workers=args.workers)
     if args.solver not in ("auto", query.streaming_solver):
         raise ValueError(
             f"solver {args.solver!r} cannot stream "
@@ -217,6 +220,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
     owned_dir: Optional[str] = None
     store = None
+    pipeline = None
     try:
         if execution.backend != "memory":
             state_dir = args.state_dir
@@ -227,6 +231,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 execution.backend, directory=state_dir,
                 num_shards=execution.num_shards,
                 compact_garbage_bytes=execution.compact_garbage_bytes)
+        # from_query forwards the query's --workers request; the
+        # plan's clamped figure is an estimate from the first
+        # interval's shape, not a cap on later (larger) intervals.
         pipeline = StreamingDocumentPipeline.from_query(
             query, rho_threshold=args.rho, theta=args.theta,
             store=store)
@@ -254,6 +261,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
             print(_render_stream_path(pipeline, path))
             print()
     finally:
+        if pipeline is not None:
+            pipeline.close()
         if store is not None:
             store.close()
         if owned_dir is not None:
@@ -269,7 +278,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     query = StableQuery(problem=args.problem, l=length,
-                        k=args.k, gap=args.gap)
+                        k=args.k, gap=args.gap, workers=args.workers)
     graph_stats = GraphStats(
         num_intervals=args.m, max_interval_nodes=args.n,
         avg_out_degree=float(args.d), gap=args.gap,
@@ -288,7 +297,16 @@ def cmd_bench_graph(args: argparse.Namespace) -> int:
                                     g=args.gap, seed=args.seed)
     print(f"graph: {graph}")
     length = args.length if args.length else graph.num_intervals - 1
-    query = StableQuery(problem="kl", l=length, k=args.k, gap=args.gap)
+    query = StableQuery(problem="kl", l=length, k=args.k, gap=args.gap,
+                        workers=args.workers)
+    if args.workers is not None:
+        # The parallel stages (generation, window join) never run
+        # here — bench-graph starts from a pre-built cluster graph —
+        # so the request only shapes the reported plan.  Say so
+        # rather than letting identical timings mislead.
+        print("note: bench-graph times solvers on a pre-built graph; "
+              "--workers affects the plan dimension only, not these "
+              "timings")
     names = [name.strip() for name in args.solvers.split(",")
              if name.strip()]
     for name in names:
@@ -306,6 +324,14 @@ def cmd_bench_graph(args: argparse.Namespace) -> int:
         print(f"{name.upper()}: {elapsed:.3f}s  top weight: {best}")
         print(f"  stats: {stats.summary()}")
     return 0
+
+
+def _add_workers_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None,
+                        metavar="N",
+                        help="parallel worker processes for the "
+                             "per-partition stages (0 = all cores; "
+                             "default: serial)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -327,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
                       default="kl")
     demo.add_argument("--solver", choices=SOLVER_CHOICES,
                       default="auto")
+    _add_workers_option(demo)
     demo.set_defaults(func=cmd_demo)
 
     clusters = sub.add_parser("clusters",
@@ -354,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="planner memory budget in MiB")
     stable.add_argument("--explain", action="store_true",
                         help="print the execution plan before results")
+    _add_workers_option(stable)
     stable.set_defaults(func=cmd_stable)
 
     stream = sub.add_parser(
@@ -392,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--explain", action="store_true",
                         help="print the streaming execution plan "
                              "before replaying")
+    _add_workers_option(stream)
     stream.set_defaults(func=cmd_stream)
 
     explain = sub.add_parser(
@@ -412,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--memory-budget", type=float, default=None,
                          metavar="MIB",
                          help="planner memory budget in MiB")
+    _add_workers_option(explain)
     explain.set_defaults(func=cmd_explain)
 
     bench = sub.add_parser("bench-graph",
@@ -426,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=1)
     bench.add_argument("--solvers", default="bfs,dfs",
                        help="comma-separated registry names to time")
+    _add_workers_option(bench)
     bench.set_defaults(func=cmd_bench_graph)
     return parser
 

@@ -10,9 +10,13 @@ keyword — exactly the scheme of Section 3, where the multiplicity of
 from __future__ import annotations
 
 from itertools import combinations
-from typing import FrozenSet, Iterable, Iterator, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Tuple
 
 Pair = Tuple[str, str]
+
+# Lines buffered per writelines() call.  One write syscall per pair
+# dominates the emission cost on big intervals; one per chunk doesn't.
+_WRITE_CHUNK_LINES = 8192
 
 
 def emit_pairs(keyword_sets: Iterable[FrozenSet[str]]) -> Iterator[Pair]:
@@ -34,10 +38,16 @@ def write_pair_file(keyword_sets: Iterable[FrozenSet[str]],
     generated").  Returns the number of lines written.
     """
     count = 0
+    buffered: List[str] = []
     with open(path, "w", encoding="utf-8") as fh:
         for u, v in emit_pairs(keyword_sets):
-            fh.write(f"{u}\t{v}\n")
-            count += 1
+            buffered.append(f"{u}\t{v}\n")
+            if len(buffered) >= _WRITE_CHUNK_LINES:
+                fh.writelines(buffered)
+                count += len(buffered)
+                buffered.clear()
+        fh.writelines(buffered)
+        count += len(buffered)
     return count
 
 

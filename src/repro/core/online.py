@@ -180,6 +180,9 @@ class StreamingAffinityPipeline:
     loop, and the same weight semantics — edges above θ, weights in
     ``(0, 1]``; an unbounded measure raises instead of being silently
     clamped.  ``store`` is forwarded to the underlying maintainer.
+    ``executor`` (a :class:`~repro.parallel.Executor`; not owned, the
+    caller closes it) partitions the engaged join by index token
+    across its workers — edges are executor-invariant.
     """
 
     def __init__(self, l: int, k: int, gap: int = 0,
@@ -188,7 +191,8 @@ class StreamingAffinityPipeline:
                  mode: str = "kl",
                  store: Optional[StateStore] = None,
                  use_simjoin: Optional[bool] = None,
-                 simjoin_cutoff: int = STREAM_SIMJOIN_CUTOFF) -> None:
+                 simjoin_cutoff: int = STREAM_SIMJOIN_CUTOFF,
+                 executor=None) -> None:
         from repro.affinity import jaccard
         if not 0.0 < theta <= 1.0:
             raise ValueError(f"theta must be in (0, 1], got {theta}")
@@ -196,6 +200,7 @@ class StreamingAffinityPipeline:
         self.theta = theta
         self.use_simjoin = use_simjoin
         self.simjoin_cutoff = simjoin_cutoff
+        self.executor = executor
         self.stream = StreamingStableClusters(l=l, k=k, gap=gap,
                                               mode=mode, store=store)
         self.last_num_edges = 0
@@ -207,7 +212,8 @@ class StreamingAffinityPipeline:
         edges = window_affinity_edges(
             self._recent, clusters, measure=self.affinity,
             theta=self.theta, use_simjoin=self.use_simjoin,
-            simjoin_cutoff=self.simjoin_cutoff)
+            simjoin_cutoff=self.simjoin_cutoff,
+            executor=self.executor)
         self.last_num_edges = len(edges)
         node_ids = self.stream.add_interval(len(clusters), edges)
         self._recent.append((node_ids, list(clusters)))

@@ -31,6 +31,7 @@ from repro.engine.engine import (
 from repro.engine.planner import (
     ExecutionPlan,
     GraphStats,
+    apply_worker_dimension,
     estimate_annotation_bytes,
     estimate_ta_probes,
     estimate_window_bytes,
@@ -64,6 +65,7 @@ __all__ = [
     "SolverStats",
     "StableQuery",
     "TASolver",
+    "apply_worker_dimension",
     "estimate_annotation_bytes",
     "estimate_ta_probes",
     "estimate_window_bytes",

@@ -24,6 +24,7 @@ from repro.engine.planner import (
     MAX_BLOCK_PASSES,
     ExecutionPlan,
     GraphStats,
+    apply_worker_dimension,
     estimate_annotation_bytes,
     estimate_window_bytes,
     plan,
@@ -83,6 +84,7 @@ def _resolve_plan(graph: ClusterGraph, query: StableQuery,
         graph_stats=graph_stats,
         memory_budget=budget)
     execution.reasons.append(f"solver {solver!r} forced by caller")
+    apply_worker_dimension(execution, query, graph_stats)
     if budget is not None and solver == "bfs" \
             and window_bytes > budget:
         window_nodes = max(

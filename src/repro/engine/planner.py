@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from repro.core.cluster_graph import ClusterGraph
 from repro.engine.query import StableQuery
+from repro.parallel import resolve_workers
 
 # Footprint model constants (CPython-ish object sizes; the estimate
 # only needs to be proportionally right, budgets are advisory).
@@ -91,6 +92,7 @@ class ExecutionPlan:
 
     solver: str
     backend: str = "memory"
+    workers: int = 1
     window_block_nodes: Optional[int] = None
     num_shards: int = 1
     compact_garbage_bytes: Optional[int] = None
@@ -122,6 +124,14 @@ class ExecutionPlan:
         if self.backend == "sharded":
             backend += f" ({self.num_shards} shards)"
         lines.append(backend)
+        if self.workers > 1:
+            # The plan fixes the degree, not the pool kind — a caller
+            # may supply a thread executor instead of the default
+            # process pool.
+            lines.append(f"  workers:  {self.workers} (pipeline "
+                         f"stages fan out in parallel)")
+        else:
+            lines.append("  workers:  serial")
         for reason in self.reasons:
             lines.append(f"  - {reason}")
         return "\n".join(lines)
@@ -189,6 +199,43 @@ def estimate_ta_probes(graph_stats: GraphStats) -> float:
         return float("inf")
 
 
+def apply_worker_dimension(result: ExecutionPlan, query: StableQuery,
+                           graph_stats: GraphStats,
+                           streaming: bool = False) -> None:
+    """Set the plan's parallel dimension from the query's ``workers``.
+
+    The unit of parallel work differs by mode: a batch run fans the
+    Section-3 generation out across the ``m`` intervals, a streaming
+    run partitions the window join's inverted index across at most
+    ``n`` clusters per ingest.  Requests beyond those unit counts
+    cannot help, so the planner clamps and says why.  ``workers=None``
+    stays serial (parallelism is opt-in — it changes wall-clock, never
+    answers, and small corpora lose to pool start-up).
+    """
+    if query.workers is None:
+        return
+    requested = resolve_workers(query.workers)
+    if streaming:
+        units = max(1, graph_stats.max_interval_nodes)
+        unit_name = "window-join partitions (<= n clusters/interval)"
+    else:
+        units = max(1, graph_stats.num_intervals)
+        unit_name = "per-interval generation tasks (m)"
+    result.workers = max(1, min(requested, units))
+    asked = "workers=auto (all cores)" if query.workers == 0 \
+        else f"workers={requested}"
+    if result.workers < requested:
+        result.reasons.append(
+            f"{asked} clamped to {result.workers}: only "
+            f"{units} {unit_name}")
+    elif result.workers > 1:
+        result.reasons.append(
+            f"{asked}: parallel stages fan out on "
+            f"{result.workers} workers over {unit_name}")
+    else:
+        result.reasons.append(f"{asked} resolves to serial")
+
+
 def plan(query: StableQuery, graph_stats: GraphStats,
          memory_budget: Optional[int] = None) -> ExecutionPlan:
     """Pick a solver and backend for *query* on a graph shaped like
@@ -213,6 +260,7 @@ def plan(query: StableQuery, graph_stats: GraphStats,
                            estimated_window_bytes=window_bytes,
                            memory_budget=budget, query=query,
                            graph_stats=graph_stats)
+    apply_worker_dimension(result, query, graph_stats)
 
     if query.problem == "normalized":
         result.solver = "normalized"
@@ -290,6 +338,7 @@ def plan_streaming(query: StableQuery, graph_stats: GraphStats,
                            estimated_window_bytes=window_bytes,
                            memory_budget=budget, query=query,
                            graph_stats=graph_stats)
+    apply_worker_dimension(result, query, graph_stats, streaming=True)
     result.reasons.append(
         f"streaming query: incremental {solver} engine, store "
         f"eviction bounds state to g + 1 = {graph_stats.gap + 1} "

@@ -32,8 +32,14 @@ class StableQuery:
 
     ``memory_budget`` (bytes; ``None`` = unbounded) is advisory input
     to the planner: it does not change answers, only which solver and
-    backend produce them.  ``exact`` disables the normalized solver's
-    Theorem-1 pruning (exponential; oracle/testing use only).
+    backend produce them.  ``workers`` is the same kind of advisory
+    input for the parallel dimension: ``None`` means serial, ``0``
+    means "all cores", a positive count requests that many — the
+    planner clamps it to the workload's parallel units and the
+    :class:`~repro.engine.planner.ExecutionPlan` reports the outcome.
+    Like the budget, it never changes answers.  ``exact`` disables
+    the normalized solver's Theorem-1 pruning (exponential;
+    oracle/testing use only).
     """
 
     problem: str = "kl"
@@ -45,6 +51,7 @@ class StableQuery:
     diverse_policy: str = "prefix-suffix"
     diverse_pool_factor: int = 10
     memory_budget: Optional[int] = None
+    workers: Optional[int] = None
     exact: bool = False
 
     def __post_init__(self) -> None:
@@ -77,6 +84,10 @@ class StableQuery:
             raise ValueError(
                 f"memory_budget must be >= 1 bytes or None, "
                 f"got {self.memory_budget}")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(
+                f"workers must be >= 0 (0 = all cores) or None, "
+                f"got {self.workers}")
 
     @property
     def min_length(self) -> Optional[int]:
@@ -137,4 +148,7 @@ class StableQuery:
             parts.append(f"diverse={self.diverse_policy}")
         if self.memory_budget is not None:
             parts.append(f"budget={self.memory_budget}B")
+        if self.workers is not None:
+            parts.append("workers=auto" if self.workers == 0
+                         else f"workers={self.workers}")
         return " ".join(parts)

@@ -3,10 +3,12 @@
 from repro.pipeline.cluster_generation import (
     ClusterGenerationReport,
     generate_interval_clusters,
+    generate_interval_clusters_task,
 )
 from repro.pipeline.stable_pipeline import (
     StableClusterResult,
     find_stable_clusters,
+    generate_corpus_clusters,
     render_path_clusters,
     render_stable_path,
 )
@@ -15,7 +17,9 @@ __all__ = [
     "ClusterGenerationReport",
     "StableClusterResult",
     "find_stable_clusters",
+    "generate_corpus_clusters",
     "generate_interval_clusters",
+    "generate_interval_clusters_task",
     "render_path_clusters",
     "render_stable_path",
 ]

@@ -6,19 +6,29 @@ read the interval's documents, build the co-occurrence triplets
 correlation-coefficient pruning, and report the biconnected components
 of the pruned graph as keyword clusters.  A report object records the
 stage-by-stage sizes the Figure 6 experiment plots.
+
+Two entry points cover the two calling shapes:
+
+* :func:`generate_interval_clusters` — the corpus-facing call the
+  batch pipeline and CLI use;
+* :func:`generate_interval_clusters_task` — the same procedure as a
+  *pure function of plain documents*, returning ``(clusters,
+  report)``.  It closes over nothing and every argument and result
+  pickles, so it is the unit of work
+  :class:`~repro.parallel.ProcessExecutor` fans out across intervals.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, fields
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cooccur.keyword_graph import KeywordGraph, PruneReport, RHO_DEFAULT
 from repro.graph.clusters import KeywordCluster, extract_clusters
 from repro.stats import CHI2_CRITICAL_95
 from repro.storage.iostats import IOStats
-from repro.text.documents import IntervalCorpus
+from repro.text.documents import Document, IntervalCorpus
 
 
 @dataclass
@@ -42,22 +52,55 @@ class ClusterGenerationReport:
         return self.seconds_counting + self.seconds_pruning \
             + self.seconds_art
 
+    @classmethod
+    def merge(cls, reports: Sequence["ClusterGenerationReport"]
+              ) -> "ClusterGenerationReport":
+        """Sum per-interval (or per-worker) reports into one row.
 
-def generate_interval_clusters(corpus: IntervalCorpus, interval: int,
-                               rho_threshold: float = RHO_DEFAULT,
-                               chi2_critical: float = CHI2_CRITICAL_95,
-                               min_edges: int = 2,
-                               include_bridge_trees: bool = False,
-                               external: bool = False,
-                               directory: Optional[str] = None,
-                               stack_budget: int = 0,
-                               stats: Optional[IOStats] = None,
-                               report: Optional[ClusterGenerationReport]
-                               = None) -> List[KeywordCluster]:
-    """Run the full Section 3 procedure for one temporal interval."""
-    documents = corpus.documents(interval)
+        Counts and stage seconds add; ``interval`` becomes the
+        smallest merged interval (the row labels a range, not one
+        tick).  Parallel runs merge each worker's report through this
+        so a fanned-out generation still yields one Figure-6 row.
+        """
+        merged = cls()
+        if not reports:
+            return merged
+        merged.interval = min(report.interval for report in reports)
+        for report in reports:
+            for spec in fields(cls):
+                if spec.name == "interval":
+                    continue
+                setattr(merged, spec.name,
+                        getattr(merged, spec.name)
+                        + getattr(report, spec.name))
+        return merged
+
+    def __add__(self, other: "ClusterGenerationReport"
+                ) -> "ClusterGenerationReport":
+        return type(self).merge([self, other])
+
+
+def generate_interval_clusters_task(
+        documents: Sequence[Document], interval: int,
+        rho_threshold: float = RHO_DEFAULT,
+        chi2_critical: float = CHI2_CRITICAL_95,
+        min_edges: int = 2,
+        include_bridge_trees: bool = False,
+        external: bool = False,
+        directory: Optional[str] = None,
+        stack_budget: int = 0,
+        stats: Optional[IOStats] = None
+) -> Tuple[List[KeywordCluster], ClusterGenerationReport]:
+    """The full Section 3 procedure as a pure, picklable unit of work.
+
+    Takes plain documents (not a corpus) and returns both the clusters
+    and the stage report, so per-interval runs can be shipped to
+    worker processes and their outputs merged.  ``stats`` is only
+    meaningful in-process (a worker's copy would mutate in vain).
+    """
+    report = ClusterGenerationReport(interval=interval)
     if not documents:
-        return []
+        return [], report
 
     started = time.perf_counter()
     keyword_sets = [doc.keywords() for doc in documents]
@@ -78,15 +121,39 @@ def generate_interval_clusters(corpus: IntervalCorpus, interval: int,
                                 spill_dir=directory, stats=stats)
     finished = time.perf_counter()
 
+    report.num_documents = len(documents)
+    report.num_keywords = graph.num_keywords
+    report.num_edges = graph.num_edges
+    report.edges_after_chi2 = prune_report.after_chi2
+    report.edges_after_rho = prune_report.after_rho
+    report.num_clusters = len(clusters)
+    report.seconds_counting = counted - started
+    report.seconds_pruning = pruned_at - counted
+    report.seconds_art = finished - pruned_at
+    return clusters, report
+
+
+def generate_interval_clusters(corpus: IntervalCorpus, interval: int,
+                               rho_threshold: float = RHO_DEFAULT,
+                               chi2_critical: float = CHI2_CRITICAL_95,
+                               min_edges: int = 2,
+                               include_bridge_trees: bool = False,
+                               external: bool = False,
+                               directory: Optional[str] = None,
+                               stack_budget: int = 0,
+                               stats: Optional[IOStats] = None,
+                               report: Optional[ClusterGenerationReport]
+                               = None) -> List[KeywordCluster]:
+    """Run the full Section 3 procedure for one temporal interval."""
+    documents = corpus.documents(interval)
+    if not documents:
+        return []
+    clusters, task_report = generate_interval_clusters_task(
+        documents, interval, rho_threshold=rho_threshold,
+        chi2_critical=chi2_critical, min_edges=min_edges,
+        include_bridge_trees=include_bridge_trees, external=external,
+        directory=directory, stack_budget=stack_budget, stats=stats)
     if report is not None:
-        report.interval = interval
-        report.num_documents = len(documents)
-        report.num_keywords = graph.num_keywords
-        report.num_edges = graph.num_edges
-        report.edges_after_chi2 = prune_report.after_chi2
-        report.edges_after_rho = prune_report.after_rho
-        report.num_clusters = len(clusters)
-        report.seconds_counting = counted - started
-        report.seconds_pruning = pruned_at - counted
-        report.seconds_art = finished - pruned_at
+        for spec in fields(ClusterGenerationReport):
+            setattr(report, spec.name, getattr(task_report, spec.name))
     return clusters

@@ -10,7 +10,8 @@ paths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Union
+from functools import partial
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.cooccur.keyword_graph import RHO_DEFAULT
 from repro.core.cluster_graph import ClusterGraph
@@ -19,11 +20,12 @@ from repro.core.solver_stats import SolverStats
 from repro.core.stability import THETA_DEFAULT, build_cluster_graph
 from repro.engine import ExecutionPlan, StableQuery, solve_report
 from repro.graph.clusters import KeywordCluster
+from repro.parallel import Executor, open_executor, resolve_workers
 from repro.pipeline.cluster_generation import (
     ClusterGenerationReport,
-    generate_interval_clusters,
+    generate_interval_clusters_task,
 )
-from repro.text.documents import IntervalCorpus
+from repro.text.documents import Document, IntervalCorpus
 
 
 @dataclass
@@ -43,6 +45,54 @@ class StableClusterResult:
         return [self.cluster_graph.payload(node).keywords
                 for node in path.nodes]
 
+    def generation_summary(self) -> ClusterGenerationReport:
+        """All per-interval (per-worker) generation reports merged
+        into one Figure-6 row."""
+        return ClusterGenerationReport.merge(self.generation_reports)
+
+
+def _generation_stage(item: Tuple[int, List[Document]],
+                      **options) -> Tuple[List[KeywordCluster],
+                                          ClusterGenerationReport]:
+    """One executor work item: ``(interval, documents)`` in, clusters
+    and report out.  Module-level (plus :func:`functools.partial` for
+    the options) so it ships to worker processes."""
+    interval, documents = item
+    return generate_interval_clusters_task(documents, interval,
+                                           **options)
+
+
+def generate_corpus_clusters(corpus: IntervalCorpus,
+                             rho_threshold: float = RHO_DEFAULT,
+                             min_edges: int = 2,
+                             external: bool = False,
+                             directory: Optional[str] = None,
+                             executor: Union[int, Executor, None] = None
+                             ) -> Tuple[List[List[KeywordCluster]],
+                                        List[ClusterGenerationReport]]:
+    """Section 3 over every populated interval, fanned out on
+    *executor* — an :class:`~repro.parallel.Executor` (used as-is), a
+    worker count (a process pool is opened and closed around the
+    call), or ``None`` for serial.
+
+    Intervals are independent units of work — each one's co-occurrence
+    counts, pruning, and biconnected components read only its own
+    documents — so results are identical whatever the executor; only
+    wall-clock changes.  Returns the per-interval cluster lists and
+    reports, both in ``corpus.interval_indices`` order.
+    """
+    intervals = corpus.interval_indices
+    items = [(interval, corpus.documents(interval))
+             for interval in intervals]
+    stage = partial(_generation_stage, rho_threshold=rho_threshold,
+                    min_edges=min_edges, external=external,
+                    directory=directory)
+    with open_executor(executor) as pool:
+        outputs = pool.map_stages(stage, items)
+    interval_clusters = [clusters for clusters, _ in outputs]
+    reports = [report for _, report in outputs]
+    return interval_clusters, reports
+
 
 def find_stable_clusters(corpus: IntervalCorpus,
                          l: int, k: int, gap: int = 0,
@@ -56,7 +106,8 @@ def find_stable_clusters(corpus: IntervalCorpus,
                          diverse: bool = False,
                          diverse_policy: str = "prefix-suffix",
                          solver: str = "auto",
-                         memory_budget: Optional[int] = None
+                         memory_budget: Optional[int] = None,
+                         workers: Union[int, Executor, None] = None
                          ) -> StableClusterResult:
     """Run the complete two-stage pipeline over *corpus*.
 
@@ -73,26 +124,36 @@ def find_stable_clusters(corpus: IntervalCorpus,
     from the graph's shape and *memory_budget* (bytes); the chosen
     :class:`~repro.engine.ExecutionPlan` and the solver's unified
     work counters are returned on the result.
+
+    ``workers`` parallelizes the per-interval generation stage: an
+    int fans it out on a process pool of that size (``0`` = all
+    cores), an :class:`~repro.parallel.Executor` instance is used
+    as-is (and left open).  Results are executor-invariant.
     """
+    worker_count = workers.workers if isinstance(workers, Executor) \
+        else workers
     query = StableQuery(problem=problem, l=l, k=k, gap=gap,
                         diverse=diverse,
                         diverse_policy=diverse_policy,
-                        memory_budget=memory_budget)
+                        memory_budget=memory_budget,
+                        workers=worker_count)
 
-    intervals = corpus.interval_indices
-    if not intervals:
+    if not corpus.interval_indices:
         raise ValueError("corpus has no populated intervals")
 
-    interval_clusters: List[List[KeywordCluster]] = []
-    reports: List[ClusterGenerationReport] = []
-    for interval in intervals:
-        report = ClusterGenerationReport()
-        clusters = generate_interval_clusters(
-            corpus, interval, rho_threshold=rho_threshold,
-            min_edges=min_edges, external=external, directory=directory,
-            report=report)
-        interval_clusters.append(clusters)
-        reports.append(report)
+    # Execute what the plan will report: a worker-count request is
+    # clamped to the m per-interval generation tasks (the planner
+    # applies the same rule to the same m, so ExecutionPlan.workers
+    # matches the pool that actually ran).  An explicit Executor
+    # instance is the caller's to size.
+    executor = workers
+    if workers is not None and not isinstance(workers, Executor):
+        executor = max(1, min(resolve_workers(workers),
+                              len(corpus.interval_indices)))
+
+    interval_clusters, reports = generate_corpus_clusters(
+        corpus, rho_threshold=rho_threshold, min_edges=min_edges,
+        external=external, directory=directory, executor=executor)
 
     graph = build_cluster_graph(interval_clusters, affinity=affinity,
                                 theta=theta, gap=gap)

@@ -27,9 +27,13 @@ from repro.cooccur.keyword_graph import RHO_DEFAULT
 from repro.core.online import StreamingAffinityPipeline
 from repro.core.paths import NodeId, Path
 from repro.core.stability import THETA_DEFAULT
-from repro.pipeline.cluster_generation import generate_interval_clusters
+from repro.parallel import Executor, executor_for
+from repro.pipeline.cluster_generation import (
+    ClusterGenerationReport,
+    generate_interval_clusters_task,
+)
 from repro.storage.backends import StateStore
-from repro.text.documents import Document, IntervalCorpus
+from repro.text.documents import Document
 
 
 @dataclass
@@ -73,6 +77,13 @@ class StreamingDocumentPipeline:
     ``gap + 1`` intervals is evicted from it, so the store stays
     bounded however long the stream runs.  Per-interval costs are
     recorded as :class:`IntervalIngestReport` objects on ``reports``.
+
+    ``workers`` parallelizes the per-interval window join (partitioned
+    by index token, merged exactly): an int opens a process pool of
+    that size (``0`` = all cores) owned by this pipeline — call
+    :meth:`close` (or use the pipeline as a context manager) when
+    done; an :class:`~repro.parallel.Executor` instance is used as-is
+    and left open.  Maintained top-k is worker-invariant.
     """
 
     def __init__(self, l: int, k: int, gap: int = 0,
@@ -83,22 +94,42 @@ class StreamingDocumentPipeline:
                  min_edges: int = 2,
                  store: Optional[StateStore] = None,
                  use_simjoin: Optional[bool] = None,
-                 simjoin_cutoff: int = STREAM_SIMJOIN_CUTOFF) -> None:
+                 simjoin_cutoff: int = STREAM_SIMJOIN_CUTOFF,
+                 workers: Union[int, Executor, None] = None) -> None:
         measure = get_measure(affinity) if isinstance(affinity, str) \
             else affinity
         self.config = _PipelineConfig(rho_threshold=rho_threshold,
                                       min_edges=min_edges, theta=theta)
+        self._owns_executor = not isinstance(workers, Executor)
+        self.executor = executor_for(workers)
         self.linker = StreamingAffinityPipeline(
             l=l, k=k, gap=gap, affinity=measure, theta=theta,
             mode=problem, store=store, use_simjoin=use_simjoin,
-            simjoin_cutoff=simjoin_cutoff)
+            simjoin_cutoff=simjoin_cutoff,
+            executor=self.executor if self.executor.workers > 1
+            else None)
         self.reports: List[IntervalIngestReport] = []
+        self.generation_reports: List[ClusterGenerationReport] = []
+
+    def close(self) -> None:
+        """Release the owned worker pool (no-op when serial or when
+        an external executor was supplied)."""
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "StreamingDocumentPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @classmethod
     def from_query(cls, query, **kwargs) -> "StreamingDocumentPipeline":
         """Build a document pipeline for a
         :class:`~repro.engine.StableQuery` (keyword arguments pass
-        through to the constructor)."""
+        through to the constructor).  The query's ``workers`` request
+        is honoured unless *kwargs* overrides it."""
+        kwargs.setdefault("workers", query.workers)
         return cls(l=query.streaming_length(), k=query.k,
                    gap=query.gap, problem=query.problem, **kwargs)
 
@@ -129,16 +160,15 @@ class StreamingDocumentPipeline:
         """
         interval = self.num_intervals
         started = time.perf_counter()
-        corpus = IntervalCorpus()
-        for doc in documents:
-            if doc.interval != interval:
-                doc = dataclasses.replace(doc, interval=interval)
-            corpus.add(doc)
-        clusters = generate_interval_clusters(
-            corpus, interval,
+        rehomed = [doc if doc.interval == interval
+                   else dataclasses.replace(doc, interval=interval)
+                   for doc in documents]
+        clusters, generation = generate_interval_clusters_task(
+            rehomed, interval,
             rho_threshold=self.config.rho_threshold,
             min_edges=self.config.min_edges)
         clustered = time.perf_counter()
+        self.generation_reports.append(generation)
         report = self.add_clusters(clusters)
         report.num_documents = len(documents)
         report.seconds_clustering = clustered - started
@@ -171,6 +201,12 @@ class StreamingDocumentPipeline:
         """The keyword cluster behind *node*, if its interval is still
         within the ``gap + 1`` window (older clusters are evicted)."""
         return self.linker.cluster_for(node)
+
+    def generation_summary(self) -> ClusterGenerationReport:
+        """Every ingested interval's Section-3 stage report merged
+        into one Figure-6 row (document-fed intervals only;
+        :meth:`add_clusters` skips the generation stage)."""
+        return ClusterGenerationReport.merge(self.generation_reports)
 
     @property
     def stats(self):

@@ -9,14 +9,53 @@ algorithm for suffix stripping", *Program* 14(3), 1980.
 
 from __future__ import annotations
 
-from typing import Dict
+from functools import lru_cache
+from typing import Dict, Optional
 
 _VOWELS = "aeiou"
 
+# Natural-language corpora follow Zipf's law: an interval re-stems the
+# same few thousand distinct tokens over and over, so a modest memo
+# absorbs nearly every call.  Sized for a day-scale interval
+# vocabulary; per-instance, so worker processes never share state.
+STEM_CACHE_SIZE = 32768
+
 
 class PorterStemmer:
-    """Stateless Porter stemmer; use :meth:`stem` or the module-level
-    :func:`stem` helper."""
+    """Porter stemmer; use :meth:`stem` or the module-level
+    :func:`stem` helper.
+
+    The algorithm itself is stateless; each instance keeps an LRU memo
+    of ``word -> stem`` (*cache_size* entries; ``0``/``None`` disables
+    it), because corpora re-stem the same tokens thousands of times
+    per interval.  Cached and uncached results are identical by
+    construction — the memo wraps the pure suffix-stripping pipeline.
+    """
+
+    def __init__(self, cache_size: Optional[int] = STEM_CACHE_SIZE
+                 ) -> None:
+        self._cache_size = cache_size
+        if cache_size:
+            self._cached_stem = lru_cache(maxsize=cache_size)(
+                self._stem_uncached)
+        else:
+            self._cached_stem = self._stem_uncached
+
+    def __getstate__(self):
+        """Pickle the configuration, not the memo: an ``lru_cache``
+        wrapper over a bound method cannot pickle, and a worker
+        process warms its own cache anyway."""
+        return {"cache_size": self._cache_size}
+
+    def __setstate__(self, state) -> None:
+        """Rebuild the (empty) memo from the pickled configuration."""
+        self.__init__(state["cache_size"])
+
+    def cache_info(self):
+        """The memo's ``functools`` hit/miss counters (``None`` when
+        the cache is disabled)."""
+        info = getattr(self._cached_stem, "cache_info", None)
+        return info() if info is not None else None
 
     # ------------------------------------------------------------------
     # Measure and shape predicates.  A word is viewed as [C](VC)^m[V];
@@ -178,6 +217,9 @@ class PorterStemmer:
 
     def stem(self, word: str) -> str:
         """Return the Porter stem of *word* (assumed lowercase)."""
+        return self._cached_stem(word)
+
+    def _stem_uncached(self, word: str) -> str:
         if len(word) <= 2:
             return word
         word = self._step1a(word)

@@ -12,6 +12,12 @@ _WORD_RE = re.compile(r"[a-z0-9]+(?:['\-][a-z0-9]+)*")
 MIN_TOKEN_LENGTH = 2
 MAX_TOKEN_LENGTH = 40
 
+# The per-call validation below skips the default bound, so the
+# default itself must be valid — checked once, at import.
+if MIN_TOKEN_LENGTH < 1:
+    raise ValueError(
+        f"MIN_TOKEN_LENGTH must be >= 1, got {MIN_TOKEN_LENGTH}")
+
 
 def tokenize(text: str, min_length: int = MIN_TOKEN_LENGTH,
              max_length: int = MAX_TOKEN_LENGTH) -> List[str]:
@@ -23,7 +29,9 @@ def tokenize(text: str, min_length: int = MIN_TOKEN_LENGTH,
     are kept — dates and model numbers ("2007", "9/11" pieces) are
     real blogosphere keywords.
     """
-    if min_length < 1:
+    # The default bound is validated once at import (above); per-call
+    # validation applies only to caller-supplied bounds.
+    if min_length != MIN_TOKEN_LENGTH and min_length < 1:
         raise ValueError(f"min_length must be >= 1, got {min_length}")
     tokens = _WORD_RE.findall(text.lower())
     return [t for t in tokens if min_length <= len(t) <= max_length]

@@ -56,6 +56,16 @@ class TestPairFile:
         assert len(pairs) == count
         assert sorted(pairs) == sorted(emit_pairs(DOCS))
 
+    def test_roundtrip_across_write_buffer_boundary(self, tmp_path):
+        # One 140-keyword document emits 140 + C(140, 2) = 9870 pairs,
+        # past the writelines chunk size, so both the flushed chunks
+        # and the final partial chunk are exercised.
+        big = [frozenset(f"kw{i:03d}" for i in range(140))]
+        path = str(tmp_path / "big-pairs.tsv")
+        count = write_pair_file(big, path)
+        assert count == 140 + (140 * 139) // 2
+        assert list(read_pair_file(path)) == list(emit_pairs(big))
+
 
 class TestAggregation:
     def test_sorted_aggregation(self):

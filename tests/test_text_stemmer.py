@@ -142,3 +142,51 @@ class TestEdgeCases:
         assert s._measure("oats") == 1
         assert s._measure("oaten") == 2    # Porter's paper lists m=2
         assert s._measure("troubles") == 2
+
+
+class TestStemMemo:
+    """The LRU memo must be a pure speedup: identical results."""
+
+    WORDS = ["caresses", "ponies", "feed", "agreed", "plastered",
+             "motoring", "happy", "relational", "conditional",
+             "vietnamization", "triplicate", "formative", "revival",
+             "allowance", "inference", "galaxies", "somalia",
+             "features", "iphone", "touchscreen"]
+
+    def test_cached_and_uncached_agree(self):
+        cached = PorterStemmer()
+        uncached = PorterStemmer(cache_size=0)
+        for word in self.WORDS * 3:  # repeats exercise cache hits
+            assert cached.stem(word) == uncached.stem(word)
+
+    def test_cache_records_hits_on_repeats(self):
+        stemmer = PorterStemmer()
+        for word in self.WORDS:
+            stemmer.stem(word)
+        misses_after_first_pass = stemmer.cache_info().misses
+        for word in self.WORDS:
+            stemmer.stem(word)
+        info = stemmer.cache_info()
+        assert info.misses == misses_after_first_pass
+        assert info.hits >= len(self.WORDS)
+
+    def test_disabled_cache_has_no_counters(self):
+        assert PorterStemmer(cache_size=0).cache_info() is None
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=20))
+    def test_memo_transparent_property(self, word):
+        assert PorterStemmer().stem(word) == \
+            PorterStemmer(cache_size=0).stem(word)
+
+    def test_stemmer_pickles_despite_memo(self):
+        # Objects holding a stemmer may be shipped to worker
+        # processes; the memo must not break that (it is dropped and
+        # rebuilt empty on unpickle).
+        import pickle
+        original = PorterStemmer()
+        original.stem("relational")
+        revived = pickle.loads(pickle.dumps(original))
+        for word in self.WORDS:
+            assert revived.stem(word) == original.stem(word)
+        assert revived.cache_info() is not None
