@@ -19,6 +19,7 @@ bench-smoke:
 	$(RUN) -m repro.cli explain -m 12 -n 2000 -d 5 --gap 1 --length 6 --memory-budget 2 --workers 2
 	$(RUN) benchmarks/bench_streaming_ingest.py --smoke
 	$(RUN) benchmarks/bench_parallel_scaling.py --smoke --workers 2
+	$(RUN) benchmarks/bench_vocab_interning.py --smoke
 
 # Generate a synthetic week of posts and replay it through the
 # streaming subcommand (documents -> incremental top-k, end to end).

@@ -75,7 +75,9 @@ def figure6_scale_corpus(intervals: int = INTERVALS,
 
 
 def _cluster_signature(interval_clusters):
-    return [frozenset(c.keywords for c in interval)
+    # Positional, not set-collapsed: duplicate clusters and ordering
+    # differences must fail the equivalence assertion too.
+    return [[c.keywords for c in interval]
             for interval in interval_clusters]
 
 

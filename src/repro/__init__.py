@@ -11,8 +11,11 @@ Two-stage pipeline over temporally ordered text:
    the kl-stable and normalized stable cluster problems.
 
 Supporting packages: :mod:`repro.text` (tokenize/stopwords/Porter),
+:mod:`repro.vocab` (keyword interning — the pipeline computes on
+integer ids end-to-end and decodes to strings at the rendering edge),
 :mod:`repro.extsort` (external merge sort), :mod:`repro.storage`
-(paged files, disk dicts, I/O accounting), :mod:`repro.affinity`
+(paged files, disk dicts, I/O accounting, the compact varint
+node-state codec), :mod:`repro.affinity`
 (cluster overlap measures and threshold similarity join),
 :mod:`repro.datagen` (synthetic blogosphere and cluster graphs),
 :mod:`repro.baselines` (cut clustering, KwikCluster),
@@ -34,12 +37,15 @@ from repro.core import (
 )
 from repro.cooccur import KeywordGraph
 from repro.graph import KeywordCluster, extract_clusters
+from repro.vocab import FrozenVocabulary, Vocabulary
 
 __all__ = [
     "ClusterGraph",
+    "FrozenVocabulary",
     "KeywordCluster",
     "KeywordGraph",
     "Path",
+    "Vocabulary",
     "__version__",
     "bfs_stable_clusters",
     "build_cluster_graph",

@@ -12,8 +12,11 @@ with prefix filtering.
 
 from repro.affinity.measures import (
     AFFINITY_MEASURES,
+    collection_token_sets,
+    comparison_sets,
     dice,
     get_measure,
+    intersection_count,
     intersection_size,
     jaccard,
     overlap_coefficient,
@@ -30,8 +33,11 @@ from repro.affinity.windowjoin import (
 __all__ = [
     "AFFINITY_MEASURES",
     "STREAM_SIMJOIN_CUTOFF",
+    "collection_token_sets",
+    "comparison_sets",
     "dice",
     "get_measure",
+    "intersection_count",
     "intersection_size",
     "jaccard",
     "join_partition_task",

@@ -1,15 +1,24 @@
 """Set-overlap affinity measures between keyword clusters.
 
-All measures accept two objects exposing ``keywords`` (a frozenset) —
+All measures accept two objects exposing the cluster token surface —
 in practice :class:`~repro.graph.clusters.KeywordCluster` — or plain
 sets.  Jaccard, Dice and the overlap coefficient are bounded in
 ``[0, 1]``; intersection size is unbounded and must be normalized
 before use as a cluster-graph edge weight (the builder does this).
+
+This module owns the **one** similarity implementation every layer
+delegates to (``KeywordCluster.jaccard`` included).  Interned clusters
+carry sorted integer-id token tuples; two clusters bound to the *same*
+vocabulary compare by their id sets (machine-int hashing, no string
+work), while mixed pairings — different vocabularies, a plain string
+set against a cluster — transparently fall back to the decoded
+keyword strings, so the measures never silently intersect ids from
+unrelated vocabularies.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Union
+from typing import Callable, Dict, List, Tuple, Union
 
 ClusterLike = Union[frozenset, set, "KeywordClusterLike"]
 
@@ -19,23 +28,103 @@ def _keywords(cluster) -> frozenset:
     return keywords
 
 
+def _is_id_set(tokens) -> bool:
+    """True for a non-empty plain set of interned ids (all ints)."""
+    return (isinstance(tokens, (frozenset, set)) and bool(tokens)
+            and all(isinstance(token, int) for token in tokens))
+
+
+def comparison_sets(a: ClusterLike, b: ClusterLike
+                    ) -> Tuple[frozenset, frozenset]:
+    """The pair of token sets two cluster-likes compare by.
+
+    Same-vocabulary interned clusters yield their id sets; clusters of
+    *different* vocabularies yield decoded keyword-string sets, so ids
+    from unrelated vocabularies are never intersected.  Two plain sets
+    pass through unchanged (their tokens share one namespace by
+    definition).  A plain set against a cluster compares by what the
+    set holds: strings against the decoded keywords, interned ids
+    against the cluster's id set — read in the cluster's vocabulary,
+    the only namespace they can mean (e.g. a
+    :meth:`Document.keyword_ids` result); an id set against a cluster
+    *without* a vocabulary raises rather than silently intersecting
+    ids with strings.
+    """
+    a_is_set = isinstance(a, (frozenset, set))
+    b_is_set = isinstance(b, (frozenset, set))
+    if a_is_set and b_is_set:
+        return a, b
+    if a_is_set or b_is_set:
+        plain, cluster = (a, b) if a_is_set else (b, a)
+        if _is_id_set(plain):
+            if getattr(cluster, "vocab", None) is None:
+                raise ValueError(
+                    f"cannot compare a set of interned ids against "
+                    f"{cluster!r}: it has no vocabulary to resolve "
+                    f"them — decode the ids or intern the cluster")
+            pair = plain, cluster.token_set
+        else:
+            pair = plain, _keywords(cluster)
+        return pair if a_is_set else (pair[1], pair[0])
+    if getattr(a, "vocab", None) is getattr(b, "vocab", None):
+        ta = getattr(a, "token_set", None)
+        tb = getattr(b, "token_set", None)
+        if ta is not None and tb is not None:
+            return ta, tb
+    return _keywords(a), _keywords(b)
+
+
+def _token_set(cluster) -> frozenset:
+    if isinstance(cluster, (frozenset, set)):
+        return cluster
+    token_set = getattr(cluster, "token_set", None)
+    return token_set if token_set is not None else _keywords(cluster)
+
+
+def collection_token_sets(*collections) -> List[List[frozenset]]:
+    """Joinable token-set forms for whole cluster collections.
+
+    The similarity joins index and intersect every set of every
+    collection against each other, so the sets must share one token
+    namespace: when every cluster is bound to the same vocabulary
+    (or none is interned at all) the id/token sets are used directly;
+    any mix falls back to decoded keyword strings.
+    """
+    vocabs = set()
+    for collection in collections:
+        for cluster in collection:
+            vocabs.add(getattr(cluster, "vocab", None))
+    if len(vocabs) <= 1:
+        return [[_token_set(cluster) for cluster in collection]
+                for collection in collections]
+    return [[_keywords(cluster) for cluster in collection]
+            for collection in collections]
+
+
+def intersection_count(a: ClusterLike, b: ClusterLike) -> int:
+    """``|a ∩ b|`` as an int — the primitive every measure builds on."""
+    ka, kb = comparison_sets(a, b)
+    return len(ka & kb)
+
+
 def jaccard(a: ClusterLike, b: ClusterLike) -> float:
     """|a ∩ b| / |a ∪ b| (the paper's qualitative-study choice)."""
-    ka, kb = _keywords(a), _keywords(b)
-    union = len(ka | kb)
+    ka, kb = comparison_sets(a, b)
+    intersection = len(ka & kb)
+    union = len(ka) + len(kb) - intersection
     if union == 0:
         return 0.0
-    return len(ka & kb) / union
+    return intersection / union
 
 
 def intersection_size(a: ClusterLike, b: ClusterLike) -> float:
     """|a ∩ b| — unbounded; normalize before use as an edge weight."""
-    return float(len(_keywords(a) & _keywords(b)))
+    return float(intersection_count(a, b))
 
 
 def dice(a: ClusterLike, b: ClusterLike) -> float:
     """2|a ∩ b| / (|a| + |b|)."""
-    ka, kb = _keywords(a), _keywords(b)
+    ka, kb = comparison_sets(a, b)
     denominator = len(ka) + len(kb)
     if denominator == 0:
         return 0.0
@@ -44,11 +133,18 @@ def dice(a: ClusterLike, b: ClusterLike) -> float:
 
 def overlap_coefficient(a: ClusterLike, b: ClusterLike) -> float:
     """|a ∩ b| / min(|a|, |b|)."""
-    ka, kb = _keywords(a), _keywords(b)
+    ka, kb = comparison_sets(a, b)
     smaller = min(len(ka), len(kb))
     if smaller == 0:
         return 0.0
     return len(ka & kb) / smaller
+
+
+def _edge_weights(cluster) -> Dict[tuple, float]:
+    """A cluster's weighted edge set keyed comparably across
+    representations (id pairs when interned vocabularies match is not
+    knowable here per-cluster, so keys are decoded pairs)."""
+    return {(u, v): w for u, v, w in getattr(cluster, "edges", ())}
 
 
 def weighted_jaccard(a: ClusterLike, b: ClusterLike) -> float:
@@ -61,8 +157,8 @@ def weighted_jaccard(a: ClusterLike, b: ClusterLike) -> float:
     (the canonical weighted-Jaccard).  Falls back to plain Jaccard on
     keyword sets when either cluster carries no edges.
     """
-    edges_a = {(u, v): w for u, v, w in getattr(a, "edges", ())}
-    edges_b = {(u, v): w for u, v, w in getattr(b, "edges", ())}
+    edges_a = _edge_weights(a)
+    edges_b = _edge_weights(b)
     if not edges_a or not edges_b:
         return jaccard(a, b)
     keys = set(edges_a) | set(edges_b)

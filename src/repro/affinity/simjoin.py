@@ -9,6 +9,13 @@ set's tokens by ascending global frequency; a pair with
 over those prefixes yields a complete candidate set, which is then
 verified exactly.
 
+Tokens are any hashable, mutually orderable values: interned keyword
+ids (the production path — machine-int hashing and comparison) or
+strings.  One collection must stay in one token namespace; frequency
+tie-breaks differ between representations, which can reorder
+prefixes but never changes the verified result set (the join is
+exact).
+
 The building blocks — :func:`global_frequencies`,
 :func:`ordered_prefix`, :func:`verify_jaccard` — are public because
 the partitioned parallel join (:mod:`repro.affinity.windowjoin`)
@@ -21,7 +28,10 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, \
+    Tuple
+
+Token = Hashable
 
 
 def _prefix_length(size: int, threshold: float) -> int:
@@ -29,7 +39,7 @@ def _prefix_length(size: int, threshold: float) -> int:
     return size - int(math.ceil(threshold * size)) + 1
 
 
-def global_frequencies(*collections: Iterable[FrozenSet[str]]
+def global_frequencies(*collections: Iterable[FrozenSet[Token]]
                        ) -> Counter:
     """Token -> occurrence count over every set of every collection
     (the shared ordering key both join drivers must agree on)."""
@@ -40,8 +50,8 @@ def global_frequencies(*collections: Iterable[FrozenSet[str]]
     return frequency
 
 
-def ordered_prefix(item: FrozenSet[str], frequency: Counter,
-                   threshold: float) -> List[str]:
+def ordered_prefix(item: FrozenSet[Token], frequency: Counter,
+                   threshold: float) -> List[Token]:
     """The prefix-filter tokens of *item*: rare-first ordering (ties
     broken lexicographically for determinism), truncated to the
     prefix length for *threshold*.  Empty for the empty set."""
@@ -51,16 +61,16 @@ def ordered_prefix(item: FrozenSet[str], frequency: Counter,
     return tokens[:_prefix_length(len(tokens), threshold)]
 
 
-def verify_jaccard(item: FrozenSet[str],
-                   other: FrozenSet[str]) -> float:
+def verify_jaccard(item: FrozenSet[Token],
+                   other: FrozenSet[Token]) -> float:
     """Exact Jaccard similarity (0.0 when both sets are empty)."""
     intersection = len(item & other)
     union = len(item) + len(other) - intersection
     return intersection / union if union else 0.0
 
 
-def threshold_jaccard_join(left: Sequence[FrozenSet[str]],
-                           right: Sequence[FrozenSet[str]],
+def threshold_jaccard_join(left: Sequence[FrozenSet[Token]],
+                           right: Sequence[FrozenSet[Token]],
                            threshold: float
                            ) -> List[Tuple[int, int, float]]:
     """All (left_index, right_index, jaccard) with jaccard >= threshold.
@@ -74,7 +84,7 @@ def threshold_jaccard_join(left: Sequence[FrozenSet[str]],
     frequency = global_frequencies(left, right)
 
     # Inverted index over the prefixes of the right-hand collection.
-    index: Dict[str, List[int]] = {}
+    index: Dict[Token, List[int]] = {}
     for j, item in enumerate(right):
         for token in ordered_prefix(item, frequency, threshold):
             index.setdefault(token, []).append(j)

@@ -28,8 +28,9 @@ from typing import (
     Tuple,
 )
 
-from repro.affinity.measures import jaccard
+from repro.affinity.measures import collection_token_sets, jaccard
 from repro.affinity.simjoin import (
+    Token,
     global_frequencies,
     ordered_prefix,
     threshold_jaccard_join,
@@ -52,20 +53,24 @@ WindowEntry = Tuple[Sequence[NodeId], Sequence]
 # One partitioned-join work item: probe list (left index, its prefix
 # tokens in this partition), the partition's inverted index over the
 # right side's prefixes, the keyword sets either side needs for exact
-# verification, and the threshold.  Everything is builtin types, so
-# payloads pickle to worker processes.
+# verification, and the threshold.  Everything is builtin types —
+# interned id sets on the production path, so payloads pickle to
+# worker processes without a single keyword string.
 JoinPartition = Tuple[
-    List[Tuple[int, List[str]]],
-    Dict[str, List[int]],
-    Dict[int, FrozenSet[str]],
-    Dict[int, FrozenSet[str]],
+    List[Tuple[int, List[Token]]],
+    Dict[Token, List[int]],
+    Dict[int, FrozenSet[Token]],
+    Dict[int, FrozenSet[Token]],
     float,
 ]
 
 
-def _token_partition(token: str, num_partitions: int) -> int:
-    """Deterministic token -> partition assignment (crc32, not
-    ``hash()``, which is salted per process)."""
+def _token_partition(token: Token, num_partitions: int) -> int:
+    """Deterministic token -> partition assignment.  Interned ids
+    route by value; strings by crc32 (not ``hash()``, which is salted
+    per process)."""
+    if isinstance(token, int):
+        return token % num_partitions
     return zlib.crc32(token.encode("utf-8")) % num_partitions
 
 
@@ -96,8 +101,8 @@ def join_partition_task(payload: JoinPartition
     return results
 
 
-def partition_join_payloads(left_sets: Sequence[FrozenSet[str]],
-                            right_sets: Sequence[FrozenSet[str]],
+def partition_join_payloads(left_sets: Sequence[FrozenSet[Token]],
+                            right_sets: Sequence[FrozenSet[Token]],
                             threshold: float,
                             num_partitions: int) -> List[JoinPartition]:
     """Split the prefix-filter join into per-token-partition payloads.
@@ -108,7 +113,8 @@ def partition_join_payloads(left_sets: Sequence[FrozenSet[str]],
     serial join uses, computed once here against the *global* token
     frequencies (they must agree across partitions for the prefix
     filter to stay complete); each prefix token then routes its
-    postings and probes to ``crc32(token) % num_partitions``.  A
+    postings and probes to :func:`_token_partition` (``id %
+    num_partitions`` for interned ids, crc32 for strings).  A
     qualifying pair shares at least one prefix token, so it is
     discovered by at least the partition that token maps to; a pair
     sharing prefix tokens in several partitions is found by each —
@@ -117,12 +123,12 @@ def partition_join_payloads(left_sets: Sequence[FrozenSet[str]],
     """
     frequency = global_frequencies(left_sets, right_sets)
 
-    def prefix(item: FrozenSet[str]) -> List[str]:
+    def prefix(item: FrozenSet[Token]) -> List[Token]:
         return ordered_prefix(item, frequency, threshold)
 
-    probes: List[List[Tuple[int, List[str]]]] = \
+    probes: List[List[Tuple[int, List[Token]]]] = \
         [[] for _ in range(num_partitions)]
-    postings: List[Dict[str, List[int]]] = \
+    postings: List[Dict[Token, List[int]]] = \
         [{} for _ in range(num_partitions)]
     right_needed: List[set] = [set() for _ in range(num_partitions)]
     for j, item in enumerate(right_sets):
@@ -131,7 +137,7 @@ def partition_join_payloads(left_sets: Sequence[FrozenSet[str]],
             postings[p].setdefault(token, []).append(j)
             right_needed[p].add(j)
     for i, item in enumerate(left_sets):
-        by_partition: Dict[int, List[str]] = {}
+        by_partition: Dict[int, List[Token]] = {}
         for token in prefix(item):
             p = _token_partition(token, num_partitions)
             if postings[p].get(token):
@@ -211,13 +217,16 @@ def window_affinity_edges(window: Sequence[WindowEntry],
     if engage_join:  # only ever true for Jaccard (checked above)
         # Concatenate the window oldest-first so edge order matches
         # the all-pairs path (results are order-insensitive anyway).
+        # Token sets are interned ids when window and new clusters
+        # share one vocabulary, decoded strings otherwise.
         owners: List[NodeId] = []
-        old_sets = []
+        old_clusters_flat = []
         for node_ids, old_clusters in window:
             for a, old_cluster in enumerate(old_clusters):
                 owners.append(node_ids[a])
-                old_sets.append(old_cluster.keywords)
-        new_sets = [cluster.keywords for cluster in clusters]
+                old_clusters_flat.append(old_cluster)
+        old_sets, new_sets = collection_token_sets(
+            old_clusters_flat, list(clusters))
         if executor is not None and executor.workers > 1:
             pieces = num_partitions or executor.workers
             payloads = partition_join_payloads(old_sets, new_sets,

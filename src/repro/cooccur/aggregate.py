@@ -1,15 +1,21 @@
-"""Aggregation of sorted keyword pairs into co-occurrence triplets."""
+"""Aggregation of sorted keyword pairs into co-occurrence triplets.
+
+Tokens are generic (interned integer ids on the production path,
+strings wherever callers pass raw keyword sets); both aggregate
+identically — the external sort just compares ints faster and spills
+smaller run records.
+"""
 
 from __future__ import annotations
 
 from itertools import groupby
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
-from repro.cooccur.pairs import Pair, emit_pairs
+from repro.cooccur.pairs import Pair, Token, emit_pairs
 from repro.extsort import external_sort
 from repro.storage.iostats import IOStats
 
-Triplet = Tuple[str, str, int]
+Triplet = Tuple[Token, Token, int]
 
 
 def aggregate_sorted_pairs(pairs: Iterable[Pair]) -> Iterator[Triplet]:
@@ -23,7 +29,7 @@ def aggregate_sorted_pairs(pairs: Iterable[Pair]) -> Iterator[Triplet]:
         yield (pair[0], pair[1], count)
 
 
-def count_pairs_external(keyword_sets: Iterable[FrozenSet[str]],
+def count_pairs_external(keyword_sets: Iterable[FrozenSet[Token]],
                          max_records: int = 200_000,
                          directory: Optional[str] = None,
                          stats: Optional[IOStats] = None
@@ -38,7 +44,7 @@ def count_pairs_external(keyword_sets: Iterable[FrozenSet[str]],
     return aggregate_sorted_pairs(sorted_pairs)
 
 
-def count_pairs_in_memory(keyword_sets: Iterable[FrozenSet[str]]
+def count_pairs_in_memory(keyword_sets: Iterable[FrozenSet[Token]]
                           ) -> Dict[Pair, int]:
     """Hash-aggregate the pair stream entirely in memory.
 

@@ -4,7 +4,9 @@
 ``A(u, v)`` and the collection size ``n``, and applies the two pruning
 stages of Section 3 (chi-square at 95%, then ρ > 0.2) to produce the
 correlation-weighted graph ``G'`` on which biconnected components are
-computed.
+computed.  Keywords are generic tokens: the production pipeline
+builds the graph over interned integer ids (see :mod:`repro.vocab`);
+raw string sets work identically.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.cooccur.aggregate import (
+    Token,
     Triplet,
     count_pairs_external,
     count_pairs_in_memory,
@@ -45,8 +48,8 @@ class KeywordGraph:
             raise ValueError(
                 f"num_documents must be positive, got {num_documents}")
         self.num_documents = num_documents
-        self._node_counts: Dict[str, int] = {}
-        self._edge_counts: Dict[Tuple[str, str], int] = {}
+        self._node_counts: Dict[Token, int] = {}
+        self._edge_counts: Dict[Tuple[Token, Token], int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -71,7 +74,7 @@ class KeywordGraph:
         return graph
 
     @classmethod
-    def from_keyword_sets(cls, keyword_sets: Iterable[FrozenSet[str]],
+    def from_keyword_sets(cls, keyword_sets: Iterable[FrozenSet[Token]],
                           external: bool = False,
                           directory: Optional[str] = None,
                           max_records: int = 200_000,
@@ -110,15 +113,15 @@ class KeywordGraph:
         """Distinct co-occurring pairs (edges of G)."""
         return len(self._edge_counts)
 
-    def keywords(self) -> Iterator[str]:
+    def keywords(self) -> Iterator[Token]:
         """Iterate over the vertex set."""
         return iter(self._node_counts)
 
-    def count(self, u: str) -> int:
+    def count(self, u: Token) -> int:
         """A(u): documents containing keyword *u*."""
         return self._node_counts.get(u, 0)
 
-    def pair_count(self, u: str, v: str) -> int:
+    def pair_count(self, u: Token, v: Token) -> int:
         """A(u, v): documents containing both keywords."""
         if u == v:
             return self.count(u)
@@ -130,12 +133,12 @@ class KeywordGraph:
         for (u, v), count in self._edge_counts.items():
             yield (u, v, count)
 
-    def chi_square(self, u: str, v: str) -> float:
+    def chi_square(self, u: Token, v: Token) -> float:
         """Formula 1 statistic for the pair ``(u, v)``."""
         return chi_square(self.count(u), self.count(v),
                           self.pair_count(u, v), self.num_documents)
 
-    def correlation(self, u: str, v: str) -> float:
+    def correlation(self, u: Token, v: Token) -> float:
         """Formula 3 correlation coefficient for the pair ``(u, v)``."""
         return correlation_coefficient(self.count(u), self.count(v),
                                        self.pair_count(u, v),

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Union
 
-from repro.affinity import get_measure, jaccard, threshold_jaccard_join
+from repro.affinity import (
+    collection_token_sets,
+    get_measure,
+    jaccard,
+    threshold_jaccard_join,
+)
 from repro.core.cluster_graph import ClusterGraph, ClusterGraphBuilder
 
 THETA_DEFAULT = 0.1
@@ -80,8 +85,9 @@ def _all_pairs_edges(builder, node_ids, i, j, left, right, measure,
 
 
 def _join_edges(builder, node_ids, i, j, left, right, theta) -> None:
-    left_sets = [cluster.keywords for cluster in left]
-    right_sets = [cluster.keywords for cluster in right]
+    # Interned id sets when both intervals share one vocabulary,
+    # decoded keyword strings otherwise — the join is exact either way.
+    left_sets, right_sets = collection_token_sets(left, right)
     for a, b, weight in threshold_jaccard_join(left_sets, right_sets,
                                                theta):
         # The join is >= theta; the paper keeps affinities > theta.

@@ -100,6 +100,10 @@ class ExecutionPlan:
     memory_budget: Optional[int] = None
     query: Optional[StableQuery] = None
     graph_stats: Optional[GraphStats] = None
+    # Interned-keyword count of the run's corpus vocabulary; filled in
+    # by pipelines once generation has run (the planner cannot know it
+    # up front).  None = no vocabulary measured for this plan.
+    vocab_size: Optional[int] = None
     reasons: List[str] = field(default_factory=list)
 
     def explain(self) -> str:
@@ -109,6 +113,10 @@ class ExecutionPlan:
             lines.append(f"  query:    {self.query.describe()}")
         if self.graph_stats is not None:
             lines.append(f"  graph:    {self.graph_stats.describe()}")
+        if self.vocab_size is not None:
+            lines.append(f"  vocab:    {self.vocab_size} interned "
+                         f"keywords (ids end-to-end, strings decoded "
+                         f"at the edge)")
         lines.append(
             f"  window:   ~{_human_bytes(self.estimated_window_bytes)} "
             f"estimated (Section 4 model)")

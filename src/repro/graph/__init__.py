@@ -14,7 +14,11 @@ from repro.graph.biconnected import (
     articulation_points,
     biconnected_components,
 )
-from repro.graph.clusters import KeywordCluster, extract_clusters
+from repro.graph.clusters import (
+    KeywordCluster,
+    compact_clusters,
+    extract_clusters,
+)
 from repro.graph.components import connected_components
 
 __all__ = [
@@ -23,6 +27,7 @@ __all__ = [
     "KeywordCluster",
     "articulation_points",
     "biconnected_components",
+    "compact_clusters",
     "connected_components",
     "extract_clusters",
 ]

@@ -25,10 +25,15 @@ from dataclasses import dataclass, fields
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cooccur.keyword_graph import KeywordGraph, PruneReport, RHO_DEFAULT
-from repro.graph.clusters import KeywordCluster, extract_clusters
+from repro.graph.clusters import (
+    KeywordCluster,
+    compact_clusters,
+    extract_clusters,
+)
 from repro.stats import CHI2_CRITICAL_95
 from repro.storage.iostats import IOStats
 from repro.text.documents import Document, IntervalCorpus
+from repro.vocab import Vocabulary
 
 
 @dataclass
@@ -95,15 +100,28 @@ def generate_interval_clusters_task(
 
     Takes plain documents (not a corpus) and returns both the clusters
     and the stage report, so per-interval runs can be shipped to
-    worker processes and their outputs merged.  ``stats`` is only
-    meaningful in-process (a worker's copy would mutate in vain).
+    worker processes and their outputs merged.  The whole procedure
+    computes on interned keyword ids: documents are interned into an
+    interval-local vocabulary (new tokens in sorted order, so id
+    order mirrors lexicographic keyword order and the run is
+    positionally identical to a string-token run), counting, pruning
+    and biconnected components operate on int pairs, and the reported
+    clusters come back bound to a minimal
+    :class:`~repro.vocab.FrozenVocabulary` — a pickled result ships
+    each surviving keyword string once, not once per cluster.
+    Drivers rebind the clusters into their corpus vocabulary
+    (:meth:`~repro.graph.clusters.KeywordCluster.rebind`).  ``stats``
+    is only meaningful in-process (a worker's copy would mutate in
+    vain).
     """
     report = ClusterGenerationReport(interval=interval)
     if not documents:
         return [], report
 
     started = time.perf_counter()
-    keyword_sets = [doc.keywords() for doc in documents]
+    vocab = Vocabulary()
+    keyword_sets = vocab.intern_sets(
+        doc.keywords() for doc in documents)
     graph = KeywordGraph.from_keyword_sets(
         keyword_sets, external=external, directory=directory, stats=stats)
     counted = time.perf_counter()
@@ -114,11 +132,11 @@ def generate_interval_clusters_task(
                          report=prune_report)
     pruned_at = time.perf_counter()
 
-    clusters = extract_clusters(pruned, interval=interval,
-                                min_edges=min_edges,
-                                include_bridge_trees=include_bridge_trees,
-                                stack_budget=stack_budget,
-                                spill_dir=directory, stats=stats)
+    clusters = compact_clusters(extract_clusters(
+        pruned, interval=interval, min_edges=min_edges,
+        include_bridge_trees=include_bridge_trees,
+        stack_budget=stack_budget,
+        spill_dir=directory, stats=stats, vocab=vocab))
     finished = time.perf_counter()
 
     report.num_documents = len(documents)

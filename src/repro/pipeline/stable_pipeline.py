@@ -26,6 +26,7 @@ from repro.pipeline.cluster_generation import (
     generate_interval_clusters_task,
 )
 from repro.text.documents import Document, IntervalCorpus
+from repro.vocab import Vocabulary
 
 
 @dataclass
@@ -39,6 +40,7 @@ class StableClusterResult:
         field(default_factory=list)
     plan: Optional[ExecutionPlan] = None
     solver_stats: Optional[SolverStats] = None
+    vocabulary: Optional[Vocabulary] = None
 
     def path_keywords(self, path: Path) -> List[frozenset]:
         """The keyword sets along one stable path."""
@@ -67,7 +69,8 @@ def generate_corpus_clusters(corpus: IntervalCorpus,
                              min_edges: int = 2,
                              external: bool = False,
                              directory: Optional[str] = None,
-                             executor: Union[int, Executor, None] = None
+                             executor: Union[int, Executor, None] = None,
+                             vocab: Optional[Vocabulary] = None
                              ) -> Tuple[List[List[KeywordCluster]],
                                         List[ClusterGenerationReport]]:
     """Section 3 over every populated interval, fanned out on
@@ -78,8 +81,12 @@ def generate_corpus_clusters(corpus: IntervalCorpus,
     Intervals are independent units of work — each one's co-occurrence
     counts, pruning, and biconnected components read only its own
     documents — so results are identical whatever the executor; only
-    wall-clock changes.  Returns the per-interval cluster lists and
-    reports, both in ``corpus.interval_indices`` order.
+    wall-clock changes.  Each task returns clusters interned against
+    its own interval-local snapshot; they are rebound here, in
+    interval order, into one corpus vocabulary (*vocab*, created when
+    not supplied) — id assignment therefore depends only on corpus
+    content, never on the executor.  Returns the per-interval cluster
+    lists and reports, both in ``corpus.interval_indices`` order.
     """
     intervals = corpus.interval_indices
     items = [(interval, corpus.documents(interval))
@@ -89,7 +96,10 @@ def generate_corpus_clusters(corpus: IntervalCorpus,
                     directory=directory)
     with open_executor(executor) as pool:
         outputs = pool.map_stages(stage, items)
-    interval_clusters = [clusters for clusters, _ in outputs]
+    if vocab is None:
+        vocab = Vocabulary()
+    interval_clusters = [[cluster.rebind(vocab) for cluster in clusters]
+                         for clusters, _ in outputs]
     reports = [report for _, report in outputs]
     return interval_clusters, reports
 
@@ -151,19 +161,23 @@ def find_stable_clusters(corpus: IntervalCorpus,
         executor = max(1, min(resolve_workers(workers),
                               len(corpus.interval_indices)))
 
+    vocab = Vocabulary()
     interval_clusters, reports = generate_corpus_clusters(
         corpus, rho_threshold=rho_threshold, min_edges=min_edges,
-        external=external, directory=directory, executor=executor)
+        external=external, directory=directory, executor=executor,
+        vocab=vocab)
 
     graph = build_cluster_graph(interval_clusters, affinity=affinity,
                                 theta=theta, gap=gap)
     report = solve_report(graph, query, solver=solver)
+    report.plan.vocab_size = len(vocab)
     return StableClusterResult(interval_clusters=interval_clusters,
                                cluster_graph=graph,
                                paths=report.paths,
                                generation_reports=reports,
                                plan=report.plan,
-                               solver_stats=report.stats)
+                               solver_stats=report.stats,
+                               vocabulary=vocab)
 
 
 def render_path_clusters(path: Path, cluster_lookup,

@@ -12,8 +12,9 @@ primitives those implementations use:
   :class:`~repro.storage.pager.BufferPool` — a fixed-size-page file
   with an LRU buffer pool.
 * :class:`~repro.storage.diskdict.DiskDict` — a disk-backed record
-  store mapping keys to pickled values (used for per-node heaps and
-  ``maxweight``/``bestpaths`` annotations).
+  store mapping keys to serialized values (used for per-node heaps and
+  ``maxweight``/``bestpaths`` annotations), written by default with
+  the compact varint codec of :mod:`repro.storage.codec`.
 * :class:`~repro.storage.spillstack.SpillableStack` — a stack whose
   bottom spills to disk beyond a memory budget (Algorithm 1's edge
   stack "can be efficiently paged to secondary storage").
@@ -31,6 +32,11 @@ from repro.storage.backends import (
     StateStore,
     open_store,
 )
+from repro.storage.codec import (
+    decode_record,
+    encode_compact,
+    encode_pickle,
+)
 from repro.storage.diskdict import DiskDict
 from repro.storage.iostats import IOStats
 from repro.storage.pager import BufferPool, Page, PagedFile
@@ -41,6 +47,9 @@ __all__ = [
     "BufferPool",
     "DiskDict",
     "IOStats",
+    "decode_record",
+    "encode_compact",
+    "encode_pickle",
     "MemoryStore",
     "Page",
     "PagedFile",

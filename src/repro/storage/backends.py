@@ -134,7 +134,8 @@ class ShardedStore:
     def __init__(self, directory: str, num_shards: int = 4,
                  cache_size: int = 0,
                  compact_garbage_bytes: Optional[int] = None,
-                 stats: Optional[IOStats] = None) -> None:
+                 stats: Optional[IOStats] = None,
+                 codec: str = "compact") -> None:
         if num_shards < 1:
             raise ValueError(
                 f"num_shards must be >= 1, got {num_shards}")
@@ -151,7 +152,8 @@ class ShardedStore:
         self.compactions = 0
         self._shards = [
             DiskDict(os.path.join(directory, f"shard-{i:03d}.bin"),
-                     cache_size=cache_size, stats=self.stats)
+                     cache_size=cache_size, stats=self.stats,
+                     codec=codec)
             for i in range(num_shards)]
 
     def _shard_for(self, key: Any) -> DiskDict:
@@ -234,12 +236,15 @@ class ShardedStore:
 def open_store(spec: str, directory: Optional[str] = None,
                num_shards: int = 4, cache_size: int = 0,
                compact_garbage_bytes: Optional[int] = None,
-               stats: Optional[IOStats] = None):
+               stats: Optional[IOStats] = None,
+               codec: str = "compact"):
     """Build a :class:`StateStore` from a planner backend spec.
 
     ``"memory"`` ignores *directory*; ``"disk"`` opens one DiskDict at
     ``directory/state.bin``; ``"sharded"`` opens a
-    :class:`ShardedStore` under *directory*.
+    :class:`ShardedStore` under *directory*.  ``codec`` selects the
+    disk-backed record serializer (see
+    :class:`~repro.storage.diskdict.DiskDict`).
     """
     if spec == "memory":
         return MemoryStore()
@@ -248,11 +253,12 @@ def open_store(spec: str, directory: Optional[str] = None,
     if spec == "disk":
         os.makedirs(directory, exist_ok=True)
         return DiskDict(os.path.join(directory, "state.bin"),
-                        cache_size=cache_size, stats=stats)
+                        cache_size=cache_size, stats=stats,
+                        codec=codec)
     if spec == "sharded":
         return ShardedStore(directory, num_shards=num_shards,
                             cache_size=cache_size,
                             compact_garbage_bytes=compact_garbage_bytes,
-                            stats=stats)
+                            stats=stats, codec=codec)
     raise ValueError(
         f"unknown backend spec {spec!r}; expected one of {BACKEND_SPECS}")

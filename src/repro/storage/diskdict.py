@@ -15,10 +15,10 @@ log-structured store); :meth:`compact` rewrites the live records.
 from __future__ import annotations
 
 import os
-import pickle
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from repro.storage.codec import decode_record, encoder_for
 from repro.storage.iostats import IOStats
 
 
@@ -28,12 +28,21 @@ class DiskDict:
     Every ``__getitem__`` that misses the cache costs one random read;
     every ``__setitem__`` costs one random write (append).  This is the
     cost model the paper charges the DFS algorithm with.
+
+    ``codec`` selects the record serializer: ``"compact"`` (the
+    default) writes the varint encoding of
+    :mod:`repro.storage.codec` — much smaller for the engines'
+    id-heavy node state — and ``"pickle"`` forces plain pickling.
+    Records are self-describing, so reads never need the setting.
     """
 
     def __init__(self, path: str, cache_size: int = 0,
-                 stats: Optional[IOStats] = None) -> None:
+                 stats: Optional[IOStats] = None,
+                 codec: str = "compact") -> None:
         self.path = path
         self.stats = stats if stats is not None else IOStats()
+        self.codec = codec
+        self._encode = encoder_for(codec)
         self._index: Dict[Any, Tuple[int, int]] = {}
         self._cache: "OrderedDict[Any, Any]" = OrderedDict()
         self._cache_size = cache_size
@@ -42,7 +51,7 @@ class DiskDict:
         self._fh.seek(0, os.SEEK_END)
 
     def __setitem__(self, key: Any, value: Any) -> None:
-        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = self._encode(value)
         self._fh.seek(0, os.SEEK_END)
         offset = self._fh.tell()
         self._fh.write(blob)
@@ -61,7 +70,7 @@ class DiskDict:
         self._fh.seek(offset)
         blob = self._fh.read(length)
         self.stats.record_read(length)
-        value = pickle.loads(blob)
+        value = decode_record(blob)
         self._cache_put(key, value)
         return value
 

@@ -34,6 +34,7 @@ from repro.pipeline.cluster_generation import (
 )
 from repro.storage.backends import StateStore
 from repro.text.documents import Document
+from repro.vocab import Vocabulary
 
 
 @dataclass
@@ -44,6 +45,7 @@ class IntervalIngestReport:
     num_documents: int = 0
     num_clusters: int = 0
     num_edges: int = 0
+    vocab_size: int = 0
     seconds_clustering: float = 0.0
     seconds_linking: float = 0.0
 
@@ -54,9 +56,10 @@ class IntervalIngestReport:
 
     def describe(self) -> str:
         """One status line for monitors and the CLI's --follow mode."""
+        vocab = f", vocab {self.vocab_size}" if self.vocab_size else ""
         return (f"interval {self.interval}: {self.num_documents} docs "
                 f"-> {self.num_clusters} clusters, "
-                f"{self.num_edges} edges "
+                f"{self.num_edges} edges{vocab} "
                 f"({self.seconds_total * 1000:.1f}ms)")
 
 
@@ -100,6 +103,10 @@ class StreamingDocumentPipeline:
             else affinity
         self.config = _PipelineConfig(rho_threshold=rho_threshold,
                                       min_edges=min_edges, theta=theta)
+        # The stream's corpus vocabulary: grows incrementally as
+        # intervals arrive; every ingested cluster is rebound into it,
+        # so the whole window computes on one id namespace.
+        self.vocab = Vocabulary()
         self._owns_executor = not isinstance(workers, Executor)
         self.executor = executor_for(workers)
         self.linker = StreamingAffinityPipeline(
@@ -176,15 +183,26 @@ class StreamingDocumentPipeline:
 
     def add_clusters(self, clusters: Sequence) -> IntervalIngestReport:
         """Ingest one interval's pre-generated keyword clusters
-        (the document stages already ran elsewhere)."""
+        (the document stages already ran elsewhere).
+
+        Interned clusters — whatever vocabulary they arrive bound to —
+        are rebound into this pipeline's growing vocabulary first, so
+        the window join always intersects ids of one namespace.
+        Cluster-like objects without a token representation pass
+        through unchanged (the join falls back to keyword strings).
+        """
         interval = self.num_intervals
         started = time.perf_counter()
-        self.linker.add_interval(clusters)
+        rebound = [cluster.rebind(self.vocab)
+                   if hasattr(cluster, "rebind") else cluster
+                   for cluster in clusters]
+        self.linker.add_interval(rebound)
         finished = time.perf_counter()
         report = IntervalIngestReport(
             interval=interval,
-            num_clusters=len(clusters),
+            num_clusters=len(rebound),
             num_edges=self.linker.last_num_edges,
+            vocab_size=len(self.vocab),
             seconds_linking=finished - started)
         self.reports.append(report)
         return report

@@ -15,6 +15,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
 from repro.text.stemmer import PorterStemmer
 from repro.text.stopwords import STOPWORDS
 from repro.text.tokenizer import tokenize
+from repro.vocab import Vocabulary
 
 _stemmer = PorterStemmer()
 
@@ -45,6 +46,19 @@ class Document:
     def keywords(self, do_stem: bool = True) -> FrozenSet[str]:
         """Preprocessed keyword set of this document."""
         return preprocess(self.text, do_stem=do_stem)
+
+    def keyword_ids(self, vocab: Vocabulary,
+                    do_stem: bool = True) -> FrozenSet[int]:
+        """Preprocessed keywords interned into *vocab* as an id set.
+
+        Note: interning one document at a time grows *vocab* in this
+        document's keyword order; drivers that need deterministic ids
+        across execution modes intern per interval through
+        :meth:`Vocabulary.intern_sets` instead.
+        """
+        keywords = self.keywords(do_stem=do_stem)
+        vocab.intern_sorted(keywords)
+        return frozenset(vocab.id_of(keyword) for keyword in keywords)
 
 
 @dataclass
@@ -96,6 +110,18 @@ class IntervalCorpus:
         """Preprocessed keyword set of each document in *interval*."""
         for doc in self.documents(interval):
             yield doc.keywords(do_stem=do_stem)
+
+    def keyword_id_sets(self, interval: int, vocab: Vocabulary,
+                        do_stem: bool = True) -> List[FrozenSet[int]]:
+        """One interval's keyword sets interned into *vocab*.
+
+        New tokens are assigned ids in sorted order across the whole
+        interval (:meth:`Vocabulary.intern_sets`), so the ids depend
+        only on which intervals were interned before — never on
+        document order.
+        """
+        return vocab.intern_sets(
+            self.keyword_sets(interval, do_stem=do_stem))
 
     def vocabulary(self, interval: Optional[int] = None,
                    do_stem: bool = True) -> FrozenSet[str]:

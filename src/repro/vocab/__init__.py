@@ -1,0 +1,40 @@
+"""Keyword interning: the string <-> integer-id vocabulary layer.
+
+Every stage of the reproduction computes on *keywords*.  Representing
+them as Python strings makes each set intersection hash text and each
+pickled payload repeat the same words; dictionary-encoding them once
+into dense integer ids makes pair records smaller and
+faster-comparing, co-occurrence counting hash machine ints, affinity
+joins intersect id sets, and worker payloads ship one token table
+instead of re-pickling strings per cluster — the same compact-encoding
+argument disk-based keyword search (EMBANKS) and multidimensional
+compression work make for their physical layers.
+
+Two classes split mutability from shippability:
+
+* :class:`~repro.vocab.vocabulary.Vocabulary` — the growing,
+  corpus-owned mapping.  Batch drivers and the streaming pipeline own
+  exactly one and intern into it incrementally; ids are assigned
+  deterministically (new tokens in sorted order per bulk intern), so
+  serial, parallel, and streaming runs agree on every id.
+* :class:`~repro.vocab.vocabulary.FrozenVocabulary` — an immutable
+  snapshot that pickles as a bare token table.  Per-interval worker
+  tasks bind their clusters to one compact snapshot, so a pickled
+  result carries each keyword string once, not once per cluster.
+
+The decode-at-the-edge rule: ids never leak to users.  Renderers, the
+CLI, and ``KeywordCluster.keywords`` decode back to strings; see
+DESIGN.md ("Vocabulary & interning").
+"""
+
+from repro.vocab.vocabulary import (
+    FrozenVocabulary,
+    Vocabulary,
+    VocabularyLike,
+)
+
+__all__ = [
+    "FrozenVocabulary",
+    "Vocabulary",
+    "VocabularyLike",
+]

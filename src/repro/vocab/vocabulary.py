@@ -1,0 +1,190 @@
+"""Bidirectional keyword interning with deterministic id assignment.
+
+The contract every execution mode relies on: given the same sequence
+of bulk interns, a :class:`Vocabulary` assigns the same ids — new
+tokens of a bulk call are added in **sorted order**, so the ids an
+interval produces depend only on which intervals were interned before
+it, never on document order, executor, or worker count.  The
+equivalence suites (parallel == serial, streaming == batch) lean on
+this.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+
+class FrozenVocabulary:
+    """An immutable id -> token table (ids are positions).
+
+    The picklable worker-task form of a vocabulary: it serializes as
+    the bare token tuple, and the reverse (token -> id) index is
+    rebuilt lazily on first lookup, so shipping a snapshot to a
+    process pool costs the strings once and nothing else.  Interning
+    raises — snapshots never grow; thaw into a :class:`Vocabulary`
+    (``Vocabulary(snapshot.tokens)``) to continue growing.
+    """
+
+    __slots__ = ("_tokens", "_ids")
+
+    def __init__(self, tokens: Sequence[str] = ()) -> None:
+        self._tokens: Tuple[str, ...] = tuple(tokens)
+        self._ids: Dict[str, int] = {}
+
+    @property
+    def tokens(self) -> Tuple[str, ...]:
+        """The full id-ordered token table."""
+        return self._tokens
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tokens)
+
+    def _index(self) -> Dict[str, int]:
+        if not self._ids and self._tokens:
+            self._ids = {token: i for i, token in
+                         enumerate(self._tokens)}
+        return self._ids
+
+    def id_of(self, token: str) -> int:
+        """The id of *token*; KeyError when not interned."""
+        return self._index()[token]
+
+    def decode(self, token_id: int) -> str:
+        """The token behind *token_id*."""
+        return self._tokens[token_id]
+
+    def decode_all(self, token_ids: Iterable[int]) -> FrozenSet[str]:
+        """Decode a collection of ids to the keyword string set."""
+        tokens = self._tokens
+        return frozenset(tokens[i] for i in token_ids)
+
+    def intern(self, token: str) -> int:
+        """Snapshots are immutable; growing them is a caller bug."""
+        raise TypeError(
+            "FrozenVocabulary is immutable; thaw it with "
+            "Vocabulary(snapshot.tokens) to intern new keywords")
+
+    def __reduce__(self):
+        # Ship only the token table; the reverse index rebuilds
+        # lazily in the receiving process.
+        return (type(self), (self._tokens,))
+
+    def __repr__(self) -> str:
+        return f"FrozenVocabulary(size={len(self._tokens)})"
+
+
+class Vocabulary:
+    """A growing string <-> id mapping with deterministic growth.
+
+    ``intern`` appends unseen tokens; ``intern_sorted`` bulk-interns a
+    token collection adding its *new* tokens in sorted order (the
+    determinism rule above); ``intern_sets`` applies that rule to a
+    batch of keyword sets and returns their id-set forms — the call
+    the per-interval generation stage makes once per interval.
+    """
+
+    __slots__ = ("_tokens", "_ids")
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self._tokens: List[str] = []
+        self._ids: Dict[str, int] = {}
+        for token in tokens:
+            self.intern(token)
+
+    @property
+    def tokens(self) -> Tuple[str, ...]:
+        """The current id-ordered token table (a copy)."""
+        return tuple(self._tokens)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tokens)
+
+    def intern(self, token: str) -> int:
+        """The id of *token*, assigning the next id when unseen."""
+        token_id = self._ids.get(token)
+        if token_id is None:
+            token_id = len(self._tokens)
+            self._ids[token] = token_id
+            self._tokens.append(token)
+        return token_id
+
+    def intern_sorted(self, tokens: Iterable[str]) -> None:
+        """Intern a token collection, new tokens in sorted order.
+
+        This is the deterministic bulk form: the resulting ids depend
+        only on the vocabulary's prior state and the token *set*, not
+        on the iteration order of *tokens*.
+        """
+        ids = self._ids
+        fresh = sorted({token for token in tokens
+                        if token not in ids})
+        for token in fresh:
+            self.intern(token)
+
+    def intern_sets(self, keyword_sets: Iterable[Iterable[str]]
+                    ) -> List[FrozenSet[int]]:
+        """Intern a batch of keyword sets; return their id-set forms.
+
+        New tokens across the whole batch are assigned ids in sorted
+        order, so for a fresh vocabulary id order equals lexicographic
+        token order — which makes an interned interval's pipeline
+        (pair emission sorts keywords per document) behave
+        *positionally identically* to the string-era one.
+        """
+        materialized = [frozenset(kws) for kws in keyword_sets]
+        union: set = set()
+        for keywords in materialized:
+            union |= keywords
+        self.intern_sorted(union)
+        ids = self._ids
+        return [frozenset(ids[token] for token in keywords)
+                for keywords in materialized]
+
+    def id_of(self, token: str) -> int:
+        """The id of *token*; KeyError when not interned."""
+        return self._ids[token]
+
+    def decode(self, token_id: int) -> str:
+        """The token behind *token_id*."""
+        return self._tokens[token_id]
+
+    def decode_all(self, token_ids: Iterable[int]) -> FrozenSet[str]:
+        """Decode a collection of ids to the keyword string set."""
+        tokens = self._tokens
+        return frozenset(tokens[i] for i in token_ids)
+
+    def freeze(self) -> FrozenVocabulary:
+        """An immutable, compactly-picklable snapshot of this state."""
+        return FrozenVocabulary(self._tokens)
+
+    def __reduce__(self):
+        return (type(self), (tuple(self._tokens),))
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self._tokens)})"
+
+
+# Anything a KeywordCluster may be bound to: the growing corpus
+# vocabulary in-process, a frozen snapshot across a process boundary.
+VocabularyLike = Union[Vocabulary, FrozenVocabulary]
