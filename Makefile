@@ -1,7 +1,8 @@
 PYTHON ?= python
 RUN := PYTHONPATH=src $(PYTHON)
 
-.PHONY: test bench bench-smoke stream-demo parallel-demo lint
+.PHONY: test bench bench-smoke stream-demo parallel-demo \
+        service-demo docs-check lint docstyle
 
 test:
 	$(RUN) -m pytest -q
@@ -35,5 +36,27 @@ parallel-demo:
 	$(RUN) examples/stream_corpus.py $(STREAM_DEMO_FILE)
 	$(RUN) -m repro.cli stream $(STREAM_DEMO_FILE) --length 3 -k 3 --gap 1 --workers 2 --explain
 
+# Corpus -> persistent index -> served queries, end to end through
+# the CLI (the docs/tutorial.md walkthrough at demo scale).
+SERVICE_DEMO_DIR ?= /tmp/repro-service-index
+service-demo:
+	$(RUN) examples/stream_corpus.py $(STREAM_DEMO_FILE)
+	$(RUN) -m repro.cli index build $(STREAM_DEMO_FILE) \
+	    --dir $(SERVICE_DEMO_DIR) --length 3 -k 3 --gap 1 --explain
+	$(RUN) -m repro.cli index inspect $(SERVICE_DEMO_DIR)
+	$(RUN) -m repro.cli query refine $(SERVICE_DEMO_DIR) somalia
+	$(RUN) -m repro.cli query paths $(SERVICE_DEMO_DIR) --keyword somalia
+
+# "Build" the markdown docs site: link-check + coverage gates.
+docs-check:
+	$(RUN) -m pytest -q tests/test_docs.py tests/test_docstrings.py
+
 lint:
 	$(PYTHON) -m flake8 src tests benchmarks examples
+
+# The docstring audit of the public API surface (summary style;
+# mirrored by tests/test_docstrings.py for pydocstyle-less machines).
+docstyle:
+	$(PYTHON) -m pydocstyle src/repro/engine src/repro/storage \
+	    src/repro/vocab src/repro/search src/repro/index \
+	    src/repro/service

@@ -4,7 +4,7 @@ Paper: m=6, d=5, g=1; "running times increase with increasing l and
 n".  The per-node cost of the DFS grows with l because each node
 maintains maxweight/bestpaths structures for up to l lengths.
 
-Deviation (documented in DESIGN.md / EXPERIMENTS.md): our DFS pruning
+Deviation (documented in docs/architecture.md): our DFS pruning
 rule never prunes a node that could still *start* a top-k path —
 required for correctness, verified against brute force — and with
 small l most nodes are potential starts, so the *pruned* DFS gets

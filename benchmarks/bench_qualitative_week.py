@@ -11,7 +11,8 @@ discovered", with the qualitative figures:
 * Figure 16 — a full-week stable cluster (battle of Ras Kamboni).
 
 The BlogScope crawl is private; the synthetic week scripts one event
-per figure (DESIGN.md).  Asserted: every scripted shape is recovered —
+per figure (docs/architecture.md).  Asserted: every scripted shape
+is recovered —
 exact keyword clusters for the bursts, a gap-jumping path, a drift
 path chained by shared keywords, and full-week paths.
 """

@@ -7,7 +7,8 @@ Paper (BlogScope, Jan 6/7 2007, after stemming and stop-word removal):
     Jan 7   2968 MB     2,872,363    135,869,146
 
 We regenerate the same table for two synthetic "days" (the crawl is
-private; see DESIGN.md).  The shape to reproduce: two comparable days;
+private; see docs/architecture.md).  The shape to reproduce: two
+comparable days;
 edges two orders of magnitude above keywords; the pair file dominating
 the raw text size.
 """

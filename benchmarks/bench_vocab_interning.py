@@ -1,6 +1,7 @@
 """Interned keyword ids vs raw strings: throughput and bytes.
 
-The vocabulary refactor (see DESIGN.md "Vocabulary & interning")
+The vocabulary refactor (see docs/architecture.md, "Vocabulary &
+interning")
 dictionary-encodes keywords into dense int ids before the Section-3
 counting pipeline and keeps ids end-to-end through the affinity joins
 and the streaming state store.  This benchmark measures what that

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""End-to-end serving demo: corpus -> index -> queries -> streaming.
+
+The runnable companion to ``docs/tutorial.md``:
+
+1. generate a synthetic blogosphere week;
+2. build a persistent cluster index from a batch run
+   (``find_stable_clusters(index_dir=...)``);
+3. answer refinement/lookup/path queries from the index through
+   :class:`repro.service.ClusterQueryService` — no document is
+   re-read;
+4. replay the same corpus *incrementally* with a live index, a
+   second service ``refresh()``-tailing it interval by interval.
+
+Usage::
+
+    python examples/query_service.py [workdir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.datagen import (
+    BlogosphereGenerator,
+    Event,
+    EventSchedule,
+    ZipfVocabulary,
+)
+from repro.pipeline import find_stable_clusters
+from repro.service import ClusterQueryService
+from repro.streaming import StreamingDocumentPipeline
+
+DAYS = 6
+
+
+def build_corpus():
+    """The tutorial's synthetic week: three scripted events in
+    Zipfian background chatter."""
+    schedule = (
+        EventSchedule()
+        .add(Event.persistent(
+            "somalia",
+            ["somalia", "mogadishu", "ethiopian", "islamist"],
+            start=0, duration=DAYS, posts=60))
+        .add(Event.with_gaps(
+            "facup", ["liverpool", "arsenal", "anfield", "goal"],
+            active_intervals=[1, 3, 4], posts=60))
+        .add(Event.burst(
+            "stemcell", ["stem", "cell", "amniotic", "research"],
+            interval=2, posts=50)))
+    generator = BlogosphereGenerator(
+        ZipfVocabulary(3000, seed=31), schedule,
+        background_posts=500, seed=32)
+    return generator.generate_corpus(DAYS)
+
+
+def batch_and_query(corpus, index_dir: str) -> None:
+    """Build the index from one batch run, then serve from it."""
+    result = find_stable_clusters(corpus, l=3, k=3, gap=1,
+                                  index_dir=index_dir)
+    print(f"indexed {len(result.interval_clusters)} intervals "
+          f"({result.plan.index_bytes} log bytes) at {index_dir}\n")
+
+    with ClusterQueryService(index_dir) as service:
+        for keyword in ["somalia", "liverpool", "stem"]:
+            refinement = service.refine(keyword)
+            if refinement is None:
+                print(f"{keyword!r}: no cluster at the latest "
+                      f"interval")
+                continue
+            ranked = "  ".join(
+                f"{kw} ({rho:.2f})"
+                for kw, rho in refinement.suggestions[:4])
+            print(f"{keyword!r} -> {ranked}")
+        print()
+        for path in service.paths_for("somalia"):
+            print(service.render_path(path))
+            print()
+
+
+def stream_and_tail(corpus, index_dir: str) -> None:
+    """The incremental version: a live index, tailed as it grows."""
+    print(f"streaming the same corpus into a live index at "
+          f"{index_dir}")
+    service = None
+    with StreamingDocumentPipeline(l=3, k=3, gap=1,
+                                   index_dir=index_dir) as pipeline:
+        for day in range(DAYS):
+            pipeline.add_documents(corpus.documents(day))
+            if service is None:
+                service = ClusterQueryService(index_dir)
+            else:
+                service.refresh()
+            refinement = service.refine("somalia")
+            strongest = (refinement.strongest
+                         if refinement is not None else "-")
+            print(f"  day {day}: {service.num_intervals} intervals "
+                  f"indexed, strongest 'somalia' refinement: "
+                  f"{strongest}")
+    service.refresh()
+    print(f"stream finished; index complete = {service.complete}, "
+          f"{len(service.stable_paths())} stable paths")
+    service.close()
+
+
+def main() -> int:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else Path(tempfile.mkdtemp(prefix="repro-service-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    corpus = build_corpus()
+    print(f"corpus: {corpus.num_documents} posts over {DAYS} days\n")
+    batch_and_query(corpus, str(workdir / "batch-index"))
+    stream_and_tail(corpus, str(workdir / "live-index"))
+    print(f"\nindexes left at {workdir} — try:\n"
+          f"  stable-clusters query refine "
+          f"{workdir / 'batch-index'} somalia")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line front end: ``stable-clusters``.
 
-Subcommands:
+Subcommands (all documented in ``docs/cli.md``):
 
 * ``demo`` — generate a synthetic blogosphere week with scripted
   events and print the stable clusters it discovers (the qualitative
@@ -9,24 +9,29 @@ Subcommands:
   from a file (one JSON object per line: ``{"interval": 0, "text":
   "..."}``) and print the per-interval keyword clusters.
 * ``stable`` — full pipeline over the same input format, printing the
-  top-k stable paths; ``--solver`` picks the algorithm (default
-  ``auto`` routes through the cost-based planner) and ``--explain``
-  prints the chosen execution plan.
-* ``stream`` — replay the same JSONL input *incrementally*: each
-  interval's documents are clustered, joined against the recent
-  window, and folded into the maintained top-k (Section 4.6), with
-  node state evicted past ``gap + 1`` intervals; ``--follow`` prints
-  the evolving results per interval, ``--backend``/``--memory-budget``
-  control (or let the streaming planner pick) where node state lives.
+  top-k stable paths; ``--index-dir`` persists the run as a queryable
+  cluster index.
+* ``stream`` — replay the same JSONL input *incrementally* (Section
+  4.6); ``--index-dir`` maintains a live index a concurrent ``query
+  --follow`` can tail.
+* ``index`` — ``build`` a persistent cluster index from a corpus, or
+  ``inspect`` an existing one.
+* ``query`` — serve from a persisted index without recomputing:
+  ``refine`` (Section 1's query-refinement suggestions), ``lookup``
+  (keyword -> cluster point lookup), ``paths`` (stable paths,
+  optionally filtered by keyword).
 * ``explain`` — print the planner's decision for a described workload
   (graph shape + query) without running anything.
 * ``bench-graph`` — generate a Section 5.2 synthetic cluster graph and
-  time any set of registered solvers on it, reporting each one's
-  unified ``SolverStats`` counters.
+  time any set of registered solvers on it.
 
 Every search path goes through the unified engine layer
-(:mod:`repro.engine`); solvers are referenced by registry name, never
-imported directly.
+(:mod:`repro.engine`); all serving paths go through
+:mod:`repro.index` / :mod:`repro.service`.  Flags shared by several
+subcommands (``--length``/``-k``/``--gap``/``--problem``, ``--rho``/
+``--theta``, ``--solver``, ``--memory-budget``, ``--workers``, the
+graph-shape flags) are defined once as parent parsers below, so their
+help text and defaults cannot drift between subcommands.
 """
 
 from __future__ import annotations
@@ -49,6 +54,7 @@ from repro.datagen.events import drifting_event
 from repro.engine import (
     GraphStats,
     StableQuery,
+    estimate_index_bytes,
     explain as plan_query,
     get_solver,
     plan_streaming,
@@ -61,6 +67,8 @@ from repro.pipeline import (
     render_path_clusters,
     render_stable_path,
 )
+from repro.search import render_refinement
+from repro.service import ClusterQueryService
 from repro.storage import open_store
 from repro.streaming import (
     StreamingDocumentPipeline,
@@ -70,6 +78,7 @@ from repro.streaming import (
 from repro.text.documents import IntervalCorpus
 
 SOLVER_CHOICES = ["auto"] + solver_names()
+STREAM_SOLVER_CHOICES = ["auto", "bfs", "normalized"]
 
 
 def _demo_schedule() -> EventSchedule:
@@ -140,18 +149,29 @@ def _memory_budget_bytes(args: argparse.Namespace) -> Optional[int]:
     return int(args.memory_budget * 1024 * 1024)
 
 
+def _run_batch(args: argparse.Namespace,
+               index_dir: Optional[str]):
+    """The shared ``stable``/``index build`` execution path."""
+    corpus = _read_corpus(args.input)
+    return find_stable_clusters(corpus, l=args.length, k=args.k,
+                                gap=args.gap, problem=args.problem,
+                                rho_threshold=args.rho,
+                                theta=args.theta,
+                                solver=args.solver,
+                                memory_budget=_memory_budget_bytes(args),
+                                workers=args.workers,
+                                index_dir=index_dir)
+
+
 def cmd_stable(args: argparse.Namespace) -> int:
     """Run the full stable-cluster pipeline on a JSONL corpus."""
-    corpus = _read_corpus(args.input)
-    result = find_stable_clusters(corpus, l=args.length, k=args.k,
-                                  gap=args.gap, problem=args.problem,
-                                  rho_threshold=args.rho,
-                                  theta=args.theta,
-                                  solver=args.solver,
-                                  memory_budget=_memory_budget_bytes(args),
-                                  workers=args.workers)
+    result = _run_batch(args, args.index_dir)
     if args.explain and result.plan is not None:
         print(result.plan.explain())
+        print()
+    if result.index_dir is not None:
+        print(f"persisted cluster index: {result.index_dir} "
+              f"({result.plan.index_bytes} log bytes)")
         print()
     if not result.paths:
         print("no stable paths found")
@@ -214,6 +234,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
             execution.num_shards = 4
         execution.reasons.append(
             f"backend {args.backend!r} forced by --backend")
+    if args.index_dir is not None:
+        execution.index_dir = args.index_dir
     if args.explain:
         print(execution.explain())
         print()
@@ -221,6 +243,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
     owned_dir: Optional[str] = None
     store = None
     pipeline = None
+    replayed = False
     try:
         if execution.backend != "memory":
             state_dir = args.state_dir
@@ -236,7 +259,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         # interval's shape, not a cap on later (larger) intervals.
         pipeline = StreamingDocumentPipeline.from_query(
             query, rho_threshold=args.rho, theta=args.theta,
-            store=store)
+            store=store, index_dir=args.index_dir)
 
         def emit(report) -> None:
             if not args.follow:
@@ -251,6 +274,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         emit(report)
         for interval, documents in batches:
             emit(pipeline.add_documents(documents))
+        replayed = True
         paths = pipeline.top_k()
         if not paths:
             print("no stable paths found")
@@ -262,11 +286,15 @@ def cmd_stream(args: argparse.Namespace) -> int:
             print()
     finally:
         if pipeline is not None:
-            pipeline.close()
+            # An interrupted replay leaves the live index marked
+            # incomplete rather than stamping a truncated run final.
+            pipeline.close(finalize_index=replayed)
         if store is not None:
             store.close()
         if owned_dir is not None:
             shutil.rmtree(owned_dir, ignore_errors=True)
+    if args.index_dir is not None:
+        print(f"persisted cluster index: {args.index_dir}")
     return 0
 
 
@@ -286,6 +314,14 @@ def cmd_explain(args: argparse.Namespace) -> int:
         num_edges=int(args.m * args.n * args.d))
     execution = plan_query(graph_stats, query,
                            memory_budget=_memory_budget_bytes(args))
+    if args.index_dir is not None:
+        # Forecast the persistent-index cost for this shape the same
+        # way the window estimate forecasts memory.
+        execution.index_dir = args.index_dir
+        execution.index_bytes = estimate_index_bytes(graph_stats)
+        execution.reasons.append(
+            "index size estimated from m*n cluster records "
+            "(measured after a real run)")
     print(execution.explain())
     return 0
 
@@ -326,12 +362,236 @@ def cmd_bench_graph(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_workers_option(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--workers", type=int, default=None,
+# ----------------------------------------------------------------------
+# Serving subcommands (the persistent index)
+# ----------------------------------------------------------------------
+
+
+def cmd_index_build(args: argparse.Namespace) -> int:
+    """Build a persistent cluster index from a JSONL corpus."""
+    result = _run_batch(args, args.dir)
+    if args.explain and result.plan is not None:
+        print(result.plan.explain())
+        print()
+    print(f"indexed {len(result.interval_clusters)} intervals, "
+          f"{sum(len(c) for c in result.interval_clusters)} clusters, "
+          f"{len(result.paths)} stable paths "
+          f"({result.plan.index_bytes} log bytes) at {args.dir}")
+    return 0
+
+
+def cmd_index_inspect(args: argparse.Namespace) -> int:
+    """Summarize a persisted index: shape, layout, provenance."""
+    with ClusterQueryService(args.dir) as service:
+        print(service.describe())
+    return 0
+
+
+def _follow(service: ClusterQueryService, render, args) -> None:
+    """Re-render whenever a live index grows, until its run
+    finalizes (or --max-polls is exhausted)."""
+    polls = 0
+    while not service.complete and (args.max_polls is None
+                                    or polls < args.max_polls):
+        time.sleep(args.poll)
+        polls += 1
+        if service.refresh():
+            print()
+            render()
+
+
+def _query_interval(service: ClusterQueryService,
+                    args: argparse.Namespace) -> Optional[int]:
+    """The interval a query targets, or None while a live index has
+    nothing yet (a --follow loop keeps polling instead of erroring)."""
+    if args.interval is not None:
+        return args.interval
+    if service.num_intervals == 0:
+        live = "" if service.complete else " (live)"
+        print(f"the index holds no intervals yet{live}")
+        return None
+    return service.latest_interval
+
+
+def cmd_query_refine(args: argparse.Namespace) -> int:
+    """Refinement suggestions for a keyword, from the index."""
+    found = False
+    with ClusterQueryService(args.dir) as service:
+
+        def render() -> None:
+            nonlocal found
+            interval = _query_interval(service, args)
+            if interval is None:
+                return
+            live = "" if service.complete else " (live)"
+            print(f"query {args.keyword!r} @ interval "
+                  f"{interval}{live}")
+            result = service.refine(args.keyword, interval)
+            if result is None:
+                print("  falls in no cluster this interval")
+                return
+            found = True
+            print(render_refinement(result,
+                                    max_suggestions=args.top))
+
+        render()
+        if args.follow:
+            _follow(service, render, args)
+    return 0 if found else 1
+
+
+def cmd_query_lookup(args: argparse.Namespace) -> int:
+    """Point lookup: the cluster a keyword falls into."""
+    found = False
+    with ClusterQueryService(args.dir) as service:
+
+        def render() -> None:
+            nonlocal found
+            interval = _query_interval(service, args)
+            if interval is None:
+                return
+            cluster = service.lookup(args.keyword, interval)
+            if cluster is None:
+                print(f"{args.keyword!r} falls in no cluster at "
+                      f"interval {interval}")
+                return
+            found = True
+            print(f"interval {interval}: "
+                  f"{' '.join(sorted(cluster.keywords))}")
+            for u, v, rho in cluster.edges:
+                print(f"  {u} -- {v}  (rho {rho:.3f})")
+
+        render()
+        if args.follow:
+            _follow(service, render, args)
+    return 0 if found else 1
+
+
+def cmd_query_paths(args: argparse.Namespace) -> int:
+    """The run's stable paths, optionally filtered by keyword."""
+    shown = False
+    with ClusterQueryService(args.dir) as service:
+
+        def render() -> None:
+            nonlocal shown
+            paths = (service.paths_for(args.keyword)
+                     if args.keyword else service.stable_paths())
+            if not paths:
+                print("no stable paths"
+                      + (f" through {args.keyword!r}"
+                         if args.keyword else "")
+                      + (" yet" if not service.complete else ""))
+                return
+            shown = True
+            for path in paths:
+                print(service.render_path(path))
+                print()
+
+        render()
+        if args.follow:
+            _follow(service, render, args)
+    return 0 if shown else 1
+
+
+# ----------------------------------------------------------------------
+# Parser construction (shared flag definitions)
+# ----------------------------------------------------------------------
+
+
+def _shape_parent() -> argparse.ArgumentParser:
+    """--length/-k/--gap/--problem, the query-shape flags every
+    corpus-running subcommand shares."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--length", type=int, default=3,
+                        help="target path length (lmin for "
+                             "--problem normalized)")
+    parent.add_argument("-k", type=int, default=5,
+                        help="number of stable paths to report")
+    parent.add_argument("--gap", type=int, default=0,
+                        help="max intervals a path may skip (g)")
+    parent.add_argument("--problem", choices=["kl", "normalized"],
+                        default="kl",
+                        help="Problem 1 (kl: length exactly l) or "
+                             "Problem 2 (normalized: weight/length, "
+                             "length >= lmin)")
+    return parent
+
+
+def _generation_parent() -> argparse.ArgumentParser:
+    """--rho/--theta, the Section-3/4 thresholds."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--rho", type=float, default=0.2,
+                        help="correlation threshold for keyword-graph "
+                             "pruning (Section 3)")
+    parent.add_argument("--theta", type=float, default=0.1,
+                        help="affinity threshold for cluster-graph "
+                             "edges (Section 4.1)")
+    return parent
+
+
+def _solver_parent() -> argparse.ArgumentParser:
+    """--solver/--memory-budget/--explain for batch search."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--solver", choices=SOLVER_CHOICES,
+                        default="auto",
+                        help="search algorithm; 'auto' lets the "
+                             "cost-based planner pick")
+    parent.add_argument("--memory-budget", type=float, default=None,
+                        metavar="MIB",
+                        help="planner memory budget in MiB")
+    parent.add_argument("--explain", action="store_true",
+                        help="print the execution plan before results")
+    return parent
+
+
+def _workers_parent() -> argparse.ArgumentParser:
+    """--workers, the parallel dimension."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--workers", type=int, default=None,
                         metavar="N",
                         help="parallel worker processes for the "
                              "per-partition stages (0 = all cores; "
                              "default: serial)")
+    return parent
+
+
+def _graph_shape_parent() -> argparse.ArgumentParser:
+    """-m/-n/-d/--gap/--length/-k, the synthetic workload shape
+    shared by ``explain`` and ``bench-graph``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("-m", type=int, default=9,
+                        help="temporal intervals")
+    parent.add_argument("-n", type=int, default=400,
+                        help="clusters per interval")
+    parent.add_argument("-d", type=int, default=5,
+                        help="average out degree")
+    parent.add_argument("--gap", type=int, default=0,
+                        help="max intervals a path may skip (g)")
+    parent.add_argument("--length", type=int, default=0,
+                        help="path length l; 0 means full paths "
+                             "(m - 1)")
+    parent.add_argument("-k", type=int, default=5,
+                        help="number of stable paths to report")
+    return parent
+
+
+def _query_service_parent() -> argparse.ArgumentParser:
+    """The flags every ``query`` action shares: the index directory
+    and the --follow polling loop for live (streaming) indexes."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("dir", help="cluster index directory")
+    parent.add_argument("--follow", action="store_true",
+                        help="keep polling a live streaming index "
+                             "and re-print on growth, until its run "
+                             "finalizes")
+    parent.add_argument("--poll", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="--follow poll interval")
+    parent.add_argument("--max-polls", type=int, default=None,
+                        metavar="N",
+                        help="stop --follow after N polls even if "
+                             "the index is still live")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -341,65 +601,55 @@ def build_parser() -> argparse.ArgumentParser:
         description="Stable keyword clusters in temporal text "
                     "(Bansal et al., VLDB 2007 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
+    shape = _shape_parent()
+    generation = _generation_parent()
+    solver = _solver_parent()
+    workers = _workers_parent()
+    graph_shape = _graph_shape_parent()
+    query_service = _query_service_parent()
 
-    demo = sub.add_parser("demo", help="synthetic week walkthrough")
-    demo.add_argument("--vocabulary", type=int, default=3000)
-    demo.add_argument("--background", type=int, default=600)
-    demo.add_argument("--seed", type=int, default=2007)
-    demo.add_argument("--length", type=int, default=3)
-    demo.add_argument("-k", type=int, default=5)
-    demo.add_argument("--gap", type=int, default=1)
-    demo.add_argument("--problem", choices=["kl", "normalized"],
-                      default="kl")
+    demo = sub.add_parser("demo", help="synthetic week walkthrough",
+                          parents=[shape, workers])
+    demo.add_argument("--vocabulary", type=int, default=3000,
+                      help="synthetic Zipf vocabulary size")
+    demo.add_argument("--background", type=int, default=600,
+                      help="background (non-event) posts per day")
+    demo.add_argument("--seed", type=int, default=2007,
+                      help="random seed")
     demo.add_argument("--solver", choices=SOLVER_CHOICES,
-                      default="auto")
-    _add_workers_option(demo)
-    demo.set_defaults(func=cmd_demo)
+                      default="auto",
+                      help="search algorithm; 'auto' lets the "
+                           "cost-based planner pick")
+    demo.set_defaults(func=cmd_demo, gap=1)
 
     clusters = sub.add_parser("clusters",
-                              help="per-interval keyword clusters")
+                              help="per-interval keyword clusters",
+                              parents=[generation])
     clusters.add_argument("input", help="JSONL file of posts")
-    clusters.add_argument("--rho", type=float, default=0.2)
-    clusters.add_argument("--top", type=int, default=10)
+    clusters.add_argument("--top", type=int, default=10,
+                          help="clusters to print per interval")
     clusters.set_defaults(func=cmd_clusters)
 
-    stable = sub.add_parser("stable", help="full stable-cluster search")
+    stable = sub.add_parser("stable",
+                            help="full stable-cluster search",
+                            parents=[shape, generation, solver,
+                                     workers])
     stable.add_argument("input", help="JSONL file of posts")
-    stable.add_argument("--length", type=int, default=3)
-    stable.add_argument("-k", type=int, default=5)
-    stable.add_argument("--gap", type=int, default=0)
-    stable.add_argument("--rho", type=float, default=0.2)
-    stable.add_argument("--theta", type=float, default=0.1)
-    stable.add_argument("--problem", choices=["kl", "normalized"],
-                        default="kl")
-    stable.add_argument("--solver", choices=SOLVER_CHOICES,
-                        default="auto",
-                        help="search algorithm; 'auto' lets the "
-                             "cost-based planner pick")
-    stable.add_argument("--memory-budget", type=float, default=None,
-                        metavar="MIB",
-                        help="planner memory budget in MiB")
-    stable.add_argument("--explain", action="store_true",
-                        help="print the execution plan before results")
-    _add_workers_option(stable)
+    stable.add_argument("--index-dir", default=None, metavar="DIR",
+                        help="persist the run as a queryable cluster "
+                             "index at DIR")
     stable.set_defaults(func=cmd_stable)
 
     stream = sub.add_parser(
         "stream",
-        help="incremental top-k maintenance over a JSONL stream")
+        help="incremental top-k maintenance over a JSONL stream",
+        parents=[shape, generation, workers])
     stream.add_argument("input", help="JSONL file of posts, replayed "
                                       "interval by interval")
-    stream.add_argument("--length", type=int, default=3,
-                        help="target path length (lmin for "
-                             "--problem normalized)")
-    stream.add_argument("-k", type=int, default=5)
-    stream.add_argument("--gap", type=int, default=0)
-    stream.add_argument("--rho", type=float, default=0.2)
-    stream.add_argument("--theta", type=float, default=0.1)
-    stream.add_argument("--problem", choices=["kl", "normalized"],
-                        default="kl")
-    stream.add_argument("--solver",
-                        choices=["auto", "bfs", "normalized"],
+    # Streaming has exactly one engine per problem (Section 4.6), so
+    # its --solver choices are narrower than the batch registry; this
+    # is the single place they are defined.
+    stream.add_argument("--solver", choices=STREAM_SOLVER_CHOICES,
                         default="auto",
                         help="streaming engine; 'auto' follows "
                              "--problem (bfs for kl)")
@@ -414,49 +664,89 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--state-dir", default=None,
                         help="directory for disk-backed state "
                              "(default: a temporary directory)")
+    stream.add_argument("--index-dir", default=None, metavar="DIR",
+                        help="maintain a live cluster index at DIR "
+                             "(append per interval; `query --follow` "
+                             "can tail it)")
     stream.add_argument("--follow", action="store_true",
                         help="print each interval's ingest report "
                              "and the evolving top-k")
     stream.add_argument("--explain", action="store_true",
-                        help="print the streaming execution plan "
-                             "before replaying")
-    _add_workers_option(stream)
+                        help="print the execution plan before results")
     stream.set_defaults(func=cmd_stream)
+
+    index = sub.add_parser(
+        "index", help="build or inspect a persistent cluster index")
+    index_sub = index.add_subparsers(dest="index_command",
+                                     required=True)
+    build = index_sub.add_parser(
+        "build", help="run the batch pipeline and persist the "
+                      "result as a queryable index",
+        parents=[shape, generation, solver, workers])
+    build.add_argument("input", help="JSONL file of posts")
+    build.add_argument("--dir", required=True,
+                       help="directory to write the index to")
+    build.set_defaults(func=cmd_index_build)
+    inspect = index_sub.add_parser(
+        "inspect", help="summarize an index: shape, layout, "
+                        "provenance")
+    inspect.add_argument("dir", help="cluster index directory")
+    inspect.set_defaults(func=cmd_index_inspect)
+
+    query = sub.add_parser(
+        "query", help="serve refinements/lookups/paths from a "
+                      "persisted index")
+    query_sub = query.add_subparsers(dest="query_command",
+                                     required=True)
+    refine = query_sub.add_parser(
+        "refine", help="refinement suggestions for a keyword "
+                       "(Section 1)",
+        parents=[query_service])
+    refine.add_argument("keyword", help="query keyword (stemmed)")
+    refine.add_argument("--interval", type=int, default=None,
+                        help="interval to query (default: latest)")
+    refine.add_argument("--top", type=int, default=8,
+                        help="suggestions to print")
+    refine.set_defaults(func=cmd_query_refine)
+    lookup = query_sub.add_parser(
+        "lookup", help="the cluster a keyword falls into",
+        parents=[query_service])
+    lookup.add_argument("keyword", help="query keyword (stemmed)")
+    lookup.add_argument("--interval", type=int, default=None,
+                        help="interval to query (default: latest)")
+    lookup.set_defaults(func=cmd_query_lookup)
+    paths = query_sub.add_parser(
+        "paths", help="the run's stable paths, with clusters read "
+                      "from the index",
+        parents=[query_service])
+    paths.add_argument("--keyword", default=None,
+                       help="only paths visiting a cluster that "
+                            "contains this keyword")
+    paths.set_defaults(func=cmd_query_paths)
 
     explain = sub.add_parser(
         "explain",
-        help="print the planner's decision for a workload shape")
-    explain.add_argument("-m", type=int, default=9,
-                         help="temporal intervals")
-    explain.add_argument("-n", type=int, default=400,
-                         help="clusters per interval")
-    explain.add_argument("-d", type=int, default=5,
-                         help="average out degree")
-    explain.add_argument("--gap", type=int, default=0)
-    explain.add_argument("--length", type=int, default=0,
-                         help="0 means full paths (m - 1)")
-    explain.add_argument("-k", type=int, default=5)
+        help="print the planner's decision for a workload shape",
+        parents=[graph_shape, workers])
     explain.add_argument("--problem", choices=["kl", "normalized"],
-                         default="kl")
+                         default="kl",
+                         help="Problem 1 (kl) or Problem 2 "
+                              "(normalized)")
     explain.add_argument("--memory-budget", type=float, default=None,
                          metavar="MIB",
                          help="planner memory budget in MiB")
-    _add_workers_option(explain)
+    explain.add_argument("--index-dir", default=None, metavar="DIR",
+                         help="also forecast the persistent-index "
+                              "size for this shape")
     explain.set_defaults(func=cmd_explain)
 
     bench = sub.add_parser("bench-graph",
-                           help="time solvers on a synthetic graph")
-    bench.add_argument("-m", type=int, default=9)
-    bench.add_argument("-n", type=int, default=400)
-    bench.add_argument("-d", type=int, default=5)
-    bench.add_argument("--gap", type=int, default=0)
-    bench.add_argument("--length", type=int, default=0,
-                       help="0 means full paths (m - 1)")
-    bench.add_argument("-k", type=int, default=5)
-    bench.add_argument("--seed", type=int, default=1)
+                           help="time solvers on a synthetic graph",
+                           parents=[graph_shape, workers])
+    bench.add_argument("--seed", type=int, default=1,
+                       help="random seed for the synthetic graph")
     bench.add_argument("--solvers", default="bfs,dfs",
                        help="comma-separated registry names to time")
-    _add_workers_option(bench)
     bench.set_defaults(func=cmd_bench_graph)
     return parser
 
@@ -469,8 +759,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except ValueError as exc:
         # Domain errors (unsupported solver/problem combination,
-        # invalid query bounds) become clean CLI errors, not
-        # tracebacks.
+        # invalid query bounds, unusable index directories) become
+        # clean CLI errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

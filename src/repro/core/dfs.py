@@ -21,7 +21,7 @@ unmarks the visited flag of everything on the stack (their subtrees
 are no longer fully explored); a later, heavier arrival re-explores.
 
 Two correctness refinements over the paper's pseudocode (documented in
-DESIGN.md):
+docs/architecture.md):
 
 * a node that could still be the *first* node of a top-k path (i.e.
   ``interval + l <= last interval``) is never pruned — the paper's

@@ -18,7 +18,8 @@ Algorithm 2, with the per-node state the paper prescribes:
 Every candidate is checked against the global heap **before** pruning,
 so pruning only affects what propagates forward.  Theorem 1 preserves
 the top-1 exactly; for k > 1 a reported path may stand in for a
-dominated true top-k member (see DESIGN.md).  ``exact=True`` disables
+dominated true top-k member (see docs/architecture.md).
+``exact=True`` disables
 pruning and keeps every path (exponential; the differential-test
 oracle uses it on small graphs).
 

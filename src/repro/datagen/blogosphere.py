@@ -2,7 +2,7 @@
 
 The reproduction has no access to the paper's 75M-post BlogScope
 crawl, so this generator produces the closest synthetic equivalent
-that exercises the same code paths (see DESIGN.md):
+that exercises the same code paths (see docs/architecture.md):
 
 * every post is a bag of words — background chatter drawn from a
   Zipfian vocabulary (heavy-tailed, like real word frequencies); the

@@ -33,6 +33,7 @@ from repro.engine.planner import (
     GraphStats,
     apply_worker_dimension,
     estimate_annotation_bytes,
+    estimate_index_bytes,
     estimate_ta_probes,
     estimate_window_bytes,
     plan,
@@ -67,6 +68,7 @@ __all__ = [
     "TASolver",
     "apply_worker_dimension",
     "estimate_annotation_bytes",
+    "estimate_index_bytes",
     "estimate_ta_probes",
     "estimate_window_bytes",
     "explain",

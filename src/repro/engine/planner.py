@@ -47,6 +47,14 @@ MAX_SHARDS = 16
 # Dead bytes a shard may accumulate before it compacts itself.
 COMPACT_GARBAGE_BYTES = SHARD_TARGET_BYTES
 
+# Persistent-index cost model (varint-codec record sizes, measured at
+# bench scale; the estimate only needs to be proportionally right).
+INDEX_KEYWORDS_PER_CLUSTER = 8   # typical biconnected component
+INDEX_TOKEN_BYTES = 3            # varint id in a cluster record
+INDEX_EDGE_BYTES = 14            # two varint ids + float64 rho
+INDEX_POSTING_BYTES = 4          # id -> cluster-list entry
+INDEX_RECORD_OVERHEAD = 10       # frame + crc + tuple headers
+
 
 @dataclass(frozen=True)
 class GraphStats:
@@ -104,6 +112,12 @@ class ExecutionPlan:
     # by pipelines once generation has run (the planner cannot know it
     # up front).  None = no vocabulary measured for this plan.
     vocab_size: Optional[int] = None
+    # Persistent-index cost dimension: where the run serialized its
+    # clusters/postings/paths and how many log bytes that took.
+    # Filled in by the pipelines after the write (like vocab_size);
+    # None = the run was not asked to persist an index.
+    index_dir: Optional[str] = None
+    index_bytes: Optional[int] = None
     reasons: List[str] = field(default_factory=list)
 
     def explain(self) -> str:
@@ -132,6 +146,12 @@ class ExecutionPlan:
         if self.backend == "sharded":
             backend += f" ({self.num_shards} shards)"
         lines.append(backend)
+        if self.index_dir is not None:
+            size = ("pending" if self.index_bytes is None
+                    else _human_bytes(self.index_bytes))
+            lines.append(
+                f"  index:    {size} persisted at {self.index_dir} "
+                f"(clusters + keyword postings + stable paths)")
         if self.workers > 1:
             # The plan fixes the degree, not the pool kind — a caller
             # may supply a thread executor instead of the default
@@ -194,9 +214,29 @@ def estimate_annotation_bytes(query: StableQuery,
     return int(per_window * m / (graph_stats.gap + 1))
 
 
+def estimate_index_bytes(graph_stats: GraphStats) -> int:
+    """Estimate a run's persistent-index size on disk.
+
+    Each of the ~``m * n`` clusters costs one record (keywords as
+    varint ids plus supporting edges) and one posting entry per
+    keyword; the token table and path log are small by comparison and
+    folded into the per-record overhead.
+    """
+    clusters = graph_stats.num_nodes or (
+        graph_stats.num_intervals * graph_stats.max_interval_nodes)
+    per_cluster = (
+        INDEX_RECORD_OVERHEAD
+        + INDEX_KEYWORDS_PER_CLUSTER
+        * (INDEX_TOKEN_BYTES + INDEX_POSTING_BYTES)
+        + INDEX_KEYWORDS_PER_CLUSTER * INDEX_EDGE_BYTES)
+    return clusters * per_cluster
+
+
 def estimate_ta_probes(graph_stats: GraphStats) -> float:
-    """Rough upper bound on TA random-probe work: every full path may
-    be enumerated, ~``n * d^(m-1)`` of them."""
+    """Upper-bound the TA solver's random-probe work.
+
+    Every full path may be enumerated, ~``n * d^(m-1)`` of them.
+    """
     m = graph_stats.num_intervals
     if m < 2:
         return 0.0
@@ -246,11 +286,11 @@ def apply_worker_dimension(result: ExecutionPlan, query: StableQuery,
 
 def plan(query: StableQuery, graph_stats: GraphStats,
          memory_budget: Optional[int] = None) -> ExecutionPlan:
-    """Pick a solver and backend for *query* on a graph shaped like
-    *graph_stats*.
+    """Pick a solver and backend for *query*.
 
-    *memory_budget* (bytes) overrides ``query.memory_budget``; ``None``
-    means unbounded.  Rules, in order:
+    *graph_stats* describes the target graph's shape.
+    *memory_budget* (bytes) overrides ``query.memory_budget``;
+    ``None`` means unbounded.  Rules, in order:
 
     * normalized queries have one engine — the normalized BFS;
     * full-path kl queries go to TA when the probe bound is small;
@@ -371,9 +411,11 @@ def plan_streaming(query: StableQuery, graph_stats: GraphStats,
 
 def size_disk_backend(result: ExecutionPlan,
                       annotation_bytes: int) -> None:
-    """Pick disk vs sharded layout for *annotation_bytes* of node
-    state, recording the decision on *result* (shared between the
-    planner and forced-solver plans)."""
+    """Pick the disk vs sharded layout for spilled node state.
+
+    Sizes the backend for *annotation_bytes*, recording the decision
+    on *result* (shared between the planner and forced-solver
+    plans)."""
     result.backend = "disk"
     if annotation_bytes > SHARD_BYTES:
         result.backend = "sharded"

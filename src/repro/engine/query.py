@@ -95,7 +95,8 @@ class StableQuery:
         return self.lmin if self.lmin is not None else self.l
 
     def length_for(self, num_intervals: int) -> int:
-        """The concrete path-length bound against an *m*-interval graph:
+        """The concrete path-length bound for an *m*-interval graph.
+
         ``l`` (or ``lmin``) as given, or ``m - 1`` for full paths."""
         if self.problem == "normalized":
             length = self.min_length
@@ -104,15 +105,18 @@ class StableQuery:
         return length if length is not None else num_intervals - 1
 
     def is_full_paths(self, num_intervals: int) -> bool:
-        """True when the query asks for full paths (first interval to
-        last) on an *m*-interval graph — the TA solver's domain."""
+        """True when the query asks for full paths.
+
+        Full paths run first interval to last on an *m*-interval
+        graph — the TA solver's domain."""
         return (self.problem == "kl"
                 and self.length_for(num_intervals) == num_intervals - 1)
 
     @property
     def streaming_solver(self) -> str:
-        """The incremental engine for this query's problem (streaming
-        has exactly one per problem — Section 4.6)."""
+        """The incremental engine for this query's problem.
+
+        Streaming has exactly one engine per problem (Section 4.6)."""
         return "normalized" if self.problem == "normalized" else "bfs"
 
     def streaming_length(self) -> int:
@@ -130,8 +134,9 @@ class StableQuery:
         return length
 
     def with_k(self, k: int) -> "StableQuery":
-        """A copy of this query asking for a different *k* (the
-        diversification pool over-fetch uses this)."""
+        """A copy of this query asking for a different *k*.
+
+        The diversification pool over-fetch uses this."""
         return dataclasses.replace(self, k=k)
 
     def describe(self) -> str:

@@ -97,8 +97,10 @@ class BFSSolver(Solver):
 
 
 class DFSSolver(Solver):
-    """Algorithm 3: depth-first search with on-store node annotations
-    and the min-k pruning bound; O(m) resident frames."""
+    """Algorithm 3: depth-first search with the min-k pruning bound.
+
+    Node annotations live in the :class:`StateStore`; only O(m)
+    stack frames stay resident."""
 
     name = "dfs"
     uses_backend = True
@@ -117,8 +119,10 @@ class DFSSolver(Solver):
 
 
 class TASolver(Solver):
-    """Section 4.4's Threshold Algorithm adaptation; full paths only,
-    practical for small m (random probes can reach m^(d-1))."""
+    """Section 4.4's Threshold Algorithm adaptation.
+
+    Full paths only, practical for small m (random probes can
+    reach m^(d-1))."""
 
     name = "ta"
     full_paths_only = True
@@ -136,8 +140,10 @@ class TASolver(Solver):
 
 
 class NormalizedSolver(Solver):
-    """Problem 2: sliding-window search under weight/length scoring
-    with Theorem-1 pruning (or exact enumeration when asked)."""
+    """Problem 2: weight/length scoring with Theorem-1 pruning.
+
+    A sliding-window search; ``exact=True`` disables pruning for
+    oracle use."""
 
     name = "normalized"
     problems = ("normalized",)
@@ -166,8 +172,9 @@ class NormalizedSolver(Solver):
 
 
 class BruteforceSolver(Solver):
-    """Exact exponential enumeration — the ground-truth oracle for
-    both problems (small graphs only)."""
+    """Exact exponential enumeration, the ground-truth oracle.
+
+    Answers both problems; small graphs only."""
 
     name = "bruteforce"
     problems = ("kl", "normalized")

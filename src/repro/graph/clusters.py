@@ -14,7 +14,7 @@ directly from string graphs.  All computation (affinity measures,
 prefix-filter joins, pickled worker payloads) happens on the tokens;
 ``keywords``/``edges`` decode back to strings lazily, so the
 user-facing surface is unchanged whatever the representation
-(the decode-at-the-edge rule of DESIGN.md).
+(the decode-at-the-edge rule of docs/architecture.md).
 """
 
 from __future__ import annotations

@@ -1,0 +1,47 @@
+"""The persistent cluster index: serve results without recomputing.
+
+The paper's motivating application (Section 1) is interactive — users
+query keywords and get back clusters, stable paths, and refinement
+suggestions — but the batch, streaming, and parallel layers all
+recompute from raw documents and discard the answer.  This package is
+the serving substrate: a completed run (per-interval clusters, the
+frozen vocabulary, top-k stable paths, planner provenance) persisted
+as an on-disk index in the EMBANKS mold — append-only record logs in
+the compact varint codec, cluster records hash-sharded, plus an
+inverted keyword -> (interval, cluster) posting layer — so point
+lookups, interval scans, and query refinement are answered from disk
+with an LRU of hot keywords, never from the source documents.
+
+* :class:`~repro.index.writer.ClusterIndexWriter` — the write path;
+  batch runs persist via ``find_stable_clusters(index_dir=...)``,
+  streaming runs append one interval at a time
+  (``StreamingDocumentPipeline(index_dir=...)``).
+* :class:`~repro.index.reader.ClusterIndexReader` — the read path:
+  ``lookup``/``clusters_at``/``scan``/``paths``/``refiner``, with
+  ``refresh()`` to tail a live streaming index.
+* :mod:`~repro.index.format` — the layout contract and the
+  :class:`~repro.index.format.IndexCorruptError` rejection rules.
+
+The interactive front end over this package is
+:class:`repro.service.ClusterQueryService`.
+"""
+
+from repro.index.format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    ClusterIndexError,
+    IndexCorruptError,
+    load_manifest,
+)
+from repro.index.reader import ClusterIndexReader
+from repro.index.writer import ClusterIndexWriter
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "ClusterIndexError",
+    "ClusterIndexReader",
+    "ClusterIndexWriter",
+    "IndexCorruptError",
+    "load_manifest",
+]

@@ -1,0 +1,112 @@
+"""The on-disk layout shared by the index writer and reader.
+
+An index is a directory of append-only record logs
+(:mod:`repro.storage.recordlog` framing, payloads in the compact
+varint codec of :mod:`repro.storage.codec`) plus one JSON manifest:
+
+* ``manifest.json`` — format version, token kind, counts, the query
+  that produced the run, planner provenance, and the authoritative
+  byte size of every log file.  Rewritten atomically after each
+  append, it is the consistency point: readers scan each log only up
+  to the manifest's recorded size, so a concurrently appending writer
+  never exposes a torn frame.
+* ``vocabulary.bin`` — the interned token table, appended as deltas in
+  id order (absent for string-token indexes).
+* ``clusters-NNN.bin`` — cluster records ``(interval, index, label,
+  tokens, token_edges)``, hash-partitioned across ``num_shards``
+  shards to keep files small and compaction-friendly.
+* ``postings.bin`` — one record per interval: the inverted
+  keyword -> cluster-index map, in cluster-list order (the order the
+  refinement tie-break rule depends on).
+* ``paths.bin`` — top-k stable path generations; the last record is
+  the current answer (a streaming run appends one per interval).
+
+Corruption — truncated frames, checksum mismatches, counts that
+disagree with the manifest — surfaces as :class:`IndexCorruptError`
+rather than silently wrong answers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+FORMAT_NAME = "repro-cluster-index"
+FORMAT_VERSION = 1
+
+MANIFEST_FILE = "manifest.json"
+VOCABULARY_FILE = "vocabulary.bin"
+POSTINGS_FILE = "postings.bin"
+PATHS_FILE = "paths.bin"
+
+TOKEN_KINDS = ("id", "str")
+
+
+class ClusterIndexError(ValueError):
+    """Base error for unusable index directories."""
+
+
+class IndexCorruptError(ClusterIndexError):
+    """The index bytes are damaged.
+
+    Truncated or checksum-failing frames, or counts that contradict
+    the manifest."""
+
+
+def shard_file(shard: int) -> str:
+    """File name of cluster shard *shard*."""
+    return f"clusters-{shard:03d}.bin"
+
+
+def shard_for(interval: int, index: int, num_shards: int) -> int:
+    """Deterministic shard routing for cluster ``(interval, index)``."""
+    return (interval * 31 + index) % num_shards
+
+
+def manifest_path(directory: str) -> str:
+    """Path of the manifest inside *directory*."""
+    return os.path.join(directory, MANIFEST_FILE)
+
+
+def load_manifest(directory: str) -> Dict[str, Any]:
+    """Read and validate the manifest of the index at *directory*.
+
+    Raises :class:`ClusterIndexError` when the directory holds no
+    manifest, the JSON is unreadable, or the format name/version is
+    not one this code understands.
+    """
+    path = manifest_path(directory)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        raise ClusterIndexError(
+            f"no cluster index at {directory!r}: missing "
+            f"{MANIFEST_FILE}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IndexCorruptError(
+            f"unreadable index manifest at {path!r}: {exc}") from None
+    if manifest.get("format") != FORMAT_NAME:
+        raise ClusterIndexError(
+            f"{path!r} is not a {FORMAT_NAME} manifest "
+            f"(format={manifest.get('format')!r})")
+    if manifest.get("version") != FORMAT_VERSION:
+        raise ClusterIndexError(
+            f"index at {directory!r} has format version "
+            f"{manifest.get('version')!r}; this build reads "
+            f"version {FORMAT_VERSION}")
+    if manifest.get("token_kind") not in TOKEN_KINDS:
+        raise IndexCorruptError(
+            f"index manifest has unknown token_kind "
+            f"{manifest.get('token_kind')!r}")
+    return manifest
+
+
+def save_manifest(directory: str, manifest: Dict[str, Any]) -> None:
+    """Atomically (write + rename) persist *manifest*."""
+    path = manifest_path(directory)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+    os.replace(tmp, path)

@@ -1,0 +1,453 @@
+"""Read path of the persistent cluster index.
+
+:class:`ClusterIndexReader` rebuilds its lookup state — the token
+table, the keyword -> (interval, cluster) postings, the per-node
+record offsets, and the current top-k paths — by scanning the index
+logs once on open, then serves point lookups with one random read per
+cluster (LRU-cached), never touching the source documents.  A reader
+over a *live* index (a streaming run still appending) can
+:meth:`refresh` to tail the growth; scans stop at the manifest's
+recorded sizes, so a torn in-flight frame is never decoded.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (
+    Any,
+    BinaryIO,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.core.paths import NodeId, Path
+from repro.graph.clusters import KeywordCluster
+from repro.index.format import (
+    PATHS_FILE,
+    POSTINGS_FILE,
+    VOCABULARY_FILE,
+    IndexCorruptError,
+    load_manifest,
+    shard_file,
+)
+from repro.search.refinement import QueryRefiner, prefer_larger
+from repro.storage.codec import decode_record
+from repro.storage.lru import LRUCache
+from repro.storage.recordlog import RecordLogCorruptError, iter_records
+from repro.text.stemmer import stem
+from repro.vocab import FrozenVocabulary
+
+
+class ClusterIndexReader:
+    """Point lookups, scans, and path queries over a persisted index.
+
+    ``cache_size`` bounds the LRU of decoded clusters (cluster records
+    are immutable and the logs append-only, so cached entries never
+    go stale, even across :meth:`refresh`).
+    """
+
+    def __init__(self, directory: str, cache_size: int = 1024) -> None:
+        self.directory = directory
+        self._cache = LRUCache(cache_size)
+        self._consumed: Dict[str, int] = {}
+        self._fhs: Dict[str, BinaryIO] = {}
+        self._tokens: List[str] = []
+        self._frozen: Optional[FrozenVocabulary] = None
+        self._nodes: Dict[NodeId, Tuple[str, int, int]] = {}
+        self._per_interval: Dict[int, List[NodeId]] = {}
+        self._postings: Dict[Any, List[NodeId]] = {}
+        self._paths: List[Path] = []
+        self._path_generations = 0
+        self._postings_intervals = 0
+        self._manifest: Dict[str, Any] = {}
+        self._closed = False
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Loading and refreshing
+    # ------------------------------------------------------------------
+
+    def _fh(self, name: str) -> BinaryIO:
+        fh = self._fhs.get(name)
+        if fh is None:
+            path = os.path.join(self.directory, name)
+            try:
+                fh = open(path, "rb")
+            except FileNotFoundError:
+                raise IndexCorruptError(
+                    f"index at {self.directory!r} is missing "
+                    f"{name!r}") from None
+            self._fhs[name] = fh
+        return fh
+
+    def _scan_frames(self, name: str,
+                     limit: int) -> Iterator[Tuple[bytes, int]]:
+        """Yield this file's ``(payload, end_offset)`` frames from the
+        consumed offset up to *limit* (the manifest's recorded size —
+        bytes beyond it, e.g. a live writer's in-flight frame, are
+        never read).  Advances the consumed offset as it goes and maps
+        every framing failure to :class:`IndexCorruptError`."""
+        fh = self._fh(name)
+        fh.seek(0, os.SEEK_END)
+        if fh.tell() < limit:
+            raise IndexCorruptError(
+                f"{name!r} is truncated: manifest records {limit} "
+                f"bytes, file has {fh.tell()}")
+        offset = self._consumed.get(name, 0)
+        try:
+            for payload, end in iter_records(fh, offset=offset,
+                                             end=limit):
+                yield payload, end
+                offset = end
+        except (RecordLogCorruptError, ValueError, IndexError) as exc:
+            raise IndexCorruptError(
+                f"corrupt record in {name!r}: {exc}") from None
+        finally:
+            self._consumed[name] = offset
+
+    def _scan(self, name: str, limit: int) -> Iterator[Any]:
+        """Decode this file's records within the manifest bound."""
+        for payload, _ in self._scan_frames(name, limit):
+            try:
+                yield decode_record(payload)
+            except (ValueError, IndexError) as exc:
+                raise IndexCorruptError(
+                    f"corrupt record in {name!r}: {exc}") from None
+
+    def _load(self) -> None:
+        manifest = load_manifest(self.directory)
+        if self._manifest and (
+                manifest["num_shards"] != self._manifest["num_shards"]
+                or manifest["token_kind"]
+                != self._manifest["token_kind"]):
+            raise IndexCorruptError(
+                f"index at {self.directory!r} changed shape under a "
+                f"live reader; reopen it")
+        self._manifest = manifest
+        sizes = manifest.get("files", {})
+        if manifest["token_kind"] == "id":
+            for record in self._scan(
+                    VOCABULARY_FILE, sizes.get(VOCABULARY_FILE, 0)):
+                self._tokens.extend(record)
+            if len(self._tokens) != manifest["vocab_size"]:
+                raise IndexCorruptError(
+                    f"vocabulary holds {len(self._tokens)} tokens, "
+                    f"manifest records {manifest['vocab_size']}")
+            self._frozen = FrozenVocabulary(self._tokens)
+        for shard in range(manifest["num_shards"]):
+            name = shard_file(shard)
+            self._scan_shard(name, sizes.get(name, 0))
+        for record in self._scan(
+                POSTINGS_FILE, sizes.get(POSTINGS_FILE, 0)):
+            self._fold_postings(record)
+        for record in self._scan(PATHS_FILE, sizes.get(PATHS_FILE, 0)):
+            generation, paths = record
+            self._paths = list(paths)
+            self._path_generations = generation + 1
+        self._validate(manifest)
+
+    def _scan_shard(self, name: str, limit: int) -> None:
+        touched = set()
+        for payload, end in self._scan_frames(name, limit):
+            try:
+                interval, idx = decode_record(payload)[:2]
+            except (ValueError, IndexError) as exc:
+                raise IndexCorruptError(
+                    f"corrupt record in {name!r}: {exc}") from None
+            node = (interval, idx)
+            self._nodes[node] = (name, end - len(payload),
+                                 len(payload))
+            self._per_interval.setdefault(interval, []).append(node)
+            touched.add(interval)
+        for interval in touched:
+            self._per_interval[interval].sort()
+
+    def _fold_postings(self, record: Any) -> None:
+        interval, by_token = record
+        if interval != self._postings_intervals:
+            raise IndexCorruptError(
+                f"postings records out of order: expected interval "
+                f"{self._postings_intervals}, found {interval}")
+        for token, indices in by_token.items():
+            nodes = self._postings.setdefault(token, [])
+            nodes.extend((interval, idx) for idx in indices)
+        self._postings_intervals += 1
+
+    def _validate(self, manifest: Dict[str, Any]) -> None:
+        if len(self._nodes) != manifest["num_clusters"]:
+            raise IndexCorruptError(
+                f"cluster shards hold {len(self._nodes)} records, "
+                f"manifest records {manifest['num_clusters']}")
+        if self._postings_intervals != manifest["num_intervals"]:
+            raise IndexCorruptError(
+                f"postings cover {self._postings_intervals} "
+                f"intervals, manifest records "
+                f"{manifest['num_intervals']}")
+        if self._path_generations != manifest["path_generations"]:
+            raise IndexCorruptError(
+                f"paths log holds {self._path_generations} "
+                f"generations, manifest records "
+                f"{manifest['path_generations']}")
+        for interval, nodes in self._per_interval.items():
+            if interval >= self._postings_intervals:
+                raise IndexCorruptError(
+                    f"cluster record for interval {interval} beyond "
+                    f"the {self._postings_intervals} indexed "
+                    f"intervals")
+            if [idx for _, idx in nodes] != list(range(len(nodes))):
+                raise IndexCorruptError(
+                    f"interval {interval} cluster indices are not "
+                    f"dense: {[idx for _, idx in nodes]}")
+
+    def refresh(self) -> bool:
+        """Pick up whatever a live writer appended since last load.
+
+        Returns True when new data arrived."""
+        manifest = load_manifest(self.directory)
+        watched = ("num_intervals", "num_clusters", "vocab_size",
+                   "path_generations", "complete")
+        if all(manifest.get(key) == self._manifest.get(key)
+               for key in watched):
+            return False
+        self._load()
+        return True
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def num_intervals(self) -> int:
+        """Intervals indexed so far."""
+        return self._manifest["num_intervals"]
+
+    @property
+    def num_clusters(self) -> int:
+        """Total cluster records."""
+        return self._manifest["num_clusters"]
+
+    @property
+    def vocab_size(self) -> int:
+        """Interned keyword count (0 for string-token indexes)."""
+        return self._manifest["vocab_size"]
+
+    @property
+    def complete(self) -> bool:
+        """True once the producing run finalized the index."""
+        return bool(self._manifest["complete"])
+
+    @property
+    def token_kind(self) -> str:
+        """``'id'`` (interned) or ``'str'`` (keyword strings)."""
+        return self._manifest["token_kind"]
+
+    @property
+    def total_bytes(self) -> int:
+        """Log bytes the manifest accounts for."""
+        return sum(self._manifest.get("files", {}).values())
+
+    def cache_info(self) -> Tuple[int, int, int, int]:
+        """``(hits, misses, size, capacity)`` of the cluster cache."""
+        return self._cache.info()
+
+    def describe(self) -> str:
+        """Multi-line summary for ``index inspect``."""
+        manifest = self._manifest
+        state = "complete" if self.complete else "live (streaming)"
+        lines = [f"cluster index at {self.directory}",
+                 f"  format:   {manifest['format']} "
+                 f"v{manifest['version']}, {state}"]
+        query = manifest.get("query")
+        if query:
+            lines.append(f"  query:    {query['describe']}")
+        lines.append(
+            f"  shape:    {self.num_intervals} intervals, "
+            f"{self.num_clusters} clusters, {self.vocab_size} "
+            f"keywords, {manifest['num_paths']} stable paths")
+        lines.append(
+            f"  layout:   {manifest['num_shards']} cluster shards, "
+            f"{self.token_kind} tokens, {self.total_bytes} log bytes")
+        for name in sorted(manifest.get("files", {})):
+            lines.append(
+                f"    {name}: {manifest['files'][name]} bytes")
+        provenance = manifest.get("provenance") or []
+        if provenance:
+            lines.append("  provenance:")
+            lines.extend(f"    {line}" for line in provenance)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Point lookups and scans
+    # ------------------------------------------------------------------
+
+    def cluster(self, node: NodeId) -> KeywordCluster:
+        """The cluster behind one ``(interval, index)`` node.
+
+        Costs one LRU-cached random read; raises KeyError for
+        unknown nodes."""
+        cached = self._cache.get(node)
+        if cached is not None:
+            return cached
+        name, offset, length = self._nodes[node]
+        fh = self._fh(name)
+        fh.seek(offset)
+        blob = fh.read(length)
+        try:
+            interval, idx, label, tokens, edges = decode_record(blob)
+        except (ValueError, IndexError) as exc:
+            raise IndexCorruptError(
+                f"corrupt cluster record for node {node} in "
+                f"{name!r}: {exc}") from None
+        cluster = KeywordCluster(tokens=tokens, token_edges=edges,
+                                 interval=label, vocab=self._frozen)
+        self._cache.put(node, cluster)
+        return cluster
+
+    def has_node(self, node: NodeId) -> bool:
+        """True when ``(interval, index)`` is an indexed cluster."""
+        return node in self._nodes
+
+    def clusters_at(self, interval: int) -> List[KeywordCluster]:
+        """Every cluster of one interval, in cluster-list order."""
+        if not 0 <= interval < self.num_intervals:
+            raise ValueError(
+                f"interval {interval} out of range "
+                f"[0, {self.num_intervals})")
+        return [self.cluster(node)
+                for node in self._per_interval.get(interval, [])]
+
+    def scan(self, start: int = 0, stop: Optional[int] = None
+             ) -> Iterator[Tuple[int, List[KeywordCluster]]]:
+        """Yield ``(interval, clusters)`` over an interval range.
+
+        *stop* is exclusive and defaults to the end of the index."""
+        stop = self.num_intervals if stop is None else stop
+        for interval in range(start, stop):
+            yield interval, self.clusters_at(interval)
+
+    def _resolve(self, query_stem: str) -> Optional[Any]:
+        """The postings key for an already-stemmed keyword."""
+        if self._frozen is None:
+            return query_stem if query_stem in self._postings else None
+        try:
+            return self._frozen.id_of(query_stem)
+        except KeyError:
+            return None
+
+    def _decode_token(self, token: Any) -> str:
+        return token if self._frozen is None \
+            else self._frozen.decode(token)
+
+    def _best_cluster(self, query_stem: str,
+                      interval: int) -> Optional[KeywordCluster]:
+        """The refinement rule over the postings of one interval."""
+        token = self._resolve(query_stem)
+        if token is None:
+            return None
+        best: Optional[KeywordCluster] = None
+        for node in self._postings.get(token, ()):
+            if node[0] == interval:
+                best = prefer_larger(best, self.cluster(node))
+        return best
+
+    def _latest(self, interval: Optional[int]) -> int:
+        if interval is not None:
+            return interval
+        if self.num_intervals == 0:
+            raise ValueError("the index holds no intervals yet")
+        return self.num_intervals - 1
+
+    def lookup(self, keyword: str,
+               interval: Optional[int] = None
+               ) -> Optional[KeywordCluster]:
+        """The cluster *keyword* (stemmed) falls into, or None.
+
+        *interval* defaults to the latest indexed interval."""
+        return self._best_cluster(stem(keyword.lower()),
+                                  self._latest(interval))
+
+    def postings_for(self, keyword: str) -> Tuple[NodeId, ...]:
+        """Every node whose cluster contains *keyword* (stemmed).
+
+        Returned as ``(interval, index)`` pairs in interval order."""
+        token = self._resolve(stem(keyword.lower()))
+        if token is None:
+            return ()
+        return tuple(self._postings.get(token, ()))
+
+    def stems_at(self, interval: int) -> Iterable[str]:
+        """Every stemmed keyword with a cluster at *interval*."""
+        for token, nodes in self._postings.items():
+            if any(node[0] == interval for node in nodes):
+                yield self._decode_token(token)
+
+    # ------------------------------------------------------------------
+    # Stable paths
+    # ------------------------------------------------------------------
+
+    def paths(self) -> List[Path]:
+        """The current top-k stable paths (latest generation)."""
+        return list(self._paths)
+
+    def paths_through(self, keyword: str) -> List[Path]:
+        """Stable paths visiting any cluster containing *keyword*."""
+        nodes = set(self.postings_for(keyword))
+        if not nodes:
+            return []
+        return [path for path in self._paths
+                if nodes.intersection(path.nodes)]
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def refiner(self, interval: Optional[int] = None,
+                cache_size: int = 256) -> QueryRefiner:
+        """A query refiner answering from this index at *interval*.
+
+        Defaults to the latest interval; gives the same answers as a
+        :class:`~repro.search.QueryRefiner` built over the in-memory
+        cluster list."""
+        source = _IndexIntervalSource(self, self._latest(interval))
+        return QueryRefiner(source=source, cache_size=cache_size)
+
+    def close(self) -> None:
+        """Close every open log handle (idempotent)."""
+        if not self._closed:
+            for fh in self._fhs.values():
+                fh.close()
+            self._fhs.clear()
+            self._closed = True
+
+    def __enter__(self) -> "ClusterIndexReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ClusterIndexReader(dir={self.directory!r}, "
+                f"intervals={self.num_intervals}, "
+                f"clusters={self.num_clusters})")
+
+
+class _IndexIntervalSource:
+    """A :class:`~repro.search.refinement.ClusterSource` over one
+    indexed interval's postings."""
+
+    def __init__(self, reader: ClusterIndexReader,
+                 interval: int) -> None:
+        self._reader = reader
+        self._interval = interval
+
+    def best_cluster(self, query_stem: str) -> Optional[KeywordCluster]:
+        """Delegates to the reader's postings rule."""
+        return self._reader._best_cluster(query_stem, self._interval)
+
+    def stems(self) -> Iterable[str]:
+        """Keywords with a cluster at this interval."""
+        return self._reader.stems_at(self._interval)

@@ -1,0 +1,310 @@
+"""Serializing a clustering run into a persistent index.
+
+:class:`ClusterIndexWriter` turns what a run computed — per-interval
+keyword clusters, the frozen vocabulary, the top-k stable paths, and
+the plan that produced them — into the on-disk layout of
+:mod:`repro.index.format`.  It writes incrementally: a batch run
+appends all intervals then finalizes (:meth:`write_run`); a streaming
+run keeps the writer open, appending one interval and one top-k
+generation per ingest, so a live reader can follow the stream.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import Any, BinaryIO, Dict, List, Optional, Sequence
+
+from repro.index.format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_FILE,
+    PATHS_FILE,
+    POSTINGS_FILE,
+    VOCABULARY_FILE,
+    ClusterIndexError,
+    manifest_path,
+    save_manifest,
+    shard_file,
+    shard_for,
+)
+from repro.storage.codec import encode_compact
+from repro.storage.recordlog import append_record
+from repro.vocab import Vocabulary
+
+DEFAULT_SHARDS = 4
+
+
+class ClusterIndexWriter:
+    """Appends a run's clusters, vocabulary, and paths to an index.
+
+    ``vocab`` is the run's corpus :class:`~repro.vocab.Vocabulary`:
+    when given, clusters are (re)bound into it and stored as integer
+    token ids with the token table persisted alongside (``token_kind
+    = 'id'``); when ``None``, clusters are stored by their keyword
+    strings.  ``query`` and ``provenance`` (the execution plan's
+    explain lines) are recorded in the manifest for ``index inspect``.
+
+    The writer refuses a non-empty directory unless it holds an index
+    of this format and ``overwrite=True`` — it will not clobber
+    foreign files.
+    """
+
+    def __init__(self, directory: str, *,
+                 vocab: Optional[Vocabulary] = None,
+                 query: Optional[Any] = None,
+                 provenance: Optional[Sequence[str]] = None,
+                 num_shards: int = DEFAULT_SHARDS,
+                 overwrite: bool = False) -> None:
+        if num_shards < 1:
+            raise ValueError(
+                f"num_shards must be >= 1, got {num_shards}")
+        self.directory = directory
+        self.num_shards = num_shards
+        self._vocab = vocab
+        self._query = query
+        self._provenance = list(provenance or ())
+        self._prepare_directory(overwrite)
+        self._num_intervals = 0
+        self._num_clusters = 0
+        self._vocab_written = 0
+        self._path_generations = 0
+        self._num_paths = 0
+        self._finalized = False
+        self._closed = False
+        self._bytes: Dict[str, int] = {}
+        self._fhs: Dict[str, BinaryIO] = {}
+        for name in self._log_files():
+            path = os.path.join(directory, name)
+            self._fhs[name] = open(path, "ab")
+            self._bytes[name] = 0
+        self._save_manifest(complete=False)
+
+    # ------------------------------------------------------------------
+    # Directory and manifest plumbing
+    # ------------------------------------------------------------------
+
+    def _log_files(self) -> List[str]:
+        names = [shard_file(i) for i in range(self.num_shards)]
+        names.append(POSTINGS_FILE)
+        names.append(PATHS_FILE)
+        if self._vocab is not None:
+            names.append(VOCABULARY_FILE)
+        return names
+
+    def _prepare_directory(self, overwrite: bool) -> None:
+        directory = self.directory
+        if os.path.exists(manifest_path(directory)):
+            if not overwrite:
+                raise ClusterIndexError(
+                    f"{directory!r} already holds a cluster index; "
+                    f"pass overwrite=True to rebuild it")
+            self._wipe_index_files()
+        elif os.path.isdir(directory) and os.listdir(directory):
+            raise ClusterIndexError(
+                f"refusing to write an index into non-empty "
+                f"directory {directory!r} (no {MANIFEST_FILE} found)")
+        os.makedirs(directory, exist_ok=True)
+
+    def _wipe_index_files(self) -> None:
+        """Remove a previous index's files (and only those)."""
+        doomed = [MANIFEST_FILE, VOCABULARY_FILE, POSTINGS_FILE,
+                  PATHS_FILE]
+        doomed += [os.path.basename(path) for path in glob.glob(
+            os.path.join(self.directory, "clusters-*.bin"))]
+        for name in doomed:
+            try:
+                os.unlink(os.path.join(self.directory, name))
+            except FileNotFoundError:
+                pass
+
+    def _save_manifest(self, complete: bool) -> None:
+        self._sync()
+        manifest: Dict[str, Any] = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "token_kind": "id" if self._vocab is not None else "str",
+            "num_shards": self.num_shards,
+            "num_intervals": self._num_intervals,
+            "num_clusters": self._num_clusters,
+            "vocab_size": self._vocab_written,
+            "path_generations": self._path_generations,
+            "num_paths": self._num_paths,
+            "complete": complete,
+            "query": None,
+            "provenance": self._provenance,
+            "files": dict(self._bytes),
+        }
+        query = self._query
+        if query is not None:
+            manifest["query"] = {
+                "describe": query.describe(),
+                "problem": query.problem,
+                "l": query.l,
+                "lmin": query.lmin,
+                "k": query.k,
+                "gap": query.gap,
+            }
+        save_manifest(self.directory, manifest)
+
+    def _append(self, name: str, payload: bytes) -> None:
+        self._bytes[name] += append_record(self._fhs[name], payload)
+
+    def _sync(self) -> None:
+        """Flush every log so the manifest never records bytes the
+        OS has not seen (one flush per file per manifest save, not
+        one per record)."""
+        for fh in self._fhs.values():
+            if not fh.closed:
+                fh.flush()
+
+    # ------------------------------------------------------------------
+    # The write path
+    # ------------------------------------------------------------------
+
+    def append_interval(self, clusters: Sequence) -> int:
+        """Persist one interval's clusters (the next interval index).
+
+        In id mode every cluster is first rebound into the writer's
+        vocabulary and the newly interned tokens are appended to the
+        persisted token table, so ids on disk always decode against
+        the table prefix that existed when they were written.  Returns
+        the interval index the clusters were stored under.
+        """
+        if self._closed:
+            raise ClusterIndexError(
+                "cannot append to a finalized/aborted index writer")
+        interval = self._num_intervals
+        if self._vocab is not None:
+            clusters = [cluster.rebind(self._vocab)
+                        for cluster in clusters]
+            tokens = self._vocab.tokens
+            fresh = tokens[self._vocab_written:]
+            if fresh:
+                self._append(VOCABULARY_FILE,
+                             encode_compact(tuple(fresh)))
+                self._vocab_written = len(tokens)
+        postings: Dict[Any, List[int]] = {}
+        for idx, cluster in enumerate(clusters):
+            if self._vocab is not None:
+                tokens_out = cluster.tokens
+                edges_out = cluster.token_edges
+            else:
+                tokens_out = tuple(sorted(cluster.keywords))
+                edges_out = cluster.edges
+            record = (interval, idx, cluster.interval,
+                      tuple(tokens_out), tuple(edges_out))
+            self._append(shard_file(
+                shard_for(interval, idx, self.num_shards)),
+                encode_compact(record))
+            for token in tokens_out:
+                postings.setdefault(token, []).append(idx)
+        self._append(POSTINGS_FILE,
+                     encode_compact((interval, postings)))
+        self._num_intervals += 1
+        self._num_clusters += len(clusters)
+        self._save_manifest(complete=False)
+        return interval
+
+    def set_paths(self, paths: Sequence) -> None:
+        """Persist the current top-k paths as a new generation.
+
+        The last generation written is the index's answer."""
+        if self._closed:
+            raise ClusterIndexError(
+                "cannot append to a finalized/aborted index writer")
+        self._append(PATHS_FILE, encode_compact(
+            (self._path_generations, list(paths))))
+        self._path_generations += 1
+        self._num_paths = len(paths)
+        self._save_manifest(complete=False)
+
+    @property
+    def bytes_written(self) -> int:
+        """Total log bytes appended so far (manifest excluded)."""
+        return sum(self._bytes.values())
+
+    def finalize(self) -> int:
+        """Mark the index complete and close it.
+
+        Returns total log bytes; idempotent — later calls return the
+        same total.  An aborted writer cannot be finalized.
+        """
+        if self._closed and not self._finalized:
+            raise ClusterIndexError(
+                "cannot finalize an aborted index writer")
+        if not self._finalized:
+            self._finalized = True
+            self._closed = True
+            self._save_manifest(complete=True)
+            for fh in self._fhs.values():
+                fh.close()
+        return self.bytes_written
+
+    def abort(self) -> None:
+        """Close the writer *without* marking the index complete.
+
+        What was appended so far stays readable (the manifest keeps
+        ``complete: false``, so tailing readers know the run never
+        finished); used when a streaming run dies mid-stream.
+        Idempotent; a no-op after :meth:`finalize`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._save_manifest(complete=False)
+        for fh in self._fhs.values():
+            fh.close()
+
+    def close(self) -> None:
+        """Alias for :meth:`finalize` (context-manager symmetry)."""
+        self.finalize()
+
+    def __enter__(self) -> "ClusterIndexWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        # A run that died mid-write must not stamp its partial index
+        # complete; readers see `complete: false` and keep waiting
+        # (or report it live) instead of serving a truncated run as
+        # finished.
+        if exc_type is None:
+            self.finalize()
+        else:
+            self.abort()
+
+    def __repr__(self) -> str:
+        return (f"ClusterIndexWriter(dir={self.directory!r}, "
+                f"intervals={self._num_intervals}, "
+                f"clusters={self._num_clusters})")
+
+    # ------------------------------------------------------------------
+    # Whole-run convenience
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def write_run(cls, directory: str,
+                  interval_clusters: Sequence[Sequence],
+                  paths: Sequence, *,
+                  vocab: Optional[Vocabulary] = None,
+                  query: Optional[Any] = None,
+                  plan: Optional[Any] = None,
+                  num_shards: int = DEFAULT_SHARDS,
+                  overwrite: bool = True) -> int:
+        """Persist a completed batch run in one call; returns total
+        log bytes written.
+
+        ``plan`` (an :class:`~repro.engine.planner.ExecutionPlan`)
+        contributes its ``explain()`` lines as the index's provenance.
+        """
+        provenance = plan.explain().splitlines() \
+            if plan is not None else None
+        if query is None and plan is not None:
+            query = plan.query
+        with cls(directory, vocab=vocab, query=query,
+                 provenance=provenance, num_shards=num_shards,
+                 overwrite=overwrite) as writer:
+            for clusters in interval_clusters:
+                writer.append_interval(clusters)
+            writer.set_paths(paths)
+            return writer.finalize()

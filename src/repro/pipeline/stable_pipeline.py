@@ -20,6 +20,7 @@ from repro.core.solver_stats import SolverStats
 from repro.core.stability import THETA_DEFAULT, build_cluster_graph
 from repro.engine import ExecutionPlan, StableQuery, solve_report
 from repro.graph.clusters import KeywordCluster
+from repro.index.writer import ClusterIndexWriter
 from repro.parallel import Executor, open_executor, resolve_workers
 from repro.pipeline.cluster_generation import (
     ClusterGenerationReport,
@@ -41,6 +42,9 @@ class StableClusterResult:
     plan: Optional[ExecutionPlan] = None
     solver_stats: Optional[SolverStats] = None
     vocabulary: Optional[Vocabulary] = None
+    # Directory of the persistent index the run wrote (None when the
+    # caller did not ask for one).
+    index_dir: Optional[str] = None
 
     def path_keywords(self, path: Path) -> List[frozenset]:
         """The keyword sets along one stable path."""
@@ -117,7 +121,8 @@ def find_stable_clusters(corpus: IntervalCorpus,
                          diverse_policy: str = "prefix-suffix",
                          solver: str = "auto",
                          memory_budget: Optional[int] = None,
-                         workers: Union[int, Executor, None] = None
+                         workers: Union[int, Executor, None] = None,
+                         index_dir: Optional[str] = None
                          ) -> StableClusterResult:
     """Run the complete two-stage pipeline over *corpus*.
 
@@ -139,6 +144,14 @@ def find_stable_clusters(corpus: IntervalCorpus,
     int fans it out on a process pool of that size (``0`` = all
     cores), an :class:`~repro.parallel.Executor` instance is used
     as-is (and left open).  Results are executor-invariant.
+
+    ``index_dir`` persists the completed run — every interval's
+    clusters, the vocabulary, the top-k paths, and the plan's
+    provenance — as a :mod:`repro.index` cluster index at that
+    directory (overwriting a previous index there), so refinement
+    and lookup queries can later be served without recomputing; the
+    written size is reported on ``result.plan`` (``explain()``'s
+    ``index:`` line).
     """
     worker_count = workers.workers if isinstance(workers, Executor) \
         else workers
@@ -171,13 +184,23 @@ def find_stable_clusters(corpus: IntervalCorpus,
                                 theta=theta, gap=gap)
     report = solve_report(graph, query, solver=solver)
     report.plan.vocab_size = len(vocab)
+    if index_dir is not None:
+        # The plan's index fields are set only after the write: the
+        # provenance the manifest captures is the plan as it ran, and
+        # the measured size cannot be part of its own recording.
+        index_bytes = ClusterIndexWriter.write_run(
+            index_dir, interval_clusters, report.paths,
+            vocab=vocab, query=query, plan=report.plan)
+        report.plan.index_dir = index_dir
+        report.plan.index_bytes = index_bytes
     return StableClusterResult(interval_clusters=interval_clusters,
                                cluster_graph=graph,
                                paths=report.paths,
                                generation_reports=reports,
                                plan=report.plan,
                                solver_stats=report.stats,
-                               vocabulary=vocab)
+                               vocabulary=vocab,
+                               index_dir=index_dir)
 
 
 def render_path_clusters(path: Path, cluster_lookup,

@@ -6,6 +6,22 @@ refinement ... for a query keyword we may suggest the strongest
 correlation as a refinement."
 """
 
-from repro.search.refinement import QueryRefiner, Refinement
+from repro.search.refinement import (
+    ClusterSource,
+    ListClusterSource,
+    QueryRefiner,
+    Refinement,
+    prefer_larger,
+    rank_suggestions,
+    render_refinement,
+)
 
-__all__ = ["QueryRefiner", "Refinement"]
+__all__ = [
+    "ClusterSource",
+    "ListClusterSource",
+    "QueryRefiner",
+    "Refinement",
+    "prefer_larger",
+    "rank_suggestions",
+    "render_refinement",
+]

@@ -1,19 +1,41 @@
 """Query refinement from per-interval keyword clusters.
 
-``QueryRefiner`` indexes the clusters of one temporal interval by
-keyword; :meth:`refine` returns the refinement candidates for a query
-term — the other keywords of its cluster, ranked by the strength of
-their correlation with the query (the paper's "suggest the strongest
-correlation as a refinement"), plus the cluster itself for context.
+:class:`QueryRefiner` answers the paper's Section-1 serving question:
+for a query term that falls in a cluster, the other keywords of that
+cluster are refinement candidates, ranked by the strength of their
+correlation with the query ("suggest the strongest correlation as a
+refinement"), plus the cluster itself for context.
+
+The refiner is split from where clusters live: it reads them through a
+:class:`ClusterSource` — an in-memory cluster list (the historical
+form, still the one-argument constructor), or the persistent cluster
+index (:meth:`repro.index.ClusterIndexReader.refiner`), so a serving
+tier answers refinements without re-reading any source documents.
+Answers are source-independent: the same clusters give byte-identical
+:class:`Refinement` objects whichever backing is used, which the
+round-trip tests pin.  An optional LRU cache keeps hot keywords'
+answers resident.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.graph.clusters import KeywordCluster
+from repro.storage.lru import LRUCache
 from repro.text.stemmer import stem
+
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -26,51 +48,156 @@ class Refinement:
 
     @property
     def strongest(self) -> Optional[str]:
-        """The single best suggestion (None when the cluster carries
-        no scored edges for the query)."""
+        """The single best suggestion.
+
+        None when the cluster carries no scored edges (and no other
+        keywords) for the query."""
         return self.suggestions[0][0] if self.suggestions else None
 
 
-class QueryRefiner:
-    """Keyword -> cluster index over one interval's clusters."""
+def rank_suggestions(cluster: KeywordCluster, query_stem: str
+                     ) -> Tuple[Tuple[str, float], ...]:
+    """Rank *cluster*'s other keywords as refinements of *query_stem*.
+
+    Keywords adjacent to the query rank by their strongest supporting
+    correlation, descending; keywords in the cluster but not adjacent
+    (they co-occur transitively) follow with score 0.  Ties break
+    alphabetically, so the ranking is deterministic for any storage of
+    the same cluster.
+    """
+    scored: Dict[str, float] = {}
+    for u, v, rho in cluster.edges:
+        if query_stem == u:
+            scored[v] = max(scored.get(v, 0.0), rho)
+        elif query_stem == v:
+            scored[u] = max(scored.get(u, 0.0), rho)
+    for keyword in cluster.keywords:
+        if keyword != query_stem:
+            scored.setdefault(keyword, 0.0)
+    return tuple(sorted(scored.items(),
+                        key=lambda item: (-item[1], item[0])))
+
+
+def prefer_larger(current: Optional[KeywordCluster],
+                  candidate: KeywordCluster) -> KeywordCluster:
+    """The keyword -> cluster assignment rule.
+
+    Biconnected components can share articulation keywords; the more
+    informative (strictly larger) cluster wins, and ties keep the
+    earlier one.  Both the in-memory source and the index postings
+    apply candidates in cluster-list order through this one rule, so
+    the chosen cluster is identical across backings.
+    """
+    if current is None or len(candidate) > len(current):
+        return candidate
+    return current
+
+
+@runtime_checkable
+class ClusterSource(Protocol):
+    """Where a :class:`QueryRefiner` reads its clusters from.
+
+    ``best_cluster(stem)`` returns the cluster assigned to a stemmed
+    keyword (by the :func:`prefer_larger` rule) or ``None``;
+    ``stems()`` enumerates every stem that has a cluster.
+    """
+
+    def best_cluster(self, query_stem: str) -> Optional[KeywordCluster]:
+        """The cluster for *query_stem*, or None when it has none."""
+
+    def stems(self) -> Iterable[str]:
+        """Every stemmed keyword that maps to a cluster."""
+
+
+class ListClusterSource:
+    """In-memory :class:`ClusterSource` over one interval's clusters."""
 
     def __init__(self, clusters: Sequence[KeywordCluster]) -> None:
         self._by_keyword: Dict[str, KeywordCluster] = {}
         for cluster in clusters:
             for keyword in cluster.keywords:
-                # Biconnected components can share articulation
-                # keywords; keep the larger (more informative) cluster.
-                current = self._by_keyword.get(keyword)
-                if current is None or len(cluster) > len(current):
-                    self._by_keyword[keyword] = cluster
+                self._by_keyword[keyword] = prefer_larger(
+                    self._by_keyword.get(keyword), cluster)
+
+    def best_cluster(self, query_stem: str) -> Optional[KeywordCluster]:
+        """The assigned cluster for *query_stem* (dict lookup)."""
+        return self._by_keyword.get(query_stem)
+
+    def stems(self) -> Iterable[str]:
+        """Every keyword that has a cluster."""
+        return self._by_keyword.keys()
+
+
+class QueryRefiner:
+    """Keyword -> refinement answers over one interval's clusters.
+
+    ``QueryRefiner(clusters)`` serves from an in-memory cluster list;
+    ``QueryRefiner(source=...)`` serves from any
+    :class:`ClusterSource` (the index reader builds one over its
+    keyword postings).  ``cache_size`` bounds an LRU of refinement
+    answers for hot keywords (0 disables it).
+    """
+
+    def __init__(self,
+                 clusters: Optional[Sequence[KeywordCluster]] = None,
+                 *, source: Optional[ClusterSource] = None,
+                 cache_size: int = 0) -> None:
+        if (clusters is None) == (source is None):
+            raise TypeError(
+                "QueryRefiner needs exactly one of clusters= (an "
+                "in-memory list) or source= (a ClusterSource)")
+        self._source: ClusterSource = (
+            ListClusterSource(clusters) if source is None else source)
+        self._cache = LRUCache(cache_size)
 
     def __contains__(self, query: str) -> bool:
-        return stem(query.lower()) in self._by_keyword
+        return self.refine(query) is not None
 
     def refine(self, query: str) -> Optional[Refinement]:
-        """Refinement for *query* (stemmed), or None when the query
-        falls in no cluster this interval."""
+        """Refinement for *query* (stemmed).
+
+        Returns None when the query falls in no cluster this
+        interval."""
         query_stem = stem(query.lower())
-        cluster = self._by_keyword.get(query_stem)
-        if cluster is None:
-            return None
-        scored: Dict[str, float] = {}
-        for u, v, rho in cluster.edges:
-            if query_stem == u:
-                scored[v] = max(scored.get(v, 0.0), rho)
-            elif query_stem == v:
-                scored[u] = max(scored.get(u, 0.0), rho)
-        # Keywords in the cluster but not adjacent to the query are
-        # still candidates (they co-occur transitively); rank them
-        # after the directly correlated ones with score 0.
-        for keyword in cluster.keywords:
-            if keyword != query_stem:
-                scored.setdefault(keyword, 0.0)
-        ranked = tuple(sorted(scored.items(),
-                              key=lambda item: (-item[1], item[0])))
-        return Refinement(query_stem=query_stem, cluster=cluster,
-                          suggestions=ranked)
+        cached = self._cache.get(query_stem, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        cluster = self._source.best_cluster(query_stem)
+        result = None if cluster is None else Refinement(
+            query_stem=query_stem, cluster=cluster,
+            suggestions=rank_suggestions(cluster, query_stem))
+        self._cache.put(query_stem, result)
+        return result
 
     def vocabulary(self) -> List[str]:
         """Every keyword that has a cluster this interval."""
-        return sorted(self._by_keyword)
+        return sorted(self._source.stems())
+
+    def clear_cache(self) -> None:
+        """Drop cached answers (after the backing index refreshed)."""
+        self._cache.clear()
+
+    def cache_info(self) -> Tuple[int, int, int, int]:
+        """``(hits, misses, size, capacity)`` of the answer cache."""
+        return self._cache.info()
+
+
+def render_refinement(refinement: Refinement,
+                      max_suggestions: int = 8) -> str:
+    """Human-readable rendering of one refinement answer.
+
+    The CLI ``query refine`` subcommand and the round-trip tests share
+    this renderer, so "byte-identical answers" is checkable on the
+    exact strings users see.
+    """
+    cluster = refinement.cluster
+    keywords = " ".join(sorted(cluster.keywords))
+    lines = [f"cluster ({len(cluster)} keywords"
+             + (f", interval {cluster.interval}" if cluster.interval
+                is not None else "") + f"): {keywords}"]
+    shown = refinement.suggestions[:max_suggestions]
+    rendered = "  ".join(f"{kw} ({rho:.3f})" for kw, rho in shown)
+    suffix = " ..." if len(refinement.suggestions) > len(shown) else ""
+    lines.append(f"refinements: {rendered}{suffix}")
+    lines.append(f"strongest: {refinement.strongest}")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""The read-path serving layer (Section 1's interactive application).
+
+Users query keywords and get back clusters, stable paths, and
+refinement suggestions; :class:`ClusterQueryService` answers all
+three from a persisted :mod:`repro.index` — point lookups against the
+keyword postings, per-interval query refiners with LRU-cached hot
+answers, and ``refresh()`` tailing of a live streaming index.  The
+CLI's ``query`` subcommand is a thin shell over this class.
+"""
+
+from repro.service.query_service import ClusterQueryService
+
+__all__ = ["ClusterQueryService"]

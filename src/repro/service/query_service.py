@@ -1,0 +1,147 @@
+"""The interactive query front end over a persisted cluster index.
+
+:class:`ClusterQueryService` is what a serving tier instantiates per
+index: it owns a :class:`~repro.index.ClusterIndexReader`, keeps one
+LRU-cached :class:`~repro.search.QueryRefiner` per queried interval,
+and answers the paper's Section-1 questions — refinement suggestions,
+keyword -> cluster lookups, stable paths — without ever touching the
+source documents.  Against a *live* index (a streaming run still
+appending) :meth:`refresh` tails the growth and invalidates the
+per-interval refiners that changed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.paths import Path
+from repro.graph.clusters import KeywordCluster
+from repro.index.reader import ClusterIndexReader
+from repro.pipeline.stable_pipeline import render_path_clusters
+from repro.search.refinement import QueryRefiner, Refinement
+
+DEFAULT_REFINER_CACHE = 256
+
+
+class ClusterQueryService:
+    """Serve refinements, lookups, and stable paths from an index.
+
+    Accepts a directory path (the reader is opened and owned — closed
+    with the service) or an already-open
+    :class:`~repro.index.ClusterIndexReader` (left open on close).
+    ``cache_size`` bounds each per-interval refiner's LRU of hot
+    keyword answers.
+    """
+
+    def __init__(self, index: Union[str, ClusterIndexReader],
+                 cache_size: int = DEFAULT_REFINER_CACHE) -> None:
+        self._owns_reader = isinstance(index, str)
+        self.reader = ClusterIndexReader(index) \
+            if isinstance(index, str) else index
+        self._cache_size = cache_size
+        self._refiners: Dict[int, QueryRefiner] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_intervals(self) -> int:
+        """Intervals the index currently covers."""
+        return self.reader.num_intervals
+
+    @property
+    def latest_interval(self) -> int:
+        """The most recent indexed interval, the default target.
+
+        Raises ValueError while the index is empty."""
+        if self.reader.num_intervals == 0:
+            raise ValueError("the index holds no intervals yet")
+        return self.reader.num_intervals - 1
+
+    def refiner(self, interval: Optional[int] = None) -> QueryRefiner:
+        """The (cached) refiner for *interval* (default: latest)."""
+        interval = self.latest_interval if interval is None \
+            else interval
+        refiner = self._refiners.get(interval)
+        if refiner is None:
+            refiner = self.reader.refiner(interval,
+                                          cache_size=self._cache_size)
+            self._refiners[interval] = refiner
+        return refiner
+
+    def refine(self, keyword: str,
+               interval: Optional[int] = None) -> Optional[Refinement]:
+        """Refinement suggestions for *keyword*, or None.
+
+        *interval* defaults to the latest indexed interval; None
+        means the keyword falls in no cluster there."""
+        return self.refiner(interval).refine(keyword)
+
+    def lookup(self, keyword: str,
+               interval: Optional[int] = None
+               ) -> Optional[KeywordCluster]:
+        """The cluster *keyword* falls into, or None.
+
+        *interval* defaults to the latest indexed interval."""
+        return self.reader.lookup(keyword, interval)
+
+    def stable_paths(self) -> List[Path]:
+        """The run's current top-k stable paths."""
+        return self.reader.paths()
+
+    def paths_for(self, keyword: str) -> List[Path]:
+        """Stable paths visiting any cluster containing *keyword*."""
+        return self.reader.paths_through(keyword)
+
+    def render_path(self, path: Path, max_keywords: int = 8) -> str:
+        """Render one stable path, clusters read from the index.
+
+        Uses the same renderer as the batch/stream CLI."""
+        return render_path_clusters(
+            path, lambda node: self.reader.cluster(node)
+            if self.reader.has_node(node) else None,
+            max_keywords=max_keywords,
+            missing="(not in index)")
+
+    # ------------------------------------------------------------------
+    # Live indexes
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> bool:
+        """Tail a live index; True when new intervals/paths arrived.
+
+        The refiner for what used to be the latest interval is
+        invalidated (a streaming writer only appends, so older
+        intervals' answers cannot change)."""
+        before = self.reader.num_intervals
+        if not self.reader.refresh():
+            return False
+        for interval in list(self._refiners):
+            if interval >= before - 1:
+                del self._refiners[interval]
+        return True
+
+    @property
+    def complete(self) -> bool:
+        """True once the producing run finalized the index."""
+        return self.reader.complete
+
+    def describe(self) -> str:
+        """The underlying index summary (``index inspect``)."""
+        return self.reader.describe()
+
+    def close(self) -> None:
+        """Close the reader if this service opened it."""
+        if self._owns_reader:
+            self.reader.close()
+
+    def __enter__(self) -> "ClusterQueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ClusterQueryService(dir={self.reader.directory!r}, "
+                f"intervals={self.reader.num_intervals})")

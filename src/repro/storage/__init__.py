@@ -23,6 +23,11 @@ primitives those implementations use:
   :class:`~repro.storage.backends.MemoryStore` and the
   hash-partitioned :class:`~repro.storage.backends.ShardedStore`
   implementations (``DiskDict`` conforms as-is).
+* :mod:`~repro.storage.recordlog` — framed, crc32-checksummed record
+  logs: the durable file format the persistent cluster index
+  (:mod:`repro.index`) is built from.
+* :class:`~repro.storage.lru.LRUCache` — the bounded read cache shared
+  by ``DiskDict``, the index reader, and the query refiner.
 """
 
 from repro.storage.backends import (
@@ -39,7 +44,14 @@ from repro.storage.codec import (
 )
 from repro.storage.diskdict import DiskDict
 from repro.storage.iostats import IOStats
+from repro.storage.lru import LRUCache
 from repro.storage.pager import BufferPool, Page, PagedFile
+from repro.storage.recordlog import (
+    RecordLogCorruptError,
+    append_record,
+    iter_records,
+    read_records,
+)
 from repro.storage.spillstack import SpillableStack
 
 __all__ = [
@@ -47,9 +59,14 @@ __all__ = [
     "BufferPool",
     "DiskDict",
     "IOStats",
+    "LRUCache",
+    "RecordLogCorruptError",
+    "append_record",
     "decode_record",
     "encode_compact",
     "encode_pickle",
+    "iter_records",
+    "read_records",
     "MemoryStore",
     "Page",
     "PagedFile",

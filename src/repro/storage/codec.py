@@ -221,8 +221,10 @@ def _decode_value(blob: bytes, pos: int) -> Tuple[Any, int]:
 
 
 def encode_compact(obj: Any) -> bytes:
-    """Serialize *obj* compactly, falling back to pickle whole when a
-    value of an unsupported type is encountered."""
+    """Serialize *obj* compactly.
+
+    Falls back to pickling the whole record when a value of an
+    unsupported type is encountered."""
     out: List[bytes] = [COMPACT]
     try:
         _encode_value(obj, out)
@@ -256,8 +258,10 @@ CODECS = ("compact", "pickle")
 
 
 def encoder_for(codec: str):
-    """The encode function for a codec spec (``decode_record`` reads
-    both, so the choice affects written bytes only)."""
+    """The encode function for a codec spec.
+
+    ``decode_record`` reads both forms, so the choice affects
+    written bytes only."""
     if codec == "compact":
         return encode_compact
     if codec == "pickle":

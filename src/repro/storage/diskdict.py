@@ -15,11 +15,13 @@ log-structured store); :meth:`compact` rewrites the live records.
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.storage.codec import decode_record, encoder_for
 from repro.storage.iostats import IOStats
+from repro.storage.lru import LRUCache
+
+_MISSING = object()
 
 
 class DiskDict:
@@ -44,8 +46,7 @@ class DiskDict:
         self.codec = codec
         self._encode = encoder_for(codec)
         self._index: Dict[Any, Tuple[int, int]] = {}
-        self._cache: "OrderedDict[Any, Any]" = OrderedDict()
-        self._cache_size = cache_size
+        self._cache = LRUCache(cache_size)
         self._garbage_bytes = 0
         self._fh = open(path, "a+b")
         self._fh.seek(0, os.SEEK_END)
@@ -60,18 +61,18 @@ class DiskDict:
             self._garbage_bytes += stale[1]
         self._index[key] = (offset, len(blob))
         self.stats.record_write(len(blob))
-        self._cache_put(key, value)
+        self._cache.put(key, value)
 
     def __getitem__(self, key: Any) -> Any:
-        if key in self._cache:
-            self._cache.move_to_end(key)
-            return self._cache[key]
+        cached = self._cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
         offset, length = self._index[key]
         self._fh.seek(offset)
         blob = self._fh.read(length)
         self.stats.record_read(length)
         value = decode_record(blob)
-        self._cache_put(key, value)
+        self._cache.put(key, value)
         return value
 
     def __contains__(self, key: Any) -> bool:
@@ -91,7 +92,7 @@ class DiskDict:
 
     def __delitem__(self, key: Any) -> None:
         self._garbage_bytes += self._index.pop(key)[1]
-        self._cache.pop(key, None)
+        self._cache.pop(key)
 
     def keys(self) -> Iterator[Any]:
         """Iterate over live keys."""
@@ -128,10 +129,12 @@ class DiskDict:
 
     @property
     def garbage_bytes(self) -> int:
-        """Dead bytes in the data file: records superseded by a later
-        ``__setitem__`` of the same key, or orphaned by
-        ``__delitem__``.  Reset to zero by :meth:`compact`; backends
-        (e.g. the sharded store) use it to trigger compaction."""
+        """Dead bytes in the data file.
+
+        Records superseded by a later ``__setitem__`` of the same
+        key, or orphaned by ``__delitem__``.  Reset to zero by
+        :meth:`compact`; backends (e.g. the sharded store) use it to
+        trigger compaction."""
         return self._garbage_bytes
 
     def close(self) -> None:
@@ -144,11 +147,3 @@ class DiskDict:
 
     def __exit__(self, *exc) -> None:
         self.close()
-
-    def _cache_put(self, key: Any, value: Any) -> None:
-        if self._cache_size <= 0:
-            return
-        self._cache[key] = value
-        self._cache.move_to_end(key)
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)

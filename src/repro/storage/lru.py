@@ -1,0 +1,73 @@
+"""A small bounded LRU cache shared by the read paths.
+
+:class:`~repro.storage.diskdict.DiskDict` models a few pages of
+buffer memory with it; the cluster-index reader and the query
+refiner (:mod:`repro.index`, :mod:`repro.search`) keep their hot
+keywords decoded with it.  One implementation, one eviction rule.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Tuple
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping evicting the least recently used entry.
+
+    ``capacity <= 0`` disables the cache entirely (every ``get``
+    misses, ``put`` is a no-op) so callers need no branching.  Hits
+    and misses are counted for :meth:`info`.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """The cached value (refreshing its recency), else *default*."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Cache *value*, evicting the coldest entries past capacity."""
+        if self.capacity <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def pop(self, key: Any, default: Any = None) -> Any:
+        """Remove and return *key*'s value (no hit/miss accounting)."""
+        return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._data.clear()
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def info(self) -> Tuple[int, int, int, int]:
+        """``(hits, misses, size, capacity)`` for diagnostics."""
+        return (self.hits, self.misses, len(self._data), self.capacity)
+
+    def __repr__(self) -> str:
+        return (f"LRUCache(capacity={self.capacity}, "
+                f"size={len(self._data)}, hits={self.hits}, "
+                f"misses={self.misses})")

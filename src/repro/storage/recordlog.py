@@ -1,0 +1,100 @@
+"""Framed, checksummed append-only record logs.
+
+The persistent cluster index (:mod:`repro.index`) must survive a
+process restart — unlike :class:`~repro.storage.diskdict.DiskDict`,
+whose key index lives only in memory, an index file is *reopened* and
+must rebuild its state from the bytes alone.  This module provides the
+durable framing both sides share: each record is written as
+
+``[varint payload length][4-byte LE crc32 of payload][payload]``
+
+so a reader can scan a file record by record, detect truncation (the
+file ends inside a frame) and corruption (the checksum mismatches)
+instead of silently decoding garbage, and resume a scan from any
+previously returned frame boundary — which is what lets a live reader
+:meth:`~repro.index.ClusterIndexReader.refresh` tail a growing index.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import BinaryIO, Iterator, List, Optional, Tuple
+
+from repro.storage.codec import decode_varint, encode_varint
+
+_CRC_BYTES = 4
+
+
+class RecordLogCorruptError(ValueError):
+    """A record frame is truncated or fails its checksum."""
+
+
+def append_record(fh: BinaryIO, payload: bytes) -> int:
+    """Append one framed *payload* to *fh*; returns bytes written.
+
+    The caller owns positioning (logs are append-only, so the handle
+    is expected to sit at end-of-file) and flushing.
+    """
+    out: List[bytes] = []
+    encode_varint(len(payload), out)
+    out.append(zlib.crc32(payload).to_bytes(_CRC_BYTES, "little"))
+    out.append(payload)
+    frame = b"".join(out)
+    fh.write(frame)
+    return len(frame)
+
+
+def iter_records(fh: BinaryIO, offset: int = 0,
+                 end: Optional[int] = None
+                 ) -> Iterator[Tuple[bytes, int]]:
+    """Scan frames from *offset*; yields ``(payload, end_offset)``.
+
+    ``end_offset`` is the file position just past the yielded frame —
+    the resume point a tailing reader stores.  With *end* the scan is
+    bounded: bytes at or past that position are never read (a tailing
+    reader passes its manifest's recorded size, so a concurrent
+    writer's torn in-flight frame beyond it is invisible), and frames
+    within the bound must tile it exactly.  Raises
+    :class:`RecordLogCorruptError` when the scanned region ends
+    mid-frame or a payload fails its crc32; a clean end at a frame
+    boundary simply ends the iteration.
+    """
+    def scan_end() -> int:
+        fh.seek(0, 2)
+        return fh.tell() if end is None else min(end, fh.tell())
+
+    file_end = scan_end()
+    pos = offset
+    while pos < file_end:
+        fh.seek(pos)
+        header = fh.read(min(10 + _CRC_BYTES, file_end - pos))
+        try:
+            length, header_pos = decode_varint(header, 0)
+        except IndexError:
+            raise RecordLogCorruptError(
+                f"truncated record header at offset {pos}") from None
+        payload_start = pos + header_pos + _CRC_BYTES
+        frame_end = payload_start + length
+        if frame_end > file_end:
+            raise RecordLogCorruptError(
+                f"truncated record at offset {pos}: frame needs "
+                f"{frame_end - pos} bytes, scan region has "
+                f"{file_end - pos}")
+        expected = int.from_bytes(
+            header[header_pos:header_pos + _CRC_BYTES], "little")
+        fh.seek(payload_start)
+        payload = fh.read(length)
+        if zlib.crc32(payload) != expected:
+            raise RecordLogCorruptError(
+                f"checksum mismatch for record at offset {pos}")
+        yield payload, frame_end
+        pos = frame_end
+        file_end = scan_end()
+
+
+def read_records(path: str, offset: int = 0,
+                 end: Optional[int] = None
+                 ) -> Iterator[Tuple[bytes, int]]:
+    """Open *path* and yield its frames like :func:`iter_records`."""
+    with open(path, "rb") as fh:
+        yield from iter_records(fh, offset=offset, end=end)

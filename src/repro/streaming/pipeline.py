@@ -27,6 +27,8 @@ from repro.cooccur.keyword_graph import RHO_DEFAULT
 from repro.core.online import StreamingAffinityPipeline
 from repro.core.paths import NodeId, Path
 from repro.core.stability import THETA_DEFAULT
+from repro.engine.query import StableQuery
+from repro.index.writer import ClusterIndexWriter
 from repro.parallel import Executor, executor_for
 from repro.pipeline.cluster_generation import (
     ClusterGenerationReport,
@@ -87,6 +89,13 @@ class StreamingDocumentPipeline:
     :meth:`close` (or use the pipeline as a context manager) when
     done; an :class:`~repro.parallel.Executor` instance is used as-is
     and left open.  Maintained top-k is worker-invariant.
+
+    ``index_dir`` maintains a *live* persistent index
+    (:mod:`repro.index`) alongside the stream: every ingested
+    interval's clusters and the evolving top-k are appended as they
+    arrive, so a concurrent :class:`~repro.service.ClusterQueryService`
+    can serve (and ``refresh()``-tail) the stream's results;
+    :meth:`close` finalizes the index.
     """
 
     def __init__(self, l: int, k: int, gap: int = 0,
@@ -98,7 +107,8 @@ class StreamingDocumentPipeline:
                  store: Optional[StateStore] = None,
                  use_simjoin: Optional[bool] = None,
                  simjoin_cutoff: int = STREAM_SIMJOIN_CUTOFF,
-                 workers: Union[int, Executor, None] = None) -> None:
+                 workers: Union[int, Executor, None] = None,
+                 index_dir: Optional[str] = None) -> None:
         measure = get_measure(affinity) if isinstance(affinity, str) \
             else affinity
         self.config = _PipelineConfig(rho_threshold=rho_threshold,
@@ -117,18 +127,38 @@ class StreamingDocumentPipeline:
             else None)
         self.reports: List[IntervalIngestReport] = []
         self.generation_reports: List[ClusterGenerationReport] = []
+        self.index_dir = index_dir
+        self._index_writer: Optional[ClusterIndexWriter] = None
+        if index_dir is not None:
+            self._index_writer = ClusterIndexWriter(
+                index_dir, vocab=self.vocab,
+                query=StableQuery(problem=problem, l=l, k=k, gap=gap),
+                overwrite=True)
 
-    def close(self) -> None:
+    def close(self, finalize_index: bool = True) -> None:
         """Release the owned worker pool (no-op when serial or when
-        an external executor was supplied)."""
+        an external executor was supplied) and close the live index,
+        if one is being maintained.
+
+        ``finalize_index=False`` closes the index *without* marking
+        it complete — the right call when the stream died mid-run, so
+        tailing readers see ``complete: false`` instead of mistaking
+        a truncated run for a finished one (the context-manager form
+        picks automatically from the exception state).
+        """
         if self._owns_executor:
             self.executor.close()
+        if self._index_writer is not None:
+            if finalize_index:
+                self._index_writer.finalize()
+            else:
+                self._index_writer.abort()
 
     def __enter__(self) -> "StreamingDocumentPipeline":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc_info) -> None:
+        self.close(finalize_index=exc_type is None)
 
     @classmethod
     def from_query(cls, query, **kwargs) -> "StreamingDocumentPipeline":
@@ -197,6 +227,9 @@ class StreamingDocumentPipeline:
                    if hasattr(cluster, "rebind") else cluster
                    for cluster in clusters]
         self.linker.add_interval(rebound)
+        if self._index_writer is not None:
+            self._index_writer.append_interval(rebound)
+            self._index_writer.set_paths(self.top_k())
         finished = time.perf_counter()
         report = IntervalIngestReport(
             interval=interval,

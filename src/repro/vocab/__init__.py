@@ -24,7 +24,7 @@ Two classes split mutability from shippability:
 
 The decode-at-the-edge rule: ids never leak to users.  Renderers, the
 CLI, and ``KeywordCluster.keywords`` decode back to strings; see
-DESIGN.md ("Vocabulary & interning").
+docs/architecture.md ("Vocabulary & interning").
 """
 
 from repro.vocab.vocabulary import (

@@ -1,6 +1,6 @@
 """Tests for normalized stable clusters (Problem 2, Theorem 1).
 
-Guarantees tested (see DESIGN.md):
+Guarantees tested (see docs/architecture.md):
 
 * ``exact=True`` (no Theorem-1 pruning) returns the true top-k by
   stability — compared against the brute-force oracle;

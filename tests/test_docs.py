@@ -1,0 +1,132 @@
+"""The documentation site's CI gate.
+
+``docs/`` is plain markdown, so "building" it means checking it:
+every relative link resolves, every CLI subcommand is documented in
+``docs/cli.md``, and every public package has a home in the docs.
+This runs in the normal test job, which is what keeps the docs from
+rotting as the code moves.
+"""
+
+import os
+import re
+
+import pytest
+
+import repro
+from repro.cli import build_parser
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+
+REQUIRED_PAGES = ("index.md", "architecture.md", "index-serving.md",
+                  "cli.md", "tutorial.md")
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(#[^)\s]*)?\)")
+_HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def _markdown_files():
+    files = [os.path.join(REPO_ROOT, "README.md"),
+             os.path.join(REPO_ROOT, "DESIGN.md")]
+    for name in sorted(os.listdir(DOCS_DIR)):
+        if name.endswith(".md"):
+            files.append(os.path.join(DOCS_DIR, name))
+    return files
+
+
+def _anchor(heading):
+    """GitHub-style anchor slug for a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"\s", "-", slug)  # one hyphen per space, GitHub-style
+
+
+def test_required_pages_exist():
+    for name in REQUIRED_PAGES:
+        assert os.path.isfile(os.path.join(DOCS_DIR, name)), \
+            f"docs/{name} is missing"
+
+
+def test_relative_links_resolve():
+    broken = []
+    for path in _markdown_files():
+        base = os.path.dirname(path)
+        text = open(path, encoding="utf-8").read()
+        for match in _LINK.finditer(text):
+            target, fragment = match.group(1), match.group(2)
+            if "://" in target:
+                continue  # external URL; not checked offline
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                broken.append(f"{os.path.relpath(path, REPO_ROOT)} "
+                              f"-> {target}")
+                continue
+            if fragment and resolved.endswith(".md"):
+                headings = _HEADING.findall(
+                    open(resolved, encoding="utf-8").read())
+                anchors = {_anchor(h) for h in headings}
+                if fragment[1:] not in anchors:
+                    broken.append(
+                        f"{os.path.relpath(path, REPO_ROOT)} -> "
+                        f"{target}{fragment} (no such heading)")
+    assert broken == [], "broken links:\n" + "\n".join(broken)
+
+
+def _all_subcommands():
+    """Every (sub)command name the CLI parser exposes."""
+    parser = build_parser()
+    names = []
+    stack = [parser]
+    while stack:
+        current = stack.pop()
+        for action in current._actions:
+            choices = getattr(action, "choices", None)
+            if not isinstance(choices, dict):
+                continue
+            for name, sub in choices.items():
+                if hasattr(sub, "_actions"):
+                    names.append(name)
+                    stack.append(sub)
+    return names
+
+
+def test_cli_doc_covers_every_subcommand():
+    text = open(os.path.join(DOCS_DIR, "cli.md"),
+                encoding="utf-8").read()
+    missing = [name for name in _all_subcommands()
+               if not re.search(rf"`[^`]*\b{re.escape(name)}\b", text)]
+    assert missing == [], \
+        f"subcommands undocumented in docs/cli.md: {missing}"
+
+
+def _public_packages():
+    packages = []
+    root = os.path.dirname(repro.__file__)
+    for name in sorted(os.listdir(root)):
+        if os.path.isfile(os.path.join(root, name, "__init__.py")):
+            packages.append(f"repro.{name}")
+    return packages
+
+
+def test_docs_cover_every_public_package():
+    corpus = ""
+    for name in ("index.md", "architecture.md", "index-serving.md"):
+        corpus += open(os.path.join(DOCS_DIR, name),
+                       encoding="utf-8").read()
+    missing = [pkg for pkg in _public_packages()
+               if pkg not in corpus]
+    assert missing == [], f"packages undocumented: {missing}"
+
+
+def test_readme_links_into_docs():
+    text = open(os.path.join(REPO_ROOT, "README.md"),
+                encoding="utf-8").read()
+    for page in ("docs/tutorial.md", "docs/cli.md",
+                 "docs/architecture.md", "docs/index-serving.md"):
+        assert page in text, f"README does not link {page}"
+
+
+@pytest.mark.parametrize("page", REQUIRED_PAGES)
+def test_pages_are_non_trivial(page):
+    text = open(os.path.join(DOCS_DIR, page), encoding="utf-8").read()
+    assert len(text) > 500, f"docs/{page} looks like a stub"

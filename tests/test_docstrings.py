@@ -2,7 +2,11 @@
 
 The deliverable requires doc comments on every public item; this
 meta-test walks the installed package and fails on any public module,
-class, function or method without one.
+class, function or method without one.  On the audited API surface
+(the packages a library user programs against) it additionally
+enforces pydocstyle's summary rules — one-line summary ending in a
+period (D400), blank line before any further description (D205) —
+mirroring the ``pydocstyle`` CI pass so violations fail locally too.
 """
 
 import importlib
@@ -10,6 +14,10 @@ import inspect
 import pkgutil
 
 import repro
+
+# The audited public API surface (matches the pydocstyle paths in CI).
+AUDITED_PACKAGES = ("repro.engine", "repro.storage", "repro.vocab",
+                    "repro.search", "repro.index", "repro.service")
 
 
 def _public_members(module):
@@ -41,6 +49,57 @@ def test_every_public_class_and_function_documented():
             if not (obj.__doc__ or "").strip():
                 missing.append(f"{module.__name__}.{name}")
     assert missing == [], f"undocumented public items: {missing}"
+
+
+def _audited_modules():
+    for module in _walk_modules():
+        if module.__name__.startswith(AUDITED_PACKAGES):
+            yield module
+
+
+def _summary_problems(doc, where):
+    lines = doc.strip().splitlines()
+    first = lines[0].strip()
+    if not first.endswith((".", "!", "?")):
+        yield (f"{where}: summary line must be a full sentence "
+               f"(ends {first[-20:]!r})")
+    if len(lines) > 1 and lines[1].strip():
+        yield (f"{where}: blank line required between summary "
+               f"and description")
+
+
+def _audited_docstrings():
+    """Yield ``(where, docstring)`` for the audited surface."""
+    for module in _audited_modules():
+        if (module.__doc__ or "").strip():
+            yield module.__name__, module.__doc__
+        for name, obj in _public_members(module):
+            if obj.__module__ != module.__name__:
+                continue  # audit each definition once, where it lives
+            if (obj.__doc__ or "").strip():
+                yield f"{module.__name__}.{name}", obj.__doc__
+            if not inspect.isclass(obj):
+                continue
+            for member_name, member in vars(obj).items():
+                if member_name.startswith("_"):
+                    continue
+                target = member.fget if isinstance(member, property) \
+                    else member
+                if not callable(target):
+                    continue
+                doc = getattr(target, "__doc__", None)
+                if (doc or "").strip():
+                    yield (f"{module.__name__}.{name}.{member_name}",
+                           doc)
+
+
+def test_audited_surface_has_one_line_summaries():
+    """pydocstyle D400/D205 on the audited packages: first line a
+    self-contained sentence, blank line before any description."""
+    problems = []
+    for where, doc in _audited_docstrings():
+        problems.extend(_summary_problems(doc, where))
+    assert problems == [], "\n".join(problems)
 
 
 def test_every_public_method_documented():

@@ -1,0 +1,278 @@
+"""Tests for the serving layer: ClusterQueryService and the CLI's
+``index``/``query`` subcommands."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.pipeline import find_stable_clusters
+from repro.search import QueryRefiner, render_refinement
+from repro.service import ClusterQueryService
+from repro.streaming import StreamingDocumentPipeline
+from repro.text.documents import Document, IntervalCorpus
+
+
+def _corpus(m=4):
+    docs = []
+    doc = 0
+    for interval in range(m):
+        for _ in range(22):
+            docs.append(Document(doc_id=f"e{doc}", interval=interval,
+                                 text="beckham galaxy madrid soccer"))
+            doc += 1
+        for i in range(6):
+            docs.append(Document(doc_id=f"b{doc}", interval=interval,
+                                 text=f"noise{i} filler{interval} "
+                                      f"chatter{doc}"))
+            doc += 1
+    corpus = IntervalCorpus()
+    corpus.extend(docs)
+    return corpus
+
+
+def _write_jsonl(tmp_path, corpus):
+    path = tmp_path / "posts.jsonl"
+    lines = [json.dumps({"interval": doc.interval, "text": doc.text,
+                         "id": doc.doc_id})
+             for interval in corpus.interval_indices
+             for doc in corpus.documents(interval)]
+    path.write_text("\n".join(lines))
+    return str(path)
+
+
+@pytest.fixture()
+def built(tmp_path):
+    """A batch run persisted to an index, plus its in-memory result."""
+    index_dir = str(tmp_path / "index")
+    result = find_stable_clusters(_corpus(), l=2, k=3, gap=1,
+                                  index_dir=index_dir)
+    return index_dir, result
+
+
+class TestClusterQueryService:
+    def test_refine_matches_in_memory_byte_for_byte(self, built):
+        index_dir, result = built
+        with ClusterQueryService(index_dir) as service:
+            for interval, clusters in enumerate(
+                    result.interval_clusters):
+                memory = QueryRefiner(clusters)
+                for keyword in memory.vocabulary():
+                    expected = render_refinement(
+                        memory.refine(keyword))
+                    served = render_refinement(
+                        service.refine(keyword, interval))
+                    assert served == expected
+
+    def test_defaults_to_latest_interval(self, built):
+        index_dir, result = built
+        with ClusterQueryService(index_dir) as service:
+            latest = len(result.interval_clusters) - 1
+            assert service.latest_interval == latest
+            assert service.refine("beckham") == service.refine(
+                "beckham", latest)
+
+    def test_lookup_and_paths(self, built):
+        index_dir, result = built
+        with ClusterQueryService(index_dir) as service:
+            cluster = service.lookup("madrid", 0)
+            assert cluster is not None
+            assert "beckham" in cluster.keywords
+            assert service.lookup("nonexistentterm", 0) is None
+            assert service.stable_paths() == result.paths
+            through = service.paths_for("beckham")
+            assert through and all(p in result.paths
+                                   for p in through)
+            assert service.paths_for("nonexistentterm") == []
+
+    def test_render_path_matches_batch_renderer(self, built):
+        from repro.pipeline import render_stable_path
+        index_dir, result = built
+        with ClusterQueryService(index_dir) as service:
+            for path in result.paths:
+                assert service.render_path(path) == \
+                    render_stable_path(result, path)
+
+    def test_hot_keywords_hit_the_cache(self, built):
+        index_dir, _ = built
+        with ClusterQueryService(index_dir) as service:
+            service.refine("beckham")
+            refiner = service.refiner()
+            hits_before = refiner.cache_info()[0]
+            service.refine("beckham")
+            assert refiner.cache_info()[0] == hits_before + 1
+
+    def test_refresh_tails_a_live_stream(self, tmp_path):
+        corpus = _corpus(m=3)
+        index_dir = str(tmp_path / "live")
+        with StreamingDocumentPipeline(
+                l=1, k=2, index_dir=index_dir) as pipeline:
+            pipeline.add_documents(corpus.documents(0))
+            service = ClusterQueryService(index_dir)
+            assert service.num_intervals == 1
+            assert not service.complete
+            first = service.refine("beckham")
+            assert first is not None
+            pipeline.add_documents(corpus.documents(1))
+            assert service.refresh()
+            assert service.num_intervals == 2
+            assert service.refine("beckham") is not None
+            assert not service.refresh()
+        assert service.refresh()
+        assert service.complete
+        service.close()
+
+
+class TestIndexCli:
+    def test_build_inspect_and_refine_round_trip(self, tmp_path,
+                                                 capsys):
+        """`index build` + `query refine`: the served answer is
+        byte-identical to the in-memory QueryRefiner's rendering."""
+        corpus = _corpus()
+        posts = _write_jsonl(tmp_path, corpus)
+        index_dir = str(tmp_path / "index")
+        assert main(["index", "build", posts, "--dir", index_dir,
+                     "--length", "2", "-k", "3", "--gap", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 4 intervals" in out
+
+        result = find_stable_clusters(corpus, l=2, k=3, gap=1)
+        expected = render_refinement(
+            QueryRefiner(result.interval_clusters[2]).refine("madrid"))
+        assert main(["query", "refine", index_dir, "madrid",
+                     "--interval", "2"]) == 0
+        out = capsys.readouterr().out
+        assert expected in out
+
+        assert main(["index", "inspect", index_dir]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out and "4 intervals" in out
+
+    def test_query_lookup_and_paths(self, tmp_path, capsys):
+        posts = _write_jsonl(tmp_path, _corpus())
+        index_dir = str(tmp_path / "index")
+        assert main(["index", "build", posts, "--dir", index_dir,
+                     "--length", "2", "-k", "2"]) == 0
+        capsys.readouterr()
+        assert main(["query", "lookup", index_dir, "beckham"]) == 0
+        out = capsys.readouterr().out
+        assert "beckham" in out and "rho" in out
+        assert main(["query", "paths", index_dir,
+                     "--keyword", "beckham"]) == 0
+        out = capsys.readouterr().out
+        assert "stable path" in out
+        assert main(["query", "lookup", index_dir,
+                     "notaword"]) == 1
+        capsys.readouterr()
+
+    def test_stable_index_dir_flag(self, tmp_path, capsys):
+        posts = _write_jsonl(tmp_path, _corpus())
+        index_dir = str(tmp_path / "index")
+        assert main(["stable", posts, "--length", "2", "-k", "2",
+                     "--index-dir", index_dir, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "persisted cluster index" in out
+        assert "index:" in out  # the plan line
+        assert main(["query", "refine", index_dir, "beckham"]) == 0
+        capsys.readouterr()
+
+    def test_stream_index_dir_flag(self, tmp_path, capsys):
+        posts = _write_jsonl(tmp_path, _corpus())
+        index_dir = str(tmp_path / "index")
+        assert main(["stream", posts, "--length", "2", "-k", "2",
+                     "--index-dir", index_dir]) == 0
+        out = capsys.readouterr().out
+        assert "persisted cluster index" in out
+        assert main(["query", "paths", index_dir]) == 0
+        capsys.readouterr()
+
+    def test_query_on_missing_index_is_clean_error(self, tmp_path,
+                                                   capsys):
+        assert main(["query", "refine",
+                     str(tmp_path / "nowhere"), "word"]) == 2
+        err = capsys.readouterr().err
+        assert "no cluster index" in err
+
+    def test_follow_on_complete_index_renders_once(self, tmp_path,
+                                                   capsys):
+        posts = _write_jsonl(tmp_path, _corpus())
+        index_dir = str(tmp_path / "index")
+        assert main(["index", "build", posts, "--dir", index_dir,
+                     "--length", "2", "-k", "2"]) == 0
+        capsys.readouterr()
+        # complete index: --follow renders once and returns.
+        assert main(["query", "refine", index_dir, "beckham",
+                     "--follow", "--poll", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("query 'beckham'") == 1
+
+    def test_follow_waits_on_an_empty_live_index(self, tmp_path,
+                                                 capsys):
+        """`query refine --follow` opened before the first interval
+        lands must poll, not crash (the documented live pairing)."""
+        index_dir = str(tmp_path / "live")
+        corpus = _corpus(m=2)
+        pipeline = StreamingDocumentPipeline(l=1, k=2,
+                                             index_dir=index_dir)
+        filled = threading.Event()
+
+        def produce():
+            filled.wait(timeout=10)
+            pipeline.add_documents(corpus.documents(0))
+            pipeline.add_documents(corpus.documents(1))
+            pipeline.close()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        filled.set()
+        code = main(["query", "refine", index_dir, "beckham",
+                     "--follow", "--poll", "0.05",
+                     "--max-polls", "200"])
+        producer.join(timeout=10)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no intervals yet" in out or "query 'beckham'" in out
+        assert "query 'beckham'" in out  # a real render arrived
+
+    def test_lookup_follow_flag_works(self, tmp_path, capsys):
+        posts = _write_jsonl(tmp_path, _corpus())
+        index_dir = str(tmp_path / "index")
+        assert main(["index", "build", posts, "--dir", index_dir,
+                     "--length", "2", "-k", "2"]) == 0
+        capsys.readouterr()
+        # Complete index: --follow renders once and exits cleanly.
+        assert main(["query", "lookup", index_dir, "beckham",
+                     "--follow", "--poll", "0.01"]) == 0
+        assert "beckham" in capsys.readouterr().out
+
+    def test_follow_tails_a_concurrent_stream(self, tmp_path, capsys):
+        """`query refine --follow` against an index a streaming run
+        is appending to concurrently."""
+        corpus = _corpus(m=3)
+        index_dir = str(tmp_path / "live")
+        barrier = threading.Event()
+
+        def produce():
+            with StreamingDocumentPipeline(
+                    l=1, k=2, index_dir=index_dir) as pipeline:
+                pipeline.add_documents(corpus.documents(0))
+                barrier.set()
+                for interval in (1, 2):
+                    pipeline.add_documents(
+                        corpus.documents(interval))
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        barrier.wait(timeout=10)
+        code = main(["query", "refine", index_dir, "beckham",
+                     "--follow", "--poll", "0.05",
+                     "--max-polls", "200"])
+        producer.join(timeout=10)
+        assert code == 0
+        out = capsys.readouterr().out
+        # At least the initial render; the final state is served from
+        # the finalized index.
+        assert "query 'beckham'" in out
+        assert main(["query", "refine", index_dir, "beckham"]) == 0
+        capsys.readouterr()

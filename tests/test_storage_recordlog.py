@@ -1,0 +1,113 @@
+"""Tests for the framed record log and the shared LRU cache."""
+
+import pytest
+
+from repro.storage import LRUCache
+from repro.storage.recordlog import (
+    RecordLogCorruptError,
+    append_record,
+    iter_records,
+    read_records,
+)
+
+
+class TestRecordLog:
+    def _write(self, path, payloads):
+        with open(path, "wb") as fh:
+            return [append_record(fh, p) for p in payloads]
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        payloads = [b"", b"a", b"hello world", b"\x00" * 300]
+        self._write(path, payloads)
+        read = [payload for payload, _ in read_records(path)]
+        assert read == payloads
+
+    def test_end_offsets_are_resume_points(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        self._write(path, [b"one", b"two", b"three"])
+        with open(path, "rb") as fh:
+            frames = list(iter_records(fh))
+            # Resuming from any frame's end yields the remainder.
+            _, end = frames[0]
+            rest = [p for p, _ in iter_records(fh, offset=end)]
+        assert rest == [b"two", b"three"]
+
+    def test_tail_growth_is_picked_up(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        self._write(path, [b"first"])
+        with open(path, "rb") as fh:
+            seen = []
+            offset = 0
+            for payload, offset in iter_records(fh, offset=offset):
+                seen.append(payload)
+            with open(path, "ab") as out:
+                append_record(out, b"second")
+            for payload, offset in iter_records(fh, offset=offset):
+                seen.append(payload)
+        assert seen == [b"first", b"second"]
+
+    def test_truncated_frame_rejected(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        self._write(path, [b"hello world payload"])
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:-4])
+        with pytest.raises(RecordLogCorruptError,
+                           match="truncated"):
+            list(read_records(path))
+
+    def test_corrupt_payload_rejected(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        self._write(path, [b"hello world payload"])
+        blob = bytearray(open(path, "rb").read())
+        blob[-3] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(RecordLogCorruptError,
+                           match="checksum"):
+            list(read_records(path))
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "log.bin")
+        open(path, "wb").close()
+        assert list(read_records(path)) == []
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1     # refresh a
+        cache.put("c", 3)              # evicts b
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        hits, misses, size, capacity = cache.info()
+        assert (hits, misses, size, capacity) == (1, 1, 1, 4)
+
+    def test_pop_and_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a", "gone") == "gone"
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_none_values_are_cached(self):
+        sentinel = object()
+        cache = LRUCache(4)
+        cache.put("a", None)
+        assert cache.get("a", sentinel) is None
