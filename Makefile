@@ -1,7 +1,7 @@
 PYTHON ?= python
 RUN := PYTHONPATH=src $(PYTHON)
 
-.PHONY: test bench bench-smoke stream-demo parallel-demo \
+.PHONY: test bench bench-smoke bench-json stream-demo parallel-demo \
         service-demo docs-check lint docstyle
 
 test:
@@ -21,6 +21,13 @@ bench-smoke:
 	$(RUN) benchmarks/bench_streaming_ingest.py --smoke
 	$(RUN) benchmarks/bench_parallel_scaling.py --smoke --workers 2
 	$(RUN) benchmarks/bench_vocab_interning.py --smoke
+	$(RUN) benchmarks/bench_simjoin_signatures.py --smoke
+
+# The versioned perf trajectory: run the two-level simjoin benchmark
+# (batch + streaming + partitioned drivers) at full scale and write
+# the headline figures to BENCH_simjoin.json at the repo root.
+bench-json:
+	$(RUN) benchmarks/bench_simjoin_signatures.py --json BENCH_simjoin.json
 
 # Generate a synthetic week of posts and replay it through the
 # streaming subcommand (documents -> incremental top-k, end to end).

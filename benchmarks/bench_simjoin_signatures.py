@@ -1,0 +1,301 @@
+"""Two-level signature join: candidate reduction, equivalence, JSON.
+
+The similarity-join kernel (see docs/architecture.md, "Similarity
+join internals") layers a per-set signature — length band + checksum
+band — over the exact prefix filter, rejecting candidate pairs before
+exact verification.  This benchmark is the refactor's gate:
+
+* **reduction** — the share of prefix-filter candidates the second
+  level rejects must reach ``REDUCTION_FLOOR`` on a near-duplicate
+  workload (sets of diverse sizes, a quarter of each interval
+  perturbed copies of the previous one);
+* **equivalence** — verified join results must be byte-identical
+  across the prefix-only baseline, the two-level batch join, the
+  streaming window join (incremental frequency tracker engaged), and
+  the partitioned-parallel driver on 2 worker processes;
+* **trajectory** — ``--json PATH`` writes the headline figures
+  (candidate pairs, verified pairs, join throughput, p95 window-join
+  latency) as the repo-root ``BENCH_simjoin.json`` artifact that
+  ``make bench-json`` versions.
+
+The reduction assertion is deterministic and always enforced locally;
+under CI (``CI`` env var) a miss is reported as a warning instead,
+matching ``bench_vocab_interning``.  Runs under pytest alongside the
+paper benchmarks and standalone::
+
+    PYTHONPATH=src python benchmarks/bench_simjoin_signatures.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.affinity.simjoin import JoinStats, threshold_jaccard_join
+from repro.affinity.windowjoin import (
+    WindowFrequencyTracker,
+    window_affinity_edges,
+)
+from repro.parallel import ProcessExecutor
+
+INTERVALS = 6
+SETS_PER_INTERVAL = 250
+UNIVERSE = 4000
+THRESHOLD = 0.4
+NEAR_DUPLICATE_RATE = 0.25
+
+SMOKE_SCALE = dict(intervals=4, per_interval=120, universe=2500)
+
+# The two-level filter must reject at least this share of the prefix
+# filter's candidate pairs — the acceptance floor of the refactor.
+REDUCTION_FLOOR = 0.40
+
+PARALLEL_WORKERS = 2
+
+
+def signature_workload(intervals: int = INTERVALS,
+                       per_interval: int = SETS_PER_INTERVAL,
+                       universe: int = UNIVERSE,
+                       seed: int = 7) -> List[List[frozenset]]:
+    """Per-interval interned-id sets with a near-duplicate stream.
+
+    Tokens are drawn Zipf-ish (low ids frequent, like interned
+    keyword ids under a real vocabulary); set sizes span 8–40 so the
+    length band has real work, and a quarter of each interval's sets
+    are ~20%-perturbed copies of the previous interval's — the pairs
+    the join must keep.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 30) for rank in range(universe)]
+    population = range(universe)
+
+    def draw_set(size: int) -> frozenset:
+        out: set = set()
+        while len(out) < size:
+            out.update(rng.choices(population, weights=weights,
+                                   k=size - len(out)))
+        return frozenset(out)
+
+    result: List[List[frozenset]] = []
+    previous: List[frozenset] = []
+    for _ in range(intervals):
+        current: List[frozenset] = []
+        for _ in range(per_interval):
+            if previous and rng.random() < NEAR_DUPLICATE_RATE:
+                base = previous[rng.randrange(len(previous))]
+                kept = frozenset(
+                    token for token in base if rng.random() > 0.2)
+                current.append(
+                    kept | draw_set(max(1, len(base) // 8)))
+            else:
+                current.append(draw_set(rng.randint(8, 40)))
+        result.append(current)
+        previous = current
+    return result
+
+
+def bench_batch_join(record, intervals: List[List[frozenset]]
+                     ) -> Tuple[JoinStats, Dict, float]:
+    """Two-level vs prefix-only batch join over consecutive interval
+    pairs: byte-identical results asserted, reduction + throughput
+    measured."""
+    experiment = "Two-level simjoin: batch"
+    stats = JoinStats()
+    results: Dict[int, List] = {}
+    started = time.perf_counter()
+    for m in range(1, len(intervals)):
+        results[m] = threshold_jaccard_join(
+            intervals[m - 1], intervals[m], THRESHOLD, stats=stats)
+    two_level_seconds = time.perf_counter() - started
+
+    baseline = JoinStats()
+    started = time.perf_counter()
+    for m in range(1, len(intervals)):
+        prefix_only = threshold_jaccard_join(
+            intervals[m - 1], intervals[m], THRESHOLD, stats=baseline,
+            two_level=False)
+        # The equivalence bar: the signature level may only reject
+        # pairs the verifier would have rejected anyway.
+        assert prefix_only == results[m], (
+            f"two-level join diverged from prefix-only on interval "
+            f"pair ({m - 1}, {m})")
+    baseline_seconds = time.perf_counter() - started
+
+    assert baseline.verified_pairs == baseline.candidate_pairs
+    assert stats.candidate_pairs == baseline.candidate_pairs
+    throughput = (stats.candidate_pairs / two_level_seconds
+                  if two_level_seconds else float("inf"))
+    record(experiment, "candidate pairs", stats.candidate_pairs)
+    record(experiment, "verified pairs",
+           f"{stats.verified_pairs} (prefix-only verifies "
+           f"{baseline.verified_pairs})")
+    record(experiment, "rejected length/band",
+           f"{stats.length_rejected}/{stats.band_rejected}")
+    record(experiment, "result pairs", stats.result_pairs)
+    record(experiment, "reduction",
+           f"{100 * stats.reduction:.0f}% (floor "
+           f"{100 * REDUCTION_FLOOR:.0f}%)")
+    record(experiment, "two-level/prefix-only time",
+           f"{two_level_seconds:.3f}s / {baseline_seconds:.3f}s")
+    return stats, results, throughput
+
+
+def _expected_edges(batch_results: Dict[int, List]) -> Dict[int, List]:
+    """The window-join edge lists batch results imply: matches with
+    weight strictly above θ, owners in the previous interval."""
+    return {m: [((m - 1, a), b, w) for a, b, w in matches
+                if w > THRESHOLD]
+            for m, matches in batch_results.items()}
+
+
+def bench_streaming_driver(record, intervals: List[List[frozenset]],
+                           batch_results: Dict[int, List]
+                           ) -> Tuple[float, JoinStats]:
+    """The serial streaming window join with its incremental frequency
+    tracker: byte-identical edges asserted per interval, p95 ingest
+    latency measured."""
+    experiment = "Two-level simjoin: streaming driver"
+    tracker = WindowFrequencyTracker()
+    stats = JoinStats()
+    expected = _expected_edges(batch_results)
+    latencies: List[float] = []
+    for m in range(1, len(intervals)):
+        window = [(tuple((m - 1, a)
+                         for a in range(len(intervals[m - 1]))),
+                   intervals[m - 1])]
+        started = time.perf_counter()
+        edges = window_affinity_edges(
+            window, intervals[m], theta=THRESHOLD, use_simjoin=True,
+            frequency_tracker=tracker, join_stats=stats)
+        latencies.append(time.perf_counter() - started)
+        assert edges == expected[m], (
+            f"streaming window join diverged from the batch join at "
+            f"interval {m}")
+    latencies.sort()
+    p95 = latencies[min(len(latencies) - 1,
+                        int(round(0.95 * len(latencies))))]
+    record(experiment, "p95 window-join latency",
+           f"{p95 * 1000:.1f}ms over {len(latencies)} ingests")
+    record(experiment, "verified pairs", stats.verified_pairs)
+    return p95, stats
+
+
+def bench_partitioned_driver(record,
+                             intervals: List[List[frozenset]],
+                             batch_results: Dict[int, List]) -> None:
+    """The partitioned-parallel window join on 2 worker processes:
+    merged edges must be byte-identical to the serial join's."""
+    experiment = "Two-level simjoin: partitioned driver"
+    expected = _expected_edges(batch_results)
+    started = time.perf_counter()
+    with ProcessExecutor(workers=PARALLEL_WORKERS) as executor:
+        for m in range(1, len(intervals)):
+            window = [(tuple((m - 1, a)
+                             for a in range(len(intervals[m - 1]))),
+                       intervals[m - 1])]
+            edges = window_affinity_edges(
+                window, intervals[m], theta=THRESHOLD,
+                use_simjoin=True, executor=executor)
+            assert edges == expected[m], (
+                f"partitioned window join diverged from the batch "
+                f"join at interval {m}")
+    record(experiment, f"workers={PARALLEL_WORKERS} equivalence",
+           f"identical edges, {time.perf_counter() - started:.3f}s")
+
+
+def run_signature_bench(record: Callable[[str, str, object], None],
+                        intervals: int = INTERVALS,
+                        per_interval: int = SETS_PER_INTERVAL,
+                        universe: int = UNIVERSE) -> dict:
+    """All three drivers; returns the perf-trajectory figures."""
+    workload = signature_workload(intervals, per_interval, universe)
+    stats, batch_results, throughput = bench_batch_join(record,
+                                                        workload)
+    p95, _ = bench_streaming_driver(record, workload, batch_results)
+    bench_partitioned_driver(record, workload, batch_results)
+    return {
+        "workload": {
+            "intervals": intervals,
+            "sets_per_interval": per_interval,
+            "universe": universe,
+            "threshold": THRESHOLD,
+        },
+        "candidate_pairs": stats.candidate_pairs,
+        "verified_pairs": stats.verified_pairs,
+        "length_rejected": stats.length_rejected,
+        "band_rejected": stats.band_rejected,
+        "result_pairs": stats.result_pairs,
+        "reduction": round(stats.reduction, 4),
+        "reduction_floor": REDUCTION_FLOOR,
+        "join_throughput_pairs_per_s": round(throughput, 1),
+        "p95_window_join_ms": round(p95 * 1000, 2),
+        "drivers_identical": True,
+    }
+
+
+def _assert_outcomes(results: dict) -> str:
+    """Enforce the reduction floor (CI gets a warning instead, like
+    bench_vocab_interning: shared runners should not fail the build
+    on an environment hiccup after equivalence already passed)."""
+    reduction = results["reduction"]
+    if reduction < REDUCTION_FLOOR and os.environ.get("CI"):
+        print(f"WARNING: candidate-pair reduction "
+              f"{100 * reduction:.0f}% below the "
+              f"{100 * REDUCTION_FLOOR:.0f}% floor — tolerated "
+              f"under CI")
+        return "tolerated"
+    assert reduction >= REDUCTION_FLOOR, (
+        f"two-level signatures rejected only {100 * reduction:.0f}% "
+        f"of candidate pairs (floor {100 * REDUCTION_FLOOR:.0f}%)")
+    return "held"
+
+
+def test_simjoin_signatures_benchmark(series) -> None:
+    """Benchmark entry point under pytest: equivalence always,
+    reduction floor asserted, throughput reported."""
+    results = run_signature_bench(series)
+    outcome = _assert_outcomes(results)
+    series("Two-level simjoin: batch", "reduction floor", outcome)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone smoke/JSON mode for CI (no pytest required)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small shapes for CI smoke runs")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the perf-trajectory figures as "
+                             "JSON (the BENCH_simjoin.json artifact)")
+    args = parser.parse_args(argv)
+    rows: List[str] = []
+
+    def record(experiment: str, label: str, value) -> None:
+        rows.append(f"{experiment}: {label:<28} {value}")
+
+    scale = dict(SMOKE_SCALE) if args.smoke else {}
+    results = run_signature_bench(record, **scale)
+    for row in rows:
+        print(row)
+    outcome = _assert_outcomes(results)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    print(f"simjoin signature benchmark: drivers identical, "
+          f"reduction floor {outcome} "
+          f"({100 * results['reduction']:.0f}% of "
+          f"{results['candidate_pairs']} candidates rejected, "
+          f"p95 window join {results['p95_window_join_ms']:.1f}ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

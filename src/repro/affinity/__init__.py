@@ -7,7 +7,8 @@ cluster sets are too large for all-pairs comparison, the paper notes
 the problem "is easily reduced to that of computing similarity between
 all pairs of strings (clusters) for which the similarity is above a
 threshold" [11]; :mod:`repro.affinity.simjoin` implements that join
-with prefix filtering.
+with prefix filtering plus a second signature level (length band +
+token-checksum band) that rejects candidates before verification.
 """
 
 from repro.affinity.measures import (
@@ -20,11 +21,22 @@ from repro.affinity.measures import (
     intersection_size,
     jaccard,
     overlap_coefficient,
+    share_token_namespace,
+    token_sets,
     weighted_jaccard,
 )
-from repro.affinity.simjoin import threshold_jaccard_join
+from repro.affinity.simjoin import (
+    JoinStats,
+    SIGNATURE_BANDS,
+    intersection_size_sorted,
+    required_overlap,
+    signature_compatible,
+    threshold_jaccard_join,
+    token_signature,
+)
 from repro.affinity.windowjoin import (
     STREAM_SIMJOIN_CUTOFF,
+    WindowFrequencyTracker,
     join_partition_task,
     partition_join_payloads,
     window_affinity_edges,
@@ -32,18 +44,27 @@ from repro.affinity.windowjoin import (
 
 __all__ = [
     "AFFINITY_MEASURES",
+    "JoinStats",
+    "SIGNATURE_BANDS",
     "STREAM_SIMJOIN_CUTOFF",
+    "WindowFrequencyTracker",
     "collection_token_sets",
     "comparison_sets",
     "dice",
     "get_measure",
     "intersection_count",
     "intersection_size",
+    "intersection_size_sorted",
     "jaccard",
     "join_partition_task",
     "overlap_coefficient",
     "partition_join_payloads",
+    "required_overlap",
+    "share_token_namespace",
+    "signature_compatible",
     "threshold_jaccard_join",
+    "token_signature",
+    "token_sets",
     "weighted_jaccard",
     "window_affinity_edges",
 ]

@@ -81,6 +81,30 @@ def _token_set(cluster) -> frozenset:
     return token_set if token_set is not None else _keywords(cluster)
 
 
+def share_token_namespace(*collections) -> bool:
+    """True when every cluster of every collection can intersect ids.
+
+    That holds when all clusters are bound to the same vocabulary (or
+    none is interned at all); any mix of vocabularies must fall back
+    to decoded keyword strings.  The streaming window join asks this
+    separately from :func:`collection_token_sets` so its incremental
+    frequency tracker can detect a representation flip.
+    """
+    vocabs = set()
+    for collection in collections:
+        for cluster in collection:
+            vocabs.add(getattr(cluster, "vocab", None))
+    return len(vocabs) <= 1
+
+
+def token_sets(collection, decoded: bool = False) -> List[frozenset]:
+    """One collection's token sets — interned ids (``decoded=False``)
+    or keyword strings — in collection order."""
+    if decoded:
+        return [_keywords(cluster) for cluster in collection]
+    return [_token_set(cluster) for cluster in collection]
+
+
 def collection_token_sets(*collections) -> List[List[frozenset]]:
     """Joinable token-set forms for whole cluster collections.
 
@@ -90,14 +114,8 @@ def collection_token_sets(*collections) -> List[List[frozenset]]:
     (or none is interned at all) the id/token sets are used directly;
     any mix falls back to decoded keyword strings.
     """
-    vocabs = set()
-    for collection in collections:
-        for cluster in collection:
-            vocabs.add(getattr(cluster, "vocab", None))
-    if len(vocabs) <= 1:
-        return [[_token_set(cluster) for cluster in collection]
-                for collection in collections]
-    return [[_keywords(cluster) for cluster in collection]
+    decoded = not share_token_namespace(*collections)
+    return [token_sets(collection, decoded)
             for collection in collections]
 
 

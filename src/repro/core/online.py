@@ -26,8 +26,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.affinity.simjoin import JoinStats
 from repro.affinity.windowjoin import (
     STREAM_SIMJOIN_CUTOFF,
+    WindowFrequencyTracker,
     window_affinity_edges,
 )
 from repro.core.bfs import BFSEngine
@@ -204,6 +206,11 @@ class StreamingAffinityPipeline:
         self.stream = StreamingStableClusters(l=l, k=k, gap=gap,
                                               mode=mode, store=store)
         self.last_num_edges = 0
+        # Token frequencies of the window join, maintained across
+        # ingests (per-interval deltas instead of full recounts), and
+        # the two-level filter's running candidate/verified counters.
+        self.frequency_tracker = WindowFrequencyTracker()
+        self.join_stats = JoinStats()
         self._recent: List[Tuple[List[NodeId], List]] = []  # per interval
 
     def add_interval(self, clusters: Sequence) -> List[NodeId]:
@@ -213,7 +220,9 @@ class StreamingAffinityPipeline:
             self._recent, clusters, measure=self.affinity,
             theta=self.theta, use_simjoin=self.use_simjoin,
             simjoin_cutoff=self.simjoin_cutoff,
-            executor=self.executor)
+            executor=self.executor,
+            frequency_tracker=self.frequency_tracker,
+            join_stats=self.join_stats)
         self.last_num_edges = len(edges)
         node_ids = self.stream.add_interval(len(clusters), edges)
         self._recent.append((node_ids, list(clusters)))

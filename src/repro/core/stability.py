@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.affinity import (
+    JoinStats,
     collection_token_sets,
     get_measure,
     jaccard,
@@ -33,7 +34,9 @@ def build_cluster_graph(interval_clusters: Sequence[Sequence],
                         theta: float = THETA_DEFAULT,
                         gap: int = 0,
                         use_simjoin: Optional[bool] = None,
-                        simjoin_cutoff: int = 2000) -> ClusterGraph:
+                        simjoin_cutoff: int = 2000,
+                        join_stats: Optional[JoinStats] = None
+                        ) -> ClusterGraph:
     """Build the cluster graph G (Section 4.1).
 
     ``interval_clusters[i]`` is the cluster list of interval ``i``
@@ -42,7 +45,9 @@ def build_cluster_graph(interval_clusters: Sequence[Sequence],
     ``use_simjoin`` forces the prefix-filter join on or off; by default
     it engages for Jaccard affinity when an interval pair's cluster
     count product exceeds ``simjoin_cutoff``².  Edge weights are
-    normalized to (0, 1] when the measure is unbounded.
+    normalized to (0, 1] when the measure is unbounded.  ``join_stats``
+    accumulates the two-level filter's candidate/verified counters
+    over every engaged interval-pair join.
     """
     if not 0.0 < theta <= 1.0:
         raise ValueError(f"theta must be in (0, 1], got {theta}")
@@ -68,7 +73,8 @@ def build_cluster_graph(interval_clusters: Sequence[Sequence],
             engage_join = use_simjoin if use_simjoin is not None else (
                 is_jaccard and len(left) * len(right) > simjoin_cutoff ** 2)
             if engage_join and is_jaccard:
-                _join_edges(builder, node_ids, i, j, left, right, theta)
+                _join_edges(builder, node_ids, i, j, left, right, theta,
+                            join_stats)
             else:
                 _all_pairs_edges(builder, node_ids, i, j, left, right,
                                  measure, theta)
@@ -84,12 +90,14 @@ def _all_pairs_edges(builder, node_ids, i, j, left, right, measure,
                 builder.add_edge(node_ids[i][a], node_ids[j][b], weight)
 
 
-def _join_edges(builder, node_ids, i, j, left, right, theta) -> None:
+def _join_edges(builder, node_ids, i, j, left, right, theta,
+                join_stats=None) -> None:
     # Interned id sets when both intervals share one vocabulary,
     # decoded keyword strings otherwise — the join is exact either way.
     left_sets, right_sets = collection_token_sets(left, right)
     for a, b, weight in threshold_jaccard_join(left_sets, right_sets,
-                                               theta):
+                                               theta,
+                                               stats=join_stats):
         # The join is >= theta; the paper keeps affinities > theta.
         if weight > theta:
             builder.add_edge(node_ids[i][a], node_ids[j][b], weight)

@@ -16,8 +16,9 @@ renders the decision the way database EXPLAIN statements do.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.cluster_graph import ClusterGraph
 from repro.engine.query import StableQuery
@@ -46,6 +47,16 @@ MAX_SHARDS = 16
 
 # Dead bytes a shard may accumulate before it compacts itself.
 COMPACT_GARBAGE_BYTES = SHARD_TARGET_BYTES
+
+# Two-level similarity-join cost model (Section 4.1 edge build):
+# share of an interval pair's n² comparisons the prefix filter emits
+# as candidates, and the share of those candidates the level-two
+# signature (length band + checksum band) passes on to exact
+# verification.  Calibrated against bench_simjoin_signatures, whose
+# reduction floor (>= 40% of candidates rejected) keeps the second
+# constant honest.
+PREFIX_CANDIDATE_FRACTION = 0.25
+SIGNATURE_VERIFY_FRACTION = 0.6
 
 # Persistent-index cost model (varint-codec record sizes, measured at
 # bench scale; the estimate only needs to be proportionally right).
@@ -118,6 +129,12 @@ class ExecutionPlan:
     # None = the run was not asked to persist an index.
     index_dir: Optional[str] = None
     index_bytes: Optional[int] = None
+    # Similarity-join cost dimension: estimated prefix-filter
+    # candidate pairs per interval window, and how many of them the
+    # two-level signature is expected to pass to exact verification.
+    # None = graph shape unknown (no estimate possible).
+    join_candidate_pairs: Optional[int] = None
+    join_verified_pairs: Optional[int] = None
     reasons: List[str] = field(default_factory=list)
 
     def explain(self) -> str:
@@ -152,6 +169,11 @@ class ExecutionPlan:
             lines.append(
                 f"  index:    {size} persisted at {self.index_dir} "
                 f"(clusters + keyword postings + stable paths)")
+        if self.join_candidate_pairs is not None:
+            lines.append(
+                f"  join:     ~{self.join_candidate_pairs} candidate "
+                f"pairs/interval window, ~{self.join_verified_pairs} "
+                f"verified (two-level signature filter)")
         if self.workers > 1:
             # The plan fixes the degree, not the pool kind — a caller
             # may supply a thread executor instead of the default
@@ -232,6 +254,38 @@ def estimate_index_bytes(graph_stats: GraphStats) -> int:
     return clusters * per_cluster
 
 
+def estimate_join_candidates(graph_stats: GraphStats
+                             ) -> Tuple[int, int]:
+    """Estimate one interval's similarity-join verification work.
+
+    Joining a new interval's ``n`` clusters against the ``g + 1``
+    resident window intervals compares up to ``n² * (g + 1)`` pairs;
+    the prefix filter emits :data:`PREFIX_CANDIDATE_FRACTION` of them
+    as candidates, and the level-two signature passes
+    :data:`SIGNATURE_VERIFY_FRACTION` of those on to exact
+    verification.  Returns ``(candidate_pairs, verified_pairs)``.
+    """
+    n = graph_stats.max_interval_nodes
+    pairs = n * n * (graph_stats.gap + 1)
+    candidates = int(math.ceil(pairs * PREFIX_CANDIDATE_FRACTION))
+    verified = int(math.ceil(candidates * SIGNATURE_VERIFY_FRACTION))
+    return candidates, verified
+
+
+def apply_join_dimension(result: ExecutionPlan,
+                         graph_stats: GraphStats) -> None:
+    """Record the join-candidate estimate on a plan.
+
+    Shared between the batch and streaming planners; skipped for
+    shapes with no per-interval clusters to join.
+    """
+    if graph_stats.max_interval_nodes < 1:
+        return
+    candidates, verified = estimate_join_candidates(graph_stats)
+    result.join_candidate_pairs = candidates
+    result.join_verified_pairs = verified
+
+
 def estimate_ta_probes(graph_stats: GraphStats) -> float:
     """Upper-bound the TA solver's random-probe work.
 
@@ -309,6 +363,7 @@ def plan(query: StableQuery, graph_stats: GraphStats,
                            memory_budget=budget, query=query,
                            graph_stats=graph_stats)
     apply_worker_dimension(result, query, graph_stats)
+    apply_join_dimension(result, graph_stats)
 
     if query.problem == "normalized":
         result.solver = "normalized"
@@ -387,6 +442,7 @@ def plan_streaming(query: StableQuery, graph_stats: GraphStats,
                            memory_budget=budget, query=query,
                            graph_stats=graph_stats)
     apply_worker_dimension(result, query, graph_stats, streaming=True)
+    apply_join_dimension(result, graph_stats)
     result.reasons.append(
         f"streaming query: incremental {solver} engine, store "
         f"eviction bounds state to g + 1 = {graph_stats.gap + 1} "

@@ -44,7 +44,8 @@ class KeywordCluster:
     """
 
     __slots__ = ("tokens", "token_edges", "interval", "vocab",
-                 "_keywords", "_edges", "_token_set")
+                 "_keywords", "_edges", "_token_set", "_token_buffer",
+                 "_signature")
 
     def __init__(self, keywords: Optional[FrozenSet[str]] = None,
                  edges: Tuple[Tuple[str, str, float], ...] = (),
@@ -80,6 +81,8 @@ class KeywordCluster:
         self._keywords: Optional[FrozenSet[str]] = None
         self._edges: Optional[Tuple] = None
         self._token_set: Optional[frozenset] = None
+        self._token_buffer = None
+        self._signature = None
 
     # ------------------------------------------------------------------
     # Token surface (what computation uses)
@@ -92,6 +95,30 @@ class KeywordCluster:
         if self._token_set is None:
             self._token_set = frozenset(self.tokens)
         return self._token_set
+
+    @property
+    def token_buffer(self):
+        """The tokens as a sorted ``array('I')`` id buffer (cached),
+        or None for string-mode clusters — the similarity join's
+        galloping-intersection verification form.  ``tokens`` is
+        already sorted, so interned clusters pay one packing pass,
+        no sort."""
+        if self._token_buffer is None and self.vocab is not None:
+            from array import array
+            self._token_buffer = array("I", self.tokens)
+        return self._token_buffer
+
+    @property
+    def signature(self):
+        """The level-two join signature of this cluster's token set
+        (size + checksum-band counts, cached) — the same value
+        :func:`repro.affinity.simjoin.token_signature` computes inside
+        the join, exposed so candidate callers (e.g. index-backed
+        lookups) can pre-filter without touching the token set."""
+        if self._signature is None:
+            from repro.affinity.simjoin import token_signature
+            self._signature = token_signature(self.tokens)
+        return self._signature
 
     # ------------------------------------------------------------------
     # String surface (decode at the edge)
@@ -192,6 +219,8 @@ class KeywordCluster:
         self._keywords = None
         self._edges = None
         self._token_set = None
+        self._token_buffer = None
+        self._signature = None
 
     def __repr__(self) -> str:
         kind = "ids" if self.vocab is not None else "strings"
