@@ -22,12 +22,13 @@ bench-smoke:
 	$(RUN) benchmarks/bench_parallel_scaling.py --smoke --workers 2
 	$(RUN) benchmarks/bench_vocab_interning.py --smoke
 	$(RUN) benchmarks/bench_simjoin_signatures.py --smoke
+	$(RUN) benchmarks/bench_index_lifecycle.py --smoke
 
-# The versioned perf trajectory: run the two-level simjoin benchmark
-# (batch + streaming + partitioned drivers) at full scale and write
-# the headline figures to BENCH_simjoin.json at the repo root.
+# The versioned perf trajectory: one BENCH_<area>.json per harness,
+# written at the repo root (CI uploads every BENCH_*.json artifact).
 bench-json:
 	$(RUN) benchmarks/bench_simjoin_signatures.py --json BENCH_simjoin.json
+	$(RUN) benchmarks/bench_index_lifecycle.py --json BENCH_index.json
 
 # Generate a synthetic week of posts and replay it through the
 # streaming subcommand (documents -> incremental top-k, end to end).
@@ -50,8 +51,9 @@ service-demo:
 	$(RUN) examples/stream_corpus.py $(STREAM_DEMO_FILE)
 	$(RUN) -m repro.cli index build $(STREAM_DEMO_FILE) \
 	    --dir $(SERVICE_DEMO_DIR) --length 3 -k 3 --gap 1 --explain
-	$(RUN) -m repro.cli index inspect $(SERVICE_DEMO_DIR)
-	$(RUN) -m repro.cli query refine $(SERVICE_DEMO_DIR) somalia
+	$(RUN) -m repro.cli index inspect $(SERVICE_DEMO_DIR) --segments
+	$(RUN) -m repro.cli index merge $(SERVICE_DEMO_DIR)
+	$(RUN) -m repro.cli query refine $(SERVICE_DEMO_DIR) somalia --stats
 	$(RUN) -m repro.cli query paths $(SERVICE_DEMO_DIR) --keyword somalia
 
 # "Build" the markdown docs site: link-check + coverage gates.

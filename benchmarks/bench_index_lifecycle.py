@@ -1,0 +1,278 @@
+"""Segmented index lifecycle: append, merge, serve — timed and gated.
+
+The tiered segment lifecycle (see docs/index-serving.md, "Segment
+lifecycle") seals an immutable segment every ``flush_intervals``
+appends and compacts sealed segments with a size-tiered merge.  This
+benchmark is the refactor's gate:
+
+* **equivalence** — every query answer (per-interval clusters, point
+  lookups, stable paths) must be identical before and after
+  ``compact_index``; the merge copies cluster records byte-for-byte
+  and keeps only the newest path generation;
+* **compaction** — the merged index must be *strictly smaller* than
+  the unmerged one (each sealed segment carries superseded path
+  generations the merge drops), asserted deterministically;
+* **trajectory** — ``--json PATH`` writes the headline figures
+  (append throughput, merge duration, post-merge query p95, index
+  bytes before/after) as the repo-root ``BENCH_index.json`` artifact
+  that ``make bench-json`` versions.
+
+Runs under pytest alongside the paper benchmarks and standalone::
+
+    PYTHONPATH=src python benchmarks/bench_index_lifecycle.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import shutil
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.paths import Path
+from repro.graph.clusters import KeywordCluster
+from repro.index import ClusterIndexReader, ClusterIndexWriter
+from repro.index.merge import compact_index
+from repro.service import ClusterQueryService
+
+INTERVALS = 48
+CLUSTERS_PER_INTERVAL = 40
+KEYWORD_POOL = 900
+FLUSH_INTERVALS = 4
+QUERY_ROUNDS = 400
+
+SMOKE_SCALE = dict(intervals=12, per_interval=12, pool=250,
+                   query_rounds=80)
+
+
+def lifecycle_workload(intervals: int = INTERVALS,
+                       per_interval: int = CLUSTERS_PER_INTERVAL,
+                       pool: int = KEYWORD_POOL, seed: int = 11
+                       ) -> Tuple[List[List[KeywordCluster]],
+                                  List[List[Path]]]:
+    """Per-interval clusters plus an evolving top-k, streaming style.
+
+    Keywords are drawn Zipf-ish from a shared pool (low ranks
+    frequent, so postings lists and the refiner have real overlap);
+    each interval also carries a fresh top-k snapshot, the way a
+    streaming writer re-publishes paths after every ingest — that is
+    the garbage the merge must reclaim.
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 20) for rank in range(pool)]
+    names = [f"kw{rank}" for rank in range(pool)]
+
+    def draw_keywords(size: int) -> frozenset:
+        out: set = set()
+        while len(out) < size:
+            out.update(rng.choices(names, weights=weights,
+                                   k=size - len(out)))
+        return frozenset(out)
+
+    interval_clusters: List[List[KeywordCluster]] = []
+    path_snapshots: List[List[Path]] = []
+    for interval in range(intervals):
+        clusters = []
+        for _ in range(per_interval):
+            keywords = sorted(draw_keywords(rng.randint(3, 8)))
+            edges = tuple((keywords[i], keywords[i + 1],
+                           round(rng.uniform(0.2, 0.9), 3))
+                          for i in range(len(keywords) - 1))
+            clusters.append(KeywordCluster(frozenset(keywords),
+                                           edges=edges,
+                                           interval=interval))
+        interval_clusters.append(clusters)
+        snapshot = []
+        for k in range(3):
+            if interval == 0:
+                break
+            nodes = tuple((t, (k + t) % per_interval)
+                          for t in range(max(0, interval - 3),
+                                         interval + 1))
+            snapshot.append(Path(weight=round(rng.uniform(1, 4), 3),
+                                 nodes=nodes))
+        path_snapshots.append(sorted(snapshot, reverse=True))
+    return interval_clusters, path_snapshots
+
+
+def bench_append(record, directory: str,
+                 workload: Tuple[List[List[KeywordCluster]],
+                                 List[List[Path]]],
+                 flush_intervals: int) -> float:
+    """Streaming-style appends (clusters + top-k republish per
+    interval) with periodic segment seals; returns intervals/s."""
+    experiment = "Index lifecycle: append"
+    interval_clusters, path_snapshots = workload
+    started = time.perf_counter()
+    with ClusterIndexWriter(directory, overwrite=True,
+                            flush_intervals=flush_intervals,
+                            merge_policy=None) as writer:
+        for clusters, paths in zip(interval_clusters,
+                                   path_snapshots):
+            writer.append_interval(clusters)
+            if paths:
+                writer.set_paths(paths)
+    seconds = time.perf_counter() - started
+    throughput = len(interval_clusters) / seconds if seconds \
+        else float("inf")
+    record(experiment, "intervals appended",
+           f"{len(interval_clusters)} "
+           f"(seal every {flush_intervals})")
+    record(experiment, "append throughput",
+           f"{throughput:.0f} intervals/s ({seconds:.3f}s)")
+    return throughput
+
+
+def _answers(directory: str, sample: List[str]) -> Dict:
+    """Every query surface's answers, for the equivalence bar."""
+    with ClusterIndexReader(directory) as reader:
+        return {
+            "clusters": [reader.clusters_at(i)
+                         for i in range(reader.num_intervals)],
+            "paths": reader.paths(),
+            "lookups": [reader.lookup(kw) for kw in sample],
+            "postings": [reader.postings_for(kw) for kw in sample],
+        }
+
+
+def bench_merge(record, directory: str,
+                sample: List[str]) -> Tuple[Dict, float]:
+    """Full compaction: duration, strict size win, and answer
+    equivalence asserted."""
+    experiment = "Index lifecycle: merge"
+    before = _answers(directory, sample)
+    started = time.perf_counter()
+    report = compact_index(directory, full=True)
+    seconds = time.perf_counter() - started
+    assert report["bytes_after"] < report["bytes_before"], (
+        f"compaction did not shrink the index: "
+        f"{report['bytes_before']} -> {report['bytes_after']} bytes")
+    after = _answers(directory, sample)
+    assert after == before, \
+        "merged index diverged from the unmerged answers"
+    record(experiment, "segments",
+           f"{report['segments_before']} -> "
+           f"{report['segments_after']} "
+           f"in {report['merges']} merge(s)")
+    reclaimed = 1 - report["bytes_after"] / report["bytes_before"]
+    record(experiment, "index bytes",
+           f"{report['bytes_before']} -> {report['bytes_after']} "
+           f"({100 * reclaimed:.0f}% reclaimed)")
+    record(experiment, "merge duration", f"{seconds:.3f}s")
+    return report, seconds
+
+
+def bench_queries(record, directory: str, sample: List[str],
+                  rounds: int) -> float:
+    """Post-merge serving latency: p95 of refine+lookup rounds."""
+    experiment = "Index lifecycle: post-merge queries"
+    latencies: List[float] = []
+    with ClusterQueryService(directory) as service:
+        for i in range(rounds):
+            keyword = sample[i % len(sample)]
+            interval = i % service.num_intervals
+            started = time.perf_counter()
+            service.refine(keyword, interval)
+            service.lookup(keyword, interval)
+            latencies.append(time.perf_counter() - started)
+        stats = service.stats()
+    latencies.sort()
+    p95 = latencies[min(len(latencies) - 1,
+                        int(round(0.95 * len(latencies))))]
+    record(experiment, "p95 refine+lookup",
+           f"{p95 * 1000:.2f}ms over {rounds} rounds")
+    record(experiment, "refiner cache",
+           f"{stats['refiner_hits']} hits / "
+           f"{stats['refiner_misses']} misses")
+    record(experiment, "mmap", "on" if stats["mmap_active"]
+           else "off (buffered fallback)")
+    return p95
+
+
+def run_lifecycle_bench(record: Callable[[str, str, object], None],
+                        intervals: int = INTERVALS,
+                        per_interval: int = CLUSTERS_PER_INTERVAL,
+                        pool: int = KEYWORD_POOL,
+                        query_rounds: int = QUERY_ROUNDS,
+                        flush_intervals: int = FLUSH_INTERVALS
+                        ) -> dict:
+    """Append -> merge -> serve over one temporary index."""
+    workload = lifecycle_workload(intervals, per_interval, pool)
+    sample = [f"kw{rank}" for rank in range(0, pool, 7)]
+    directory = tempfile.mkdtemp(prefix="repro-bench-index-")
+    try:
+        throughput = bench_append(record, directory, workload,
+                                  flush_intervals)
+        report, merge_seconds = bench_merge(record, directory,
+                                            sample)
+        p95 = bench_queries(record, directory, sample, query_rounds)
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    return {
+        "workload": {
+            "intervals": intervals,
+            "clusters_per_interval": per_interval,
+            "keyword_pool": pool,
+            "flush_intervals": flush_intervals,
+        },
+        "append_intervals_per_s": round(throughput, 1),
+        "segments_before_merge": report["segments_before"],
+        "segments_after_merge": report["segments_after"],
+        "index_bytes_before_merge": report["bytes_before"],
+        "index_bytes_after_merge": report["bytes_after"],
+        "merge_seconds": round(merge_seconds, 4),
+        "post_merge_query_p95_ms": round(p95 * 1000, 3),
+        "answers_identical": True,
+    }
+
+
+def test_index_lifecycle_benchmark(series) -> None:
+    """Benchmark entry point under pytest: equivalence and the
+    strict compaction win asserted, timings reported."""
+    results = run_lifecycle_bench(series)
+    assert results["index_bytes_after_merge"] \
+        < results["index_bytes_before_merge"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone smoke/JSON mode for CI (no pytest required)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small shapes for CI smoke runs")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the perf-trajectory figures as "
+                             "JSON (the BENCH_index.json artifact)")
+    args = parser.parse_args(argv)
+    rows: List[str] = []
+
+    def record(experiment: str, label: str, value) -> None:
+        rows.append(f"{experiment}: {label:<24} {value}")
+
+    scale = dict(SMOKE_SCALE) if args.smoke else {}
+    results = run_lifecycle_bench(record, **scale)
+    for row in rows:
+        print(row)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    reclaimed = (1 - results["index_bytes_after_merge"]
+                 / results["index_bytes_before_merge"])
+    print(f"index lifecycle benchmark: answers identical, "
+          f"{results['segments_before_merge']} -> "
+          f"{results['segments_after_merge']} segments, "
+          f"{100 * reclaimed:.0f}% bytes reclaimed, "
+          f"post-merge p95 "
+          f"{results['post_merge_query_p95_ms']:.2f}ms")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

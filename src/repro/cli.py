@@ -14,8 +14,9 @@ Subcommands (all documented in ``docs/cli.md``):
 * ``stream`` — replay the same JSONL input *incrementally* (Section
   4.6); ``--index-dir`` maintains a live index a concurrent ``query
   --follow`` can tail.
-* ``index`` — ``build`` a persistent cluster index from a corpus, or
-  ``inspect`` an existing one.
+* ``index`` — ``build`` a persistent cluster index from a corpus,
+  ``inspect`` an existing one (``--segments`` lists the live segment
+  tier), or ``merge`` (compact) its sealed segments.
 * ``query`` — serve from a persisted index without recomputing:
   ``refine`` (Section 1's query-refinement suggestions), ``lookup``
   (keyword -> cluster point lookup), ``paths`` (stable paths,
@@ -54,12 +55,18 @@ from repro.datagen.events import drifting_event
 from repro.engine import (
     GraphStats,
     StableQuery,
+    apply_index_dimension,
     estimate_index_bytes,
     explain as plan_query,
     get_solver,
     plan_streaming,
     solve_report,
     solver_names,
+)
+from repro.index import (
+    DEFAULT_FLUSH_INTERVALS,
+    compact_index,
+    load_manifest,
 )
 from repro.pipeline import (
     find_stable_clusters,
@@ -160,7 +167,9 @@ def _run_batch(args: argparse.Namespace,
                                 solver=args.solver,
                                 memory_budget=_memory_budget_bytes(args),
                                 workers=args.workers,
-                                index_dir=index_dir)
+                                index_dir=index_dir,
+                                index_append=getattr(
+                                    args, "index_append", False))
 
 
 def cmd_stable(args: argparse.Namespace) -> int:
@@ -171,7 +180,8 @@ def cmd_stable(args: argparse.Namespace) -> int:
         print()
     if result.index_dir is not None:
         print(f"persisted cluster index: {result.index_dir} "
-              f"({result.plan.index_bytes} log bytes)")
+              f"({result.plan.index_bytes} log bytes, "
+              f"{result.plan.index_segments} segments)")
         print()
     if not result.paths:
         print("no stable paths found")
@@ -236,6 +246,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
             f"backend {args.backend!r} forced by --backend")
     if args.index_dir is not None:
         execution.index_dir = args.index_dir
+        apply_index_dimension(execution, graph_stats,
+                              flush_intervals=args.flush_intervals)
     if args.explain:
         print(execution.explain())
         print()
@@ -259,7 +271,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
         # interval's shape, not a cap on later (larger) intervals.
         pipeline = StreamingDocumentPipeline.from_query(
             query, rho_threshold=args.rho, theta=args.theta,
-            store=store, index_dir=args.index_dir)
+            store=store, index_dir=args.index_dir,
+            index_append=not args.index_rebuild,
+            flush_intervals=args.flush_intervals)
 
         def emit(report) -> None:
             if not args.follow:
@@ -294,7 +308,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
         if owned_dir is not None:
             shutil.rmtree(owned_dir, ignore_errors=True)
     if args.index_dir is not None:
-        print(f"persisted cluster index: {args.index_dir}")
+        manifest = load_manifest(args.index_dir)
+        print(f"persisted cluster index: {args.index_dir} "
+              f"({len(manifest['segments'])} segments, "
+              f"generation {manifest['generation']})")
     return 0
 
 
@@ -322,6 +339,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
         execution.reasons.append(
             "index size estimated from m*n cluster records "
             "(measured after a real run)")
+        apply_index_dimension(execution, graph_stats,
+                              flush_intervals=args.flush_intervals)
     print(execution.explain())
     return 0
 
@@ -383,7 +402,19 @@ def cmd_index_build(args: argparse.Namespace) -> int:
 def cmd_index_inspect(args: argparse.Namespace) -> int:
     """Summarize a persisted index: shape, layout, provenance."""
     with ClusterQueryService(args.dir) as service:
-        print(service.describe())
+        print(service.describe(segments=args.segments))
+    return 0
+
+
+def cmd_index_merge(args: argparse.Namespace) -> int:
+    """Compact an index's sealed segments (size-tiered merge)."""
+    report = compact_index(args.dir, full=args.full, force=args.force)
+    print(f"merged {args.dir}: "
+          f"{report['segments_before']} -> "
+          f"{report['segments_after']} segments in "
+          f"{report['merges']} merge(s), "
+          f"{report['bytes_before']} -> {report['bytes_after']} "
+          f"log bytes (generation {report['generation']})")
     return 0
 
 
@@ -398,6 +429,14 @@ def _follow(service: ClusterQueryService, render, args) -> None:
         if service.refresh():
             print()
             render()
+
+
+def _maybe_stats(service: ClusterQueryService,
+                 args: argparse.Namespace) -> None:
+    """Print serving counters when ``query ... --stats`` asked."""
+    if args.stats:
+        print()
+        print(service.describe_stats())
 
 
 def _query_interval(service: ClusterQueryService,
@@ -437,6 +476,7 @@ def cmd_query_refine(args: argparse.Namespace) -> int:
         render()
         if args.follow:
             _follow(service, render, args)
+        _maybe_stats(service, args)
     return 0 if found else 1
 
 
@@ -464,6 +504,7 @@ def cmd_query_lookup(args: argparse.Namespace) -> int:
         render()
         if args.follow:
             _follow(service, render, args)
+        _maybe_stats(service, args)
     return 0 if found else 1
 
 
@@ -490,6 +531,7 @@ def cmd_query_paths(args: argparse.Namespace) -> int:
         render()
         if args.follow:
             _follow(service, render, args)
+        _maybe_stats(service, args)
     return 0 if shown else 1
 
 
@@ -591,6 +633,10 @@ def _query_service_parent() -> argparse.ArgumentParser:
                         metavar="N",
                         help="stop --follow after N polls even if "
                              "the index is still live")
+    parent.add_argument("--stats", action="store_true",
+                        help="print serving counters after the "
+                             "answer: refiner/cluster cache hit "
+                             "rates, segments, bytes tailed, mmap")
     return parent
 
 
@@ -638,6 +684,10 @@ def build_parser() -> argparse.ArgumentParser:
     stable.add_argument("--index-dir", default=None, metavar="DIR",
                         help="persist the run as a queryable cluster "
                              "index at DIR")
+    stable.add_argument("--index-append", action="store_true",
+                        help="continue an existing index at "
+                             "--index-dir as a new segment instead "
+                             "of rebuilding it")
     stable.set_defaults(func=cmd_stable)
 
     stream = sub.add_parser(
@@ -667,7 +717,15 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--index-dir", default=None, metavar="DIR",
                         help="maintain a live cluster index at DIR "
                              "(append per interval; `query --follow` "
-                             "can tail it)")
+                             "can tail it); an existing index there "
+                             "is continued across restarts")
+    stream.add_argument("--index-rebuild", action="store_true",
+                        help="wipe any existing index at --index-dir "
+                             "instead of continuing its timeline")
+    stream.add_argument("--flush-intervals", type=int,
+                        default=DEFAULT_FLUSH_INTERVALS, metavar="N",
+                        help="seal an index segment every N ingested "
+                             "intervals")
     stream.add_argument("--follow", action="store_true",
                         help="print each interval's ingest report "
                              "and the evolving top-k")
@@ -691,7 +749,23 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="summarize an index: shape, layout, "
                         "provenance")
     inspect.add_argument("dir", help="cluster index directory")
+    inspect.add_argument("--segments", action="store_true",
+                         help="also list each live segment's "
+                              "intervals, clusters, and bytes")
     inspect.set_defaults(func=cmd_index_inspect)
+    merge = index_sub.add_parser(
+        "merge", help="compact an index's sealed segments (rewrites "
+                      "small segments, drops stale path "
+                      "generations)")
+    merge.add_argument("dir", help="cluster index directory")
+    merge.add_argument("--full", action="store_true",
+                       help="merge down to a single segment "
+                            "regardless of the size-tiered policy")
+    merge.add_argument("--force", action="store_true",
+                       help="seal and merge unsealed segments too "
+                            "(recovery after a crashed run; never "
+                            "use against a live writer)")
+    merge.set_defaults(func=cmd_index_merge)
 
     query = sub.add_parser(
         "query", help="serve refinements/lookups/paths from a "
@@ -738,6 +812,12 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--index-dir", default=None, metavar="DIR",
                          help="also forecast the persistent-index "
                               "size for this shape")
+    explain.add_argument("--flush-intervals", type=int, default=None,
+                         metavar="N",
+                         help="with --index-dir: forecast the "
+                              "segment tier for a streamed index "
+                              "sealed every N intervals (default: "
+                              "one batch segment)")
     explain.set_defaults(func=cmd_explain)
 
     bench = sub.add_parser("bench-graph",

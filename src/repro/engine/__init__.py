@@ -31,9 +31,11 @@ from repro.engine.engine import (
 from repro.engine.planner import (
     ExecutionPlan,
     GraphStats,
+    apply_index_dimension,
     apply_worker_dimension,
     estimate_annotation_bytes,
     estimate_index_bytes,
+    estimate_index_segments,
     estimate_ta_probes,
     estimate_window_bytes,
     plan,
@@ -66,9 +68,11 @@ __all__ = [
     "SolverStats",
     "StableQuery",
     "TASolver",
+    "apply_index_dimension",
     "apply_worker_dimension",
     "estimate_annotation_bytes",
     "estimate_index_bytes",
+    "estimate_index_segments",
     "estimate_ta_probes",
     "estimate_window_bytes",
     "explain",

@@ -129,6 +129,14 @@ class ExecutionPlan:
     # None = the run was not asked to persist an index.
     index_dir: Optional[str] = None
     index_bytes: Optional[int] = None
+    # Segment-lifecycle dimension of the persistent index: how many
+    # segments the run leaves in the tier (estimated up front via
+    # apply_index_dimension, overwritten with the measured count
+    # after the write), and the log bytes a size-tiered compaction
+    # is expected to rewrite once the segment count passes the merge
+    # policy's trigger.  None = no index dimension planned.
+    index_segments: Optional[int] = None
+    index_merge_bytes: Optional[int] = None
     # Similarity-join cost dimension: estimated prefix-filter
     # candidate pairs per interval window, and how many of them the
     # two-level signature is expected to pass to exact verification.
@@ -169,6 +177,14 @@ class ExecutionPlan:
             lines.append(
                 f"  index:    {size} persisted at {self.index_dir} "
                 f"(clusters + keyword postings + stable paths)")
+        if self.index_segments is not None:
+            segments = (f"  segments: {self.index_segments} in the "
+                        f"index's tier")
+            if self.index_merge_bytes:
+                segments += (f", ~"
+                             f"{_human_bytes(self.index_merge_bytes)}"
+                             f" size-tiered merge rewrite expected")
+            lines.append(segments)
         if self.join_candidate_pairs is not None:
             lines.append(
                 f"  join:     ~{self.join_candidate_pairs} candidate "
@@ -252,6 +268,51 @@ def estimate_index_bytes(graph_stats: GraphStats) -> int:
         * (INDEX_TOKEN_BYTES + INDEX_POSTING_BYTES)
         + INDEX_KEYWORDS_PER_CLUSTER * INDEX_EDGE_BYTES)
     return clusters * per_cluster
+
+
+# Trigger mirrored from repro.index.merge.MergePolicy (the planner
+# stays below the index package in the layering, so the default is
+# restated rather than imported).
+INDEX_MERGE_MAX_SEGMENTS = 4
+
+
+def estimate_index_segments(graph_stats: GraphStats,
+                            flush_intervals: Optional[int] = None
+                            ) -> int:
+    """Segments a run is expected to leave in the index tier.
+
+    A batch run seals one segment at finalize; a streaming run seals
+    one every *flush_intervals* ingested intervals (``None`` = no
+    periodic flush, a single close-time segment).
+    """
+    m = max(1, graph_stats.num_intervals)
+    if not flush_intervals:
+        return 1
+    return max(1, math.ceil(m / flush_intervals))
+
+
+def apply_index_dimension(result: ExecutionPlan,
+                          graph_stats: GraphStats,
+                          flush_intervals: Optional[int] = None
+                          ) -> None:
+    """Record the segment-count/merge-cost estimate on a plan.
+
+    Called when the run will maintain a persistent index; the merge
+    rewrite estimate covers the whole index volume once the expected
+    segment count passes the size-tiered trigger (compaction copies
+    every surviving record of its inputs).
+    """
+    segments = estimate_index_segments(graph_stats, flush_intervals)
+    result.index_segments = segments
+    if segments > INDEX_MERGE_MAX_SEGMENTS:
+        result.index_merge_bytes = estimate_index_bytes(graph_stats)
+        result.reasons.append(
+            f"~{segments} index segments exceed the merge policy's "
+            f"{INDEX_MERGE_MAX_SEGMENTS}: size-tiered compaction "
+            f"will rewrite "
+            f"~{_human_bytes(result.index_merge_bytes)}")
+    else:
+        result.index_merge_bytes = 0
 
 
 def estimate_join_candidates(graph_stats: GraphStats

@@ -4,21 +4,34 @@ The paper's motivating application (Section 1) is interactive — users
 query keywords and get back clusters, stable paths, and refinement
 suggestions — but the batch, streaming, and parallel layers all
 recompute from raw documents and discard the answer.  This package is
-the serving substrate: a completed run (per-interval clusters, the
-frozen vocabulary, top-k stable paths, planner provenance) persisted
-as an on-disk index in the EMBANKS mold — append-only record logs in
-the compact varint codec, cluster records hash-sharded, plus an
-inverted keyword -> (interval, cluster) posting layer — so point
-lookups, interval scans, and query refinement are answered from disk
-with an LRU of hot keywords, never from the source documents.
+the serving substrate: a run's output (per-interval clusters, the
+interned vocabulary, top-k stable paths, planner provenance)
+persisted as an on-disk index in the EMBANKS mold — append-only
+record logs in the compact varint codec, cluster records
+hash-sharded, plus an inverted keyword -> (interval, cluster) posting
+layer — so point lookups, interval scans, and query refinement are
+answered from disk with an LRU of hot keywords, never from the
+source documents.
+
+The index lives as a *tiered segment lifecycle*: every flush seals an
+immutable ``segments/seg-NNNN/`` directory, the manifest is a
+versioned atomic pointer to the live segment set, and a size-tiered
+merge policy compacts small segments while readers keep serving the
+previous generation.
 
 * :class:`~repro.index.writer.ClusterIndexWriter` — the write path;
   batch runs persist via ``find_stable_clusters(index_dir=...)``,
   streaming runs append one interval at a time
-  (``StreamingDocumentPipeline(index_dir=...)``).
+  (``StreamingDocumentPipeline(index_dir=...)``), and ``append=True``
+  reopens an existing index to continue its timeline across process
+  restarts (vocabulary deltas are reused, never re-interned).
 * :class:`~repro.index.reader.ClusterIndexReader` — the read path:
   ``lookup``/``clusters_at``/``scan``/``paths``/``refiner``, with
-  ``refresh()`` to tail a live streaming index.
+  ``refresh()`` tailing a live index from per-segment consumed
+  offsets and mmap-backed zero-copy record access.
+* :mod:`~repro.index.merge` — the compaction tier:
+  :class:`~repro.index.merge.MergePolicy` and
+  :func:`~repro.index.merge.compact_index` (the ``index merge`` CLI).
 * :mod:`~repro.index.format` — the layout contract and the
   :class:`~repro.index.format.IndexCorruptError` rejection rules.
 
@@ -33,15 +46,22 @@ from repro.index.format import (
     IndexCorruptError,
     load_manifest,
 )
+from repro.index.merge import MergePolicy, compact_index
 from repro.index.reader import ClusterIndexReader
-from repro.index.writer import ClusterIndexWriter
+from repro.index.writer import (
+    DEFAULT_FLUSH_INTERVALS,
+    ClusterIndexWriter,
+)
 
 __all__ = [
+    "DEFAULT_FLUSH_INTERVALS",
     "FORMAT_NAME",
     "FORMAT_VERSION",
     "ClusterIndexError",
     "ClusterIndexReader",
     "ClusterIndexWriter",
     "IndexCorruptError",
+    "MergePolicy",
+    "compact_index",
     "load_manifest",
 ]

@@ -1,25 +1,40 @@
 """The on-disk layout shared by the index writer and reader.
 
-An index is a directory of append-only record logs
+An index is a directory holding one JSON manifest plus a tier of
+immutable *segments* — each a subdirectory of append-only record logs
 (:mod:`repro.storage.recordlog` framing, payloads in the compact
-varint codec of :mod:`repro.storage.codec`) plus one JSON manifest:
+varint codec of :mod:`repro.storage.codec`):
 
-* ``manifest.json`` — format version, token kind, counts, the query
-  that produced the run, planner provenance, and the authoritative
-  byte size of every log file.  Rewritten atomically after each
-  append, it is the consistency point: readers scan each log only up
-  to the manifest's recorded size, so a concurrently appending writer
-  never exposes a torn frame.
-* ``vocabulary.bin`` — the interned token table, appended as deltas in
-  id order (absent for string-token indexes).
-* ``clusters-NNN.bin`` — cluster records ``(interval, index, label,
-  tokens, token_edges)``, hash-partitioned across ``num_shards``
-  shards to keep files small and compaction-friendly.
-* ``postings.bin`` — one record per interval: the inverted
-  keyword -> cluster-index map, in cluster-list order (the order the
-  refinement tie-break rule depends on).
-* ``paths.bin`` — top-k stable path generations; the last record is
-  the current answer (a streaming run appends one per interval).
+* ``manifest.json`` — the versioned atomic pointer to the live
+  segment set.  It records the format version, token kind, global
+  counts, the query that produced the run, planner provenance, a
+  ``generation`` counter bumped on every publish, and — per segment —
+  the authoritative byte size of every log file.  Rewritten atomically
+  (write + rename) after each append, it is the consistency point:
+  readers scan each log only up to the manifest's recorded size, so a
+  concurrently appending writer never exposes a torn frame, and a
+  merge swaps the whole segment list in one rename while live readers
+  keep serving the previous generation from their open handles.
+* ``segments/seg-NNNN/`` — one flush (a batch run, or N streamed
+  intervals).  A *sealed* segment is immutable; only the last segment
+  of the manifest may still be growing.  Each holds:
+
+  - ``vocabulary.bin`` — this segment's *delta* of the interned token
+    table, in id order starting at the segment's ``vocab_base``
+    (absent for string-token indexes).  Concatenating the deltas in
+    segment order reproduces the full table, which is how a reopened
+    index appends without re-interning the world.
+  - ``clusters-NNN.bin`` — cluster records ``(interval, index, label,
+    tokens, token_edges)``, hash-partitioned across ``num_shards``
+    shards; intervals are global, so records survive a merge
+    byte-for-byte.
+  - ``postings.bin`` — one record per interval: the inverted
+    keyword -> cluster-index map, in cluster-list order (the order
+    the refinement tie-break rule depends on).
+  - ``paths.bin`` — top-k stable path generations, numbered from 0
+    within the segment; the last record of the last segment that has
+    one is the current answer.  Superseded generations are the
+    garbage a merge reclaims.
 
 Corruption — truncated frames, checksum mismatches, counts that
 disagree with the manifest — surfaces as :class:`IndexCorruptError`
@@ -30,12 +45,13 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 FORMAT_NAME = "repro-cluster-index"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 MANIFEST_FILE = "manifest.json"
+SEGMENTS_DIR = "segments"
 VOCABULARY_FILE = "vocabulary.bin"
 POSTINGS_FILE = "postings.bin"
 PATHS_FILE = "paths.bin"
@@ -60,8 +76,55 @@ def shard_file(shard: int) -> str:
 
 
 def shard_for(interval: int, index: int, num_shards: int) -> int:
-    """Deterministic shard routing for cluster ``(interval, index)``."""
+    """Deterministic shard routing for cluster ``(interval, index)``.
+
+    *interval* is the global interval number, so the routing — and
+    therefore the record bytes — is identical before and after a
+    merge."""
     return (interval * 31 + index) % num_shards
+
+
+def segment_name(seq: int) -> str:
+    """Directory name of the segment with sequence number *seq*."""
+    return f"seg-{seq:04d}"
+
+
+def segment_dir(directory: str, name: str) -> str:
+    """Path of segment *name* inside index *directory*."""
+    return os.path.join(directory, SEGMENTS_DIR, name)
+
+
+def segments_root(directory: str) -> str:
+    """Path of the ``segments/`` tier inside index *directory*."""
+    return os.path.join(directory, SEGMENTS_DIR)
+
+
+def new_segment_meta(name: str, first_interval: int,
+                     vocab_base: int) -> Dict[str, Any]:
+    """A fresh (empty, unsealed) manifest entry for segment *name*."""
+    return {
+        "name": name,
+        "first_interval": first_interval,
+        "num_intervals": 0,
+        "num_clusters": 0,
+        "vocab_base": vocab_base,
+        "vocab_size": 0,
+        "path_generations": 0,
+        "num_paths": 0,
+        "sealed": False,
+        "files": {},
+    }
+
+
+def list_segment_dirs(directory: str) -> List[str]:
+    """Names of the segment directories present on disk, sorted."""
+    root = segments_root(directory)
+    try:
+        entries = os.listdir(root)
+    except FileNotFoundError:
+        return []
+    return sorted(name for name in entries
+                  if os.path.isdir(os.path.join(root, name)))
 
 
 def manifest_path(directory: str) -> str:
@@ -100,6 +163,16 @@ def load_manifest(directory: str) -> Dict[str, Any]:
         raise IndexCorruptError(
             f"index manifest has unknown token_kind "
             f"{manifest.get('token_kind')!r}")
+    segments = manifest.get("segments")
+    if not isinstance(segments, list):
+        raise IndexCorruptError(
+            f"index manifest at {path!r} has no segment list")
+    for meta in segments:
+        if not isinstance(meta, dict) or "name" not in meta \
+                or not isinstance(meta.get("files"), dict):
+            raise IndexCorruptError(
+                f"index manifest at {path!r} has a malformed "
+                f"segment entry: {meta!r}")
     return manifest
 
 

@@ -1,0 +1,314 @@
+"""Size-tiered merge/compaction of sealed index segments.
+
+A streaming run leaves behind many small segments (one per flush),
+each carrying every intermediate top-k path generation it wrote.
+Merging rewrites an adjacent run of sealed segments into one larger
+segment: cluster, postings, and vocabulary records are copied
+byte-for-byte (intervals are global, so nothing needs renumbering),
+while superseded path generations — the garbage — are dropped,
+keeping only the newest generation of the rewritten run.  The merged
+segment is published by atomically swapping the manifest's segment
+list in one generation bump; live readers keep serving the previous
+generation from their open handles until they
+:meth:`~repro.index.ClusterIndexReader.refresh`, so the old segment
+directories are unlinked only after the swap.
+
+:class:`MergePolicy` decides *when*: too many sealed segments
+(size-tiered count trigger) or too much reclaimable garbage.
+:func:`select_merge_inputs` decides *what*: the cheapest adjacent
+window for the count trigger, the most garbage-laden one for the
+garbage trigger.  :func:`compact_index` is the standalone entry the
+``index merge`` CLI uses on a quiescent index;
+:class:`~repro.index.writer.ClusterIndexWriter` drives the same
+machinery inline or from a background thread while a stream appends.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.index.format import (
+    PATHS_FILE,
+    POSTINGS_FILE,
+    VOCABULARY_FILE,
+    ClusterIndexError,
+    load_manifest,
+    list_segment_dirs,
+    save_manifest,
+    segment_dir,
+    segment_name,
+    shard_file,
+)
+from repro.storage.codec import decode_record, encode_compact
+from repro.storage.recordlog import RecordLogReader, append_record
+
+
+@dataclass(frozen=True)
+class MergePolicy:
+    """When and what the compaction tier rewrites.
+
+    ``max_segments`` — merge once more sealed segments than this
+    accumulate (the size-tiered count trigger).  ``garbage_ratio`` —
+    merge once the estimated reclaimable fraction of the sealed bytes
+    (superseded path generations) exceeds this.  ``max_merge_inputs``
+    bounds how many segments one rewrite swallows.
+    """
+
+    max_segments: int = 4
+    garbage_ratio: float = 0.5
+    max_merge_inputs: int = 8
+
+
+def segment_bytes(meta: Dict[str, Any]) -> int:
+    """Total log bytes of a segment, per its manifest entry."""
+    return sum(meta["files"].values())
+
+
+def segment_garbage_bytes(meta: Dict[str, Any]) -> int:
+    """Estimated bytes a rewrite of this segment would reclaim.
+
+    Path generations are append-only snapshots of the whole top-k,
+    so all but the last are garbage; the estimate prorates the paths
+    log evenly across its generations."""
+    generations = meta.get("path_generations", 0)
+    if generations <= 1:
+        return 0
+    paths_bytes = meta["files"].get(PATHS_FILE, 0)
+    return paths_bytes * (generations - 1) // generations
+
+
+def select_merge_inputs(segments: Sequence[Dict[str, Any]],
+                        policy: MergePolicy) -> List[str]:
+    """Names of the adjacent sealed segments the policy would merge.
+
+    Empty when no trigger fires.  Count trigger: the cheapest (fewest
+    total bytes) adjacent window, so small young segments coalesce
+    first.  Garbage trigger: the adjacent window with the most
+    reclaimable bytes — possibly a single segment, since rewriting
+    one segment already drops its superseded path generations.
+    """
+    sealed = [meta for meta in segments if meta.get("sealed")]
+    if not sealed:
+        return []
+    if len(sealed) > policy.max_segments:
+        width = min(len(sealed), max(2, policy.max_merge_inputs))
+        best = min(
+            range(len(sealed) - width + 1),
+            key=lambda i: sum(segment_bytes(meta)
+                              for meta in sealed[i:i + width]))
+        return [meta["name"] for meta in sealed[best:best + width]]
+    total = sum(segment_bytes(meta) for meta in sealed)
+    garbage = sum(segment_garbage_bytes(meta) for meta in sealed)
+    if total and garbage / total > policy.garbage_ratio:
+        width = min(len(sealed), max(1, policy.max_merge_inputs))
+        best = min(
+            range(len(sealed) - width + 1),
+            key=lambda i: -sum(segment_garbage_bytes(meta)
+                               for meta in sealed[i:i + width]))
+        return [meta["name"] for meta in sealed[best:best + width]]
+    return []
+
+
+def rewrite_segments(directory: str,
+                     metas: Sequence[Dict[str, Any]],
+                     out_name: str, *,
+                     num_shards: int,
+                     use_mmap: bool = True) -> Dict[str, Any]:
+    """Rewrite adjacent sealed segments *metas* into *out_name*.
+
+    Copies cluster, postings, and vocabulary records byte-for-byte in
+    segment order and keeps only the newest path generation of the
+    run (re-numbered to generation 0).  Returns the merged segment's
+    manifest entry; the caller publishes it (manifest swap) and then
+    removes the input directories.  The output directory is written
+    completely before the caller publishes, so a crash mid-rewrite
+    leaves only an orphan directory no manifest references.
+    """
+    if not metas:
+        raise ValueError("nothing to merge")
+    for before, after in zip(metas, metas[1:]):
+        if (before["first_interval"] + before["num_intervals"]
+                != after["first_interval"]) or (
+                before["vocab_base"] + before.get("vocab_size", 0)
+                != after["vocab_base"]):
+            raise ClusterIndexError(
+                f"segments {before['name']!r} and {after['name']!r} "
+                f"are not adjacent; merge windows must be "
+                f"contiguous")
+    out_dir = segment_dir(directory, out_name)
+    if os.path.exists(out_dir):  # a previous crashed attempt
+        shutil.rmtree(out_dir)
+    os.makedirs(out_dir)
+    merged: Dict[str, Any] = {
+        "name": out_name,
+        "first_interval": metas[0]["first_interval"],
+        "num_intervals": sum(m["num_intervals"] for m in metas),
+        "num_clusters": sum(m["num_clusters"] for m in metas),
+        "vocab_base": metas[0]["vocab_base"],
+        "vocab_size": sum(m.get("vocab_size", 0) for m in metas),
+        "path_generations": 0,
+        "num_paths": 0,
+        "sealed": True,
+        "files": {},
+    }
+    copied = [shard_file(shard) for shard in range(num_shards)]
+    copied.append(POSTINGS_FILE)
+    if any(VOCABULARY_FILE in meta["files"] for meta in metas):
+        copied.append(VOCABULARY_FILE)
+    for fname in copied:
+        written = 0
+        with open(os.path.join(out_dir, fname), "wb") as out_fh:
+            for meta in metas:
+                size = meta["files"].get(fname, 0)
+                if not size:
+                    continue
+                path = os.path.join(
+                    segment_dir(directory, meta["name"]), fname)
+                with RecordLogReader(path, use_mmap) as log:
+                    for payload, _ in log.records(end=size):
+                        written += append_record(
+                            out_fh, bytes(payload))
+        merged["files"][fname] = written
+    paths = _newest_paths(directory, metas, use_mmap)
+    written = 0
+    with open(os.path.join(out_dir, PATHS_FILE), "wb") as out_fh:
+        if paths is not None:
+            written = append_record(
+                out_fh, encode_compact((0, paths)))
+            merged["path_generations"] = 1
+            merged["num_paths"] = len(paths)
+    merged["files"][PATHS_FILE] = written
+    return merged
+
+
+def _newest_paths(directory: str,
+                  metas: Sequence[Dict[str, Any]],
+                  use_mmap: bool) -> Optional[List[Any]]:
+    """The last path generation across *metas*, or None."""
+    for meta in reversed(metas):
+        if not meta.get("path_generations"):
+            continue
+        path = os.path.join(
+            segment_dir(directory, meta["name"]), PATHS_FILE)
+        size = meta["files"].get(PATHS_FILE, 0)
+        newest = None
+        with RecordLogReader(path, use_mmap) as log:
+            for payload, _ in log.records(end=size):
+                newest = payload
+        if newest is None:
+            raise ClusterIndexError(
+                f"segment {meta['name']!r} records "
+                f"{meta['path_generations']} path generations but "
+                f"its paths log is empty")
+        _, paths = decode_record(newest)
+        return list(paths)
+    return None
+
+
+def compact_index(directory: str,
+                  policy: Optional[MergePolicy] = None, *,
+                  full: bool = False,
+                  force: bool = False,
+                  use_mmap: bool = True) -> Dict[str, Any]:
+    """Compact the quiescent index at *directory*; returns a report.
+
+    Applies *policy* repeatedly until no trigger fires — or, with
+    ``full=True``, until a single sealed segment remains.  Refuses an
+    index whose manifest still shows a growing (unsealed) segment:
+    that is either a live writer (which must drive its own merges) or
+    a crashed run; pass ``force=True`` to seal it in place and
+    proceed (the crashed-run recovery the CLI exposes).  Orphaned
+    segment directories from crashed flushes or merges are removed.
+    The report maps ``segments``/``bytes`` before and after,
+    ``merges`` performed, and the final manifest ``generation``.
+    """
+    policy = policy or MergePolicy()
+    manifest = load_manifest(directory)
+    segments = [dict(meta, files=dict(meta["files"]))
+                for meta in manifest["segments"]]
+    unsealed = [meta["name"] for meta in segments
+                if not meta.get("sealed")]
+    if unsealed and not force:
+        raise ClusterIndexError(
+            f"index at {directory!r} has a growing segment "
+            f"({', '.join(unsealed)}): a live writer merges through "
+            f"its own policy; pass force=True only to recover a "
+            f"crashed run")
+    for meta in segments:
+        meta["sealed"] = True
+    generation = int(manifest.get("generation", 0))
+    next_segment = max(int(manifest.get("next_segment", 0)),
+                       len(segments))
+    report = {
+        "segments_before": len(segments),
+        "bytes_before": sum(segment_bytes(m) for m in segments),
+        "merges": 0,
+    }
+    known = {meta["name"] for meta in segments}
+    for name in list_segment_dirs(directory):
+        if name not in known:
+            shutil.rmtree(segment_dir(directory, name),
+                          ignore_errors=True)
+    num_shards = int(manifest["num_shards"])
+    while True:
+        if full and len(segments) > 1:
+            width = min(len(segments),
+                        max(2, policy.max_merge_inputs))
+            names = [meta["name"] for meta in segments[:width]]
+        else:
+            names = select_merge_inputs(segments, policy)
+        if not names:
+            break
+        metas = [meta for meta in segments if meta["name"] in names]
+        out_name = segment_name(next_segment)
+        next_segment += 1
+        merged = rewrite_segments(directory, metas, out_name,
+                                  num_shards=num_shards,
+                                  use_mmap=use_mmap)
+        start = segments.index(metas[0])
+        segments[start:start + len(metas)] = [merged]
+        generation += 1
+        manifest = dict(manifest, segments=segments,
+                        generation=generation,
+                        next_segment=next_segment)
+        manifest.update(_manifest_totals(segments))
+        save_manifest(directory, manifest)
+        for meta in metas:
+            shutil.rmtree(segment_dir(directory, meta["name"]),
+                          ignore_errors=True)
+        report["merges"] += 1
+    if report["merges"] == 0 and unsealed:
+        # force=True on a crashed run with nothing to merge: still
+        # publish the sealed segment list so a reopen is clean.
+        generation += 1
+        manifest = dict(manifest, segments=segments,
+                        generation=generation,
+                        next_segment=next_segment)
+        save_manifest(directory, manifest)
+    report.update({
+        "segments_after": len(segments),
+        "bytes_after": sum(segment_bytes(m) for m in segments),
+        "generation": generation,
+    })
+    return report
+
+
+def _manifest_totals(
+        segments: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    totals = {
+        "num_intervals": 0, "num_clusters": 0,
+        "vocab_size": 0, "path_generations": 0, "num_paths": 0,
+    }
+    for meta in segments:
+        totals["num_intervals"] += meta["num_intervals"]
+        totals["num_clusters"] += meta["num_clusters"]
+        totals["vocab_size"] += meta.get("vocab_size", 0)
+        totals["path_generations"] += meta["path_generations"]
+    for meta in reversed(segments):
+        if meta["path_generations"]:
+            totals["num_paths"] = meta["num_paths"]
+            break
+    return totals

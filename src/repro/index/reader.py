@@ -2,12 +2,20 @@
 
 :class:`ClusterIndexReader` rebuilds its lookup state — the token
 table, the keyword -> (interval, cluster) postings, the per-node
-record offsets, and the current top-k paths — by scanning the index
-logs once on open, then serves point lookups with one random read per
-cluster (LRU-cached), never touching the source documents.  A reader
-over a *live* index (a streaming run still appending) can
-:meth:`refresh` to tail the growth; scans stop at the manifest's
-recorded sizes, so a torn in-flight frame is never decoded.
+record offsets, and the current top-k paths — by scanning each
+segment's logs once on open, then serves point lookups with one
+random read per cluster (LRU-cached, zero-copy when the logs are
+memory-mapped), never touching the source documents.
+
+A reader over a *live* index (a streaming run still appending) can
+:meth:`refresh` to tail the growth: each segment remembers its
+consumed byte offset per log, so a poll scans only the bytes the
+writer appended since the last one — never the whole log again.
+Scans stop at the manifest's recorded sizes, so a torn in-flight
+frame is never decoded.  When a merge swaps the segment set (the
+manifest generation no longer extends the segments this reader
+loaded), the reader rebuilds from the new segment list; the decoded
+cluster cache survives, because merged records are byte-identical.
 """
 
 from __future__ import annotations
@@ -15,7 +23,6 @@ from __future__ import annotations
 import os
 from typing import (
     Any,
-    BinaryIO,
     Dict,
     Iterable,
     Iterator,
@@ -27,99 +34,116 @@ from typing import (
 from repro.core.paths import NodeId, Path
 from repro.graph.clusters import KeywordCluster
 from repro.index.format import (
+    IndexCorruptError,
     PATHS_FILE,
     POSTINGS_FILE,
     VOCABULARY_FILE,
-    IndexCorruptError,
     load_manifest,
+    segment_dir,
     shard_file,
 )
 from repro.search.refinement import QueryRefiner, prefer_larger
 from repro.storage.codec import decode_record
 from repro.storage.lru import LRUCache
-from repro.storage.recordlog import RecordLogCorruptError, iter_records
+from repro.storage.recordlog import (
+    RecordLogCorruptError,
+    RecordLogReader,
+)
 from repro.text.stemmer import stem
 from repro.vocab import FrozenVocabulary
+
+# A cluster record's address: (segment name, file, offset, length).
+_NodeRef = Tuple[str, str, int, int]
+
+
+class _SegmentView:
+    """One segment's open logs and tail state inside a reader."""
+
+    __slots__ = ("name", "meta", "directory", "use_mmap", "consumed",
+                 "logs", "postings_seen", "paths_seen")
+
+    def __init__(self, directory: str, meta: Dict[str, Any],
+                 use_mmap: bool) -> None:
+        self.name: str = meta["name"]
+        self.meta = meta
+        self.directory = segment_dir(directory, self.name)
+        self.use_mmap = use_mmap
+        self.consumed: Dict[str, int] = {}
+        self.logs: Dict[str, RecordLogReader] = {}
+        self.postings_seen = 0
+        self.paths_seen = 0
+
+    def log(self, name: str) -> RecordLogReader:
+        reader = self.logs.get(name)
+        if reader is None:
+            path = os.path.join(self.directory, name)
+            try:
+                reader = RecordLogReader(path, self.use_mmap)
+            except FileNotFoundError:
+                raise IndexCorruptError(
+                    f"segment {self.name!r} is missing "
+                    f"{name!r}") from None
+            self.logs[name] = reader
+        return reader
+
+    def close(self) -> None:
+        for reader in self.logs.values():
+            reader.close()
+        self.logs.clear()
 
 
 class ClusterIndexReader:
     """Point lookups, scans, and path queries over a persisted index.
 
-    ``cache_size`` bounds the LRU of decoded clusters (cluster records
-    are immutable and the logs append-only, so cached entries never
-    go stale, even across :meth:`refresh`).
+    ``cache_size`` bounds the LRU of decoded clusters (cluster
+    records are immutable — merges copy them byte-for-byte — so
+    cached entries never go stale, even across :meth:`refresh` and
+    compactions).  ``use_mmap=False`` forces buffered reads; the
+    default memory-maps each log and falls back transparently where
+    mapping is unavailable.
     """
 
-    def __init__(self, directory: str, cache_size: int = 1024) -> None:
+    def __init__(self, directory: str, cache_size: int = 1024,
+                 use_mmap: bool = True) -> None:
         self.directory = directory
         self._cache = LRUCache(cache_size)
-        self._consumed: Dict[str, int] = {}
-        self._fhs: Dict[str, BinaryIO] = {}
+        self._use_mmap = use_mmap
+        self._views: Dict[str, _SegmentView] = {}
         self._tokens: List[str] = []
         self._frozen: Optional[FrozenVocabulary] = None
-        self._nodes: Dict[NodeId, Tuple[str, int, int]] = {}
+        self._nodes: Dict[NodeId, _NodeRef] = {}
         self._per_interval: Dict[int, List[NodeId]] = {}
         self._postings: Dict[Any, List[NodeId]] = {}
         self._paths: List[Path] = []
         self._path_generations = 0
         self._postings_intervals = 0
+        self._bytes_scanned = 0
         self._manifest: Dict[str, Any] = {}
         self._closed = False
-        self._load()
+        self._apply(load_manifest(self.directory))
 
     # ------------------------------------------------------------------
     # Loading and refreshing
     # ------------------------------------------------------------------
 
-    def _fh(self, name: str) -> BinaryIO:
-        fh = self._fhs.get(name)
-        if fh is None:
-            path = os.path.join(self.directory, name)
-            try:
-                fh = open(path, "rb")
-            except FileNotFoundError:
-                raise IndexCorruptError(
-                    f"index at {self.directory!r} is missing "
-                    f"{name!r}") from None
-            self._fhs[name] = fh
-        return fh
+    def _reset(self) -> None:
+        """Drop per-segment state ahead of a structural rebuild.
 
-    def _scan_frames(self, name: str,
-                     limit: int) -> Iterator[Tuple[bytes, int]]:
-        """Yield this file's ``(payload, end_offset)`` frames from the
-        consumed offset up to *limit* (the manifest's recorded size —
-        bytes beyond it, e.g. a live writer's in-flight frame, are
-        never read).  Advances the consumed offset as it goes and maps
-        every framing failure to :class:`IndexCorruptError`."""
-        fh = self._fh(name)
-        fh.seek(0, os.SEEK_END)
-        if fh.tell() < limit:
-            raise IndexCorruptError(
-                f"{name!r} is truncated: manifest records {limit} "
-                f"bytes, file has {fh.tell()}")
-        offset = self._consumed.get(name, 0)
-        try:
-            for payload, end in iter_records(fh, offset=offset,
-                                             end=limit):
-                yield payload, end
-                offset = end
-        except (RecordLogCorruptError, ValueError, IndexError) as exc:
-            raise IndexCorruptError(
-                f"corrupt record in {name!r}: {exc}") from None
-        finally:
-            self._consumed[name] = offset
+        The decoded-cluster cache is kept: a merge copies records
+        byte-for-byte, so cached clusters stay correct."""
+        for view in self._views.values():
+            view.close()
+        self._views = {}
+        self._tokens = []
+        self._frozen = None
+        self._nodes = {}
+        self._per_interval = {}
+        self._postings = {}
+        self._paths = []
+        self._path_generations = 0
+        self._postings_intervals = 0
 
-    def _scan(self, name: str, limit: int) -> Iterator[Any]:
-        """Decode this file's records within the manifest bound."""
-        for payload, _ in self._scan_frames(name, limit):
-            try:
-                yield decode_record(payload)
-            except (ValueError, IndexError) as exc:
-                raise IndexCorruptError(
-                    f"corrupt record in {name!r}: {exc}") from None
-
-    def _load(self) -> None:
-        manifest = load_manifest(self.directory)
+    def _apply(self, manifest: Dict[str, Any]) -> None:
         if self._manifest and (
                 manifest["num_shards"] != self._manifest["num_shards"]
                 or manifest["token_kind"]
@@ -127,54 +151,132 @@ class ClusterIndexReader:
             raise IndexCorruptError(
                 f"index at {self.directory!r} changed shape under a "
                 f"live reader; reopen it")
+        names = [meta["name"] for meta in manifest["segments"]]
+        known = list(self._views)
+        if known != names[:len(known)]:
+            # A merge (or rebuild) swapped the segment set: the tail
+            # state no longer lines up, so rebuild from scratch.
+            self._reset()
         self._manifest = manifest
-        sizes = manifest.get("files", {})
+        for meta in manifest["segments"]:
+            view = self._views.get(meta["name"])
+            if view is None:
+                if meta["vocab_base"] != len(self._tokens):
+                    raise IndexCorruptError(
+                        f"segment {meta['name']!r} expects vocab "
+                        f"base {meta['vocab_base']}, reader holds "
+                        f"{len(self._tokens)} tokens")
+                view = _SegmentView(self.directory, meta,
+                                    self._use_mmap)
+                self._views[meta["name"]] = view
+            view.meta = meta
+            self._scan_segment(view)
         if manifest["token_kind"] == "id":
-            for record in self._scan(
-                    VOCABULARY_FILE, sizes.get(VOCABULARY_FILE, 0)):
-                self._tokens.extend(record)
             if len(self._tokens) != manifest["vocab_size"]:
                 raise IndexCorruptError(
                     f"vocabulary holds {len(self._tokens)} tokens, "
                     f"manifest records {manifest['vocab_size']}")
-            self._frozen = FrozenVocabulary(self._tokens)
-        for shard in range(manifest["num_shards"]):
-            name = shard_file(shard)
-            self._scan_shard(name, sizes.get(name, 0))
-        for record in self._scan(
-                POSTINGS_FILE, sizes.get(POSTINGS_FILE, 0)):
-            self._fold_postings(record)
-        for record in self._scan(PATHS_FILE, sizes.get(PATHS_FILE, 0)):
-            generation, paths = record
-            self._paths = list(paths)
-            self._path_generations = generation + 1
+            if self._frozen is None \
+                    or len(self._frozen) != len(self._tokens):
+                self._frozen = FrozenVocabulary(self._tokens)
         self._validate(manifest)
 
-    def _scan_shard(self, name: str, limit: int) -> None:
+    def _scan_segment(self, view: _SegmentView) -> None:
+        sizes = view.meta["files"]
+        if self._manifest["token_kind"] == "id":
+            for record in self._scan(
+                    view, VOCABULARY_FILE,
+                    sizes.get(VOCABULARY_FILE, 0)):
+                self._tokens.extend(record)
+        for shard in range(self._manifest["num_shards"]):
+            name = shard_file(shard)
+            self._scan_shard(view, name, sizes.get(name, 0))
+        for record in self._scan(
+                view, POSTINGS_FILE, sizes.get(POSTINGS_FILE, 0)):
+            self._fold_postings(view, record)
+        for record in self._scan(
+                view, PATHS_FILE, sizes.get(PATHS_FILE, 0)):
+            generation, paths = record
+            if generation != view.paths_seen:
+                raise IndexCorruptError(
+                    f"path generations out of order in segment "
+                    f"{view.name!r}: expected {view.paths_seen}, "
+                    f"found {generation}")
+            view.paths_seen += 1
+            self._paths = list(paths)
+        self._path_generations = sum(
+            v.paths_seen for v in self._views.values())
+
+    def _scan_frames(self, view: _SegmentView, name: str,
+                     limit: int) -> Iterator[Tuple[Any, int]]:
+        """Yield ``(payload, end_offset)`` frames of one segment log
+        from its consumed offset up to *limit* (the manifest's
+        recorded size — bytes beyond it, e.g. a live writer's
+        in-flight frame, are never read).  Advances the consumed
+        offset as it goes and maps every framing failure to
+        :class:`IndexCorruptError`."""
+        offset = view.consumed.get(name, 0)
+        if offset >= limit:
+            return
+        log = view.log(name)
+        if log.size() < limit:
+            raise IndexCorruptError(
+                f"{name!r} in segment {view.name!r} is truncated: "
+                f"manifest records {limit} bytes, file has "
+                f"{log.size()}")
+        try:
+            for payload, end in log.records(offset=offset, end=limit):
+                yield payload, end
+                offset = end
+        except (RecordLogCorruptError, ValueError, IndexError) as exc:
+            raise IndexCorruptError(
+                f"corrupt record in {name!r} of segment "
+                f"{view.name!r}: {exc}") from None
+        finally:
+            self._bytes_scanned += offset - view.consumed.get(name, 0)
+            view.consumed[name] = offset
+
+    def _scan(self, view: _SegmentView, name: str,
+              limit: int) -> Iterator[Any]:
+        """Decode one segment log's records within the bound."""
+        for payload, _ in self._scan_frames(view, name, limit):
+            try:
+                yield decode_record(payload)
+            except (ValueError, IndexError) as exc:
+                raise IndexCorruptError(
+                    f"corrupt record in {name!r} of segment "
+                    f"{view.name!r}: {exc}") from None
+
+    def _scan_shard(self, view: _SegmentView, name: str,
+                    limit: int) -> None:
         touched = set()
-        for payload, end in self._scan_frames(name, limit):
+        for payload, end in self._scan_frames(view, name, limit):
             try:
                 interval, idx = decode_record(payload)[:2]
             except (ValueError, IndexError) as exc:
                 raise IndexCorruptError(
-                    f"corrupt record in {name!r}: {exc}") from None
+                    f"corrupt record in {name!r} of segment "
+                    f"{view.name!r}: {exc}") from None
             node = (interval, idx)
-            self._nodes[node] = (name, end - len(payload),
-                                 len(payload))
+            self._nodes[node] = (view.name, name,
+                                 end - len(payload), len(payload))
             self._per_interval.setdefault(interval, []).append(node)
             touched.add(interval)
         for interval in touched:
             self._per_interval[interval].sort()
 
-    def _fold_postings(self, record: Any) -> None:
+    def _fold_postings(self, view: _SegmentView, record: Any) -> None:
         interval, by_token = record
-        if interval != self._postings_intervals:
+        expected = view.meta["first_interval"] + view.postings_seen
+        if interval != expected:
             raise IndexCorruptError(
-                f"postings records out of order: expected interval "
-                f"{self._postings_intervals}, found {interval}")
+                f"postings records out of order in segment "
+                f"{view.name!r}: expected interval {expected}, "
+                f"found {interval}")
         for token, indices in by_token.items():
             nodes = self._postings.setdefault(token, [])
             nodes.extend((interval, idx) for idx in indices)
+        view.postings_seen += 1
         self._postings_intervals += 1
 
     def _validate(self, manifest: Dict[str, Any]) -> None:
@@ -189,9 +291,17 @@ class ClusterIndexReader:
                 f"{manifest['num_intervals']}")
         if self._path_generations != manifest["path_generations"]:
             raise IndexCorruptError(
-                f"paths log holds {self._path_generations} "
+                f"paths logs hold {self._path_generations} "
                 f"generations, manifest records "
                 f"{manifest['path_generations']}")
+        expected_first = 0
+        for meta in manifest["segments"]:
+            if meta["first_interval"] != expected_first:
+                raise IndexCorruptError(
+                    f"segment {meta['name']!r} starts at interval "
+                    f"{meta['first_interval']}, expected "
+                    f"{expected_first}")
+            expected_first += meta["num_intervals"]
         for interval, nodes in self._per_interval.items():
             if interval >= self._postings_intervals:
                 raise IndexCorruptError(
@@ -204,16 +314,17 @@ class ClusterIndexReader:
                     f"dense: {[idx for _, idx in nodes]}")
 
     def refresh(self) -> bool:
-        """Pick up whatever a live writer appended since last load.
+        """Pick up whatever a writer published since last load.
 
-        Returns True when new data arrived."""
+        Returns True when a new manifest generation arrived.  A pure
+        append tails only the new bytes of the grown segments; a
+        merge triggers a structural rebuild over the new segment
+        set."""
         manifest = load_manifest(self.directory)
-        watched = ("num_intervals", "num_clusters", "vocab_size",
-                   "path_generations", "complete")
-        if all(manifest.get(key) == self._manifest.get(key)
-               for key in watched):
+        if manifest.get("generation") == \
+                self._manifest.get("generation"):
             return False
-        self._load()
+        self._apply(manifest)
         return True
 
     # ------------------------------------------------------------------
@@ -246,16 +357,61 @@ class ClusterIndexReader:
         return self._manifest["token_kind"]
 
     @property
+    def generation(self) -> int:
+        """Manifest generation this reader currently serves."""
+        return int(self._manifest.get("generation", 0))
+
+    @property
+    def num_segments(self) -> int:
+        """Segments in the generation this reader serves."""
+        return len(self._manifest["segments"])
+
+    @property
+    def bytes_scanned(self) -> int:
+        """Log bytes scanned since open, across loads and refreshes.
+
+        A tailing reader's growth between polls is the new bytes
+        only — the per-segment offsets make re-scans incremental."""
+        return self._bytes_scanned
+
+    @property
+    def mmap_active(self) -> bool:
+        """True when at least one open log serves from an mmap."""
+        return any(log.mmapped
+                   for view in self._views.values()
+                   for log in view.logs.values())
+
+    @property
     def total_bytes(self) -> int:
         """Log bytes the manifest accounts for."""
-        return sum(self._manifest.get("files", {}).values())
+        return sum(sum(meta["files"].values())
+                   for meta in self._manifest["segments"])
 
     def cache_info(self) -> Tuple[int, int, int, int]:
         """``(hits, misses, size, capacity)`` of the cluster cache."""
         return self._cache.info()
 
-    def describe(self) -> str:
-        """Multi-line summary for ``index inspect``."""
+    def segments(self) -> List[Dict[str, Any]]:
+        """Per-segment shape summaries, in manifest order."""
+        out = []
+        for meta in self._manifest["segments"]:
+            out.append({
+                "name": meta["name"],
+                "first_interval": meta["first_interval"],
+                "num_intervals": meta["num_intervals"],
+                "num_clusters": meta["num_clusters"],
+                "vocab_size": meta.get("vocab_size", 0),
+                "path_generations": meta["path_generations"],
+                "bytes": sum(meta["files"].values()),
+                "sealed": bool(meta.get("sealed")),
+            })
+        return out
+
+    def describe(self, segments: bool = False) -> str:
+        """Multi-line summary for ``index inspect``.
+
+        With ``segments=True`` every segment gets its own line
+        (the ``--segments`` CLI flag)."""
         manifest = self._manifest
         state = "complete" if self.complete else "live (streaming)"
         lines = [f"cluster index at {self.directory}",
@@ -269,11 +425,21 @@ class ClusterIndexReader:
             f"{self.num_clusters} clusters, {self.vocab_size} "
             f"keywords, {manifest['num_paths']} stable paths")
         lines.append(
-            f"  layout:   {manifest['num_shards']} cluster shards, "
+            f"  layout:   {self.num_segments} segments "
+            f"(generation {self.generation}), "
+            f"{manifest['num_shards']} cluster shards, "
             f"{self.token_kind} tokens, {self.total_bytes} log bytes")
-        for name in sorted(manifest.get("files", {})):
-            lines.append(
-                f"    {name}: {manifest['files'][name]} bytes")
+        if segments:
+            for info in self.segments():
+                first = info["first_interval"]
+                last = first + info["num_intervals"]
+                state = "sealed" if info["sealed"] else "growing"
+                lines.append(
+                    f"    {info['name']}: intervals [{first}, "
+                    f"{last}), {info['num_clusters']} clusters, "
+                    f"{info['vocab_size']} keywords, "
+                    f"{info['path_generations']} path generations, "
+                    f"{info['bytes']} bytes, {state}")
         provenance = manifest.get("provenance") or []
         if provenance:
             lines.append("  provenance:")
@@ -287,21 +453,20 @@ class ClusterIndexReader:
     def cluster(self, node: NodeId) -> KeywordCluster:
         """The cluster behind one ``(interval, index)`` node.
 
-        Costs one LRU-cached random read; raises KeyError for
-        unknown nodes."""
+        Costs one LRU-cached random read (zero-copy off the mmap
+        when available); raises KeyError for unknown nodes."""
         cached = self._cache.get(node)
         if cached is not None:
             return cached
-        name, offset, length = self._nodes[node]
-        fh = self._fh(name)
-        fh.seek(offset)
-        blob = fh.read(length)
+        seg_name, name, offset, length = self._nodes[node]
+        view = self._views[seg_name]
+        blob = view.log(name).pread(offset, length)
         try:
             interval, idx, label, tokens, edges = decode_record(blob)
         except (ValueError, IndexError) as exc:
             raise IndexCorruptError(
                 f"corrupt cluster record for node {node} in "
-                f"{name!r}: {exc}") from None
+                f"{name!r} of segment {seg_name!r}: {exc}") from None
         cluster = KeywordCluster(tokens=tokens, token_edges=edges,
                                  interval=label, vocab=self._frozen)
         self._cache.put(node, cluster)
@@ -416,11 +581,11 @@ class ClusterIndexReader:
         return QueryRefiner(source=source, cache_size=cache_size)
 
     def close(self) -> None:
-        """Close every open log handle (idempotent)."""
+        """Close every open log handle and mapping (idempotent)."""
         if not self._closed:
-            for fh in self._fhs.values():
-                fh.close()
-            self._fhs.clear()
+            for view in self._views.values():
+                view.close()
+            self._views = {}
             self._closed = True
 
     def __enter__(self) -> "ClusterIndexReader":
@@ -431,6 +596,7 @@ class ClusterIndexReader:
 
     def __repr__(self) -> str:
         return (f"ClusterIndexReader(dir={self.directory!r}, "
+                f"segments={self.num_segments}, "
                 f"intervals={self.num_intervals}, "
                 f"clusters={self.num_clusters})")
 

@@ -20,6 +20,7 @@ from repro.core.solver_stats import SolverStats
 from repro.core.stability import THETA_DEFAULT, build_cluster_graph
 from repro.engine import ExecutionPlan, StableQuery, solve_report
 from repro.graph.clusters import KeywordCluster
+from repro.index.format import load_manifest
 from repro.index.writer import ClusterIndexWriter
 from repro.parallel import Executor, open_executor, resolve_workers
 from repro.pipeline.cluster_generation import (
@@ -122,7 +123,8 @@ def find_stable_clusters(corpus: IntervalCorpus,
                          solver: str = "auto",
                          memory_budget: Optional[int] = None,
                          workers: Union[int, Executor, None] = None,
-                         index_dir: Optional[str] = None
+                         index_dir: Optional[str] = None,
+                         index_append: bool = False
                          ) -> StableClusterResult:
     """Run the complete two-stage pipeline over *corpus*.
 
@@ -148,10 +150,12 @@ def find_stable_clusters(corpus: IntervalCorpus,
     ``index_dir`` persists the completed run — every interval's
     clusters, the vocabulary, the top-k paths, and the plan's
     provenance — as a :mod:`repro.index` cluster index at that
-    directory (overwriting a previous index there), so refinement
-    and lookup queries can later be served without recomputing; the
-    written size is reported on ``result.plan`` (``explain()``'s
-    ``index:`` line).
+    directory (overwriting a previous index there, unless
+    ``index_append=True`` continues an existing index's timeline as
+    a new segment), so refinement and lookup queries can later be
+    served without recomputing; the written size and segment count
+    are reported on ``result.plan`` (``explain()``'s ``index:`` and
+    ``segments:`` lines).
     """
     worker_count = workers.workers if isinstance(workers, Executor) \
         else workers
@@ -190,9 +194,12 @@ def find_stable_clusters(corpus: IntervalCorpus,
         # the measured size cannot be part of its own recording.
         index_bytes = ClusterIndexWriter.write_run(
             index_dir, interval_clusters, report.paths,
-            vocab=vocab, query=query, plan=report.plan)
+            vocab=vocab, query=query, plan=report.plan,
+            append=index_append)
         report.plan.index_dir = index_dir
         report.plan.index_bytes = index_bytes
+        report.plan.index_segments = len(
+            load_manifest(index_dir)["segments"])
     return StableClusterResult(interval_clusters=interval_clusters,
                                cluster_graph=graph,
                                paths=report.paths,

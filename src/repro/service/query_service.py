@@ -127,9 +127,78 @@ class ClusterQueryService:
         """True once the producing run finalized the index."""
         return self.reader.complete
 
-    def describe(self) -> str:
-        """The underlying index summary (``index inspect``)."""
-        return self.reader.describe()
+    def describe(self, segments: bool = False) -> str:
+        """The underlying index summary (``index inspect``).
+
+        ``segments=True`` appends one line per live segment
+        (``index inspect --segments``)."""
+        return self.reader.describe(segments=segments)
+
+    # ------------------------------------------------------------------
+    # Serving statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Serving counters: cache hit/miss totals and index shape.
+
+        ``refiner_hits``/``refiner_misses`` aggregate the per-interval
+        refinement-answer LRUs; ``cluster_hits``/``cluster_misses``
+        are the reader's decoded-cluster LRU; the rest describe what
+        the reader currently serves (segment count, manifest
+        generation, bytes tailed so far, whether records come off an
+        mmap).  All counters reset with the process, not the index.
+        """
+        refiner_hits = refiner_misses = refiner_size = 0
+        for refiner in self._refiners.values():
+            hits, misses, size, _ = refiner.cache_info()
+            refiner_hits += hits
+            refiner_misses += misses
+            refiner_size += size
+        hits, misses, size, capacity = self.reader.cache_info()
+        return {
+            "refiner_hits": refiner_hits,
+            "refiner_misses": refiner_misses,
+            "refiner_entries": refiner_size,
+            "refiners_open": len(self._refiners),
+            "cluster_hits": hits,
+            "cluster_misses": misses,
+            "cluster_entries": size,
+            "cluster_capacity": capacity,
+            "segments": self.reader.num_segments,
+            "generation": self.reader.generation,
+            "intervals": self.reader.num_intervals,
+            "bytes_scanned": self.reader.bytes_scanned,
+            "mmap_active": int(self.reader.mmap_active),
+        }
+
+    def describe_stats(self) -> str:
+        """:meth:`stats` rendered for ``query --stats``."""
+        stats = self.stats()
+
+        def rate(hits: int, misses: int) -> str:
+            total = hits + misses
+            if total == 0:
+                return "no queries yet"
+            return (f"{hits}/{total} hits "
+                    f"({100.0 * hits / total:.0f}%)")
+
+        lines = [
+            "service stats:",
+            f"  refiner cache: "
+            f"{rate(stats['refiner_hits'], stats['refiner_misses'])}"
+            f", {stats['refiner_entries']} entries across "
+            f"{stats['refiners_open']} interval(s)",
+            f"  cluster cache: "
+            f"{rate(stats['cluster_hits'], stats['cluster_misses'])}"
+            f", {stats['cluster_entries']}/"
+            f"{stats['cluster_capacity']} entries",
+            f"  index: {stats['segments']} segments "
+            f"(generation {stats['generation']}), "
+            f"{stats['intervals']} intervals, "
+            f"{stats['bytes_scanned']} bytes scanned, "
+            f"mmap {'on' if stats['mmap_active'] else 'off'}",
+        ]
+        return "\n".join(lines)
 
     def close(self) -> None:
         """Close the reader if this service opened it."""

@@ -176,8 +176,10 @@ def _decode_value(blob: bytes, pos: int) -> Tuple[Any, int]:
     if tag == _T_STR or tag == _T_BYTES:
         length, pos = decode_varint(blob, pos)
         raw = blob[pos:pos + length]
-        return (raw.decode("utf-8") if tag == _T_STR else raw), \
-            pos + length
+        # str()/bytes() also accept memoryview slices, so decoding
+        # works unchanged on zero-copy mmap payloads.
+        return (str(raw, "utf-8") if tag == _T_STR
+                else bytes(raw)), pos + length
     if tag in (_T_TUPLE, _T_LIST, _T_SET, _T_FROZENSET):
         length, pos = decode_varint(blob, pos)
         items = []

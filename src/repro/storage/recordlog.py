@@ -17,12 +17,17 @@ previously returned frame boundary — which is what lets a live reader
 
 from __future__ import annotations
 
+import mmap
+import os
 import zlib
-from typing import BinaryIO, Iterator, List, Optional, Tuple
+from typing import BinaryIO, Iterator, List, Optional, Tuple, Union
 
 from repro.storage.codec import decode_varint, encode_varint
 
 _CRC_BYTES = 4
+_MAX_HEADER = 10 + _CRC_BYTES
+
+Payload = Union[bytes, memoryview]
 
 
 class RecordLogCorruptError(ValueError):
@@ -98,3 +103,132 @@ def read_records(path: str, offset: int = 0,
     """Open *path* and yield its frames like :func:`iter_records`."""
     with open(path, "rb") as fh:
         yield from iter_records(fh, offset=offset, end=end)
+
+
+def iter_buffer_records(buf: memoryview, offset: int = 0,
+                        end: Optional[int] = None
+                        ) -> Iterator[Tuple[memoryview, int]]:
+    """Scan frames of an in-memory buffer, like :func:`iter_records`.
+
+    Payloads are zero-copy slices of *buf*: valid only while the
+    underlying buffer (typically an mmap) stays open.  The same
+    bounding rule applies — bytes at or past *end* are never examined,
+    and frames must tile the bound exactly.
+    """
+    limit = len(buf) if end is None else min(end, len(buf))
+    pos = offset
+    while pos < limit:
+        header = buf[pos:min(pos + _MAX_HEADER, limit)]
+        try:
+            length, header_len = decode_varint(header, 0)
+        except IndexError:
+            raise RecordLogCorruptError(
+                f"truncated record header at offset {pos}") from None
+        payload_start = pos + header_len + _CRC_BYTES
+        frame_end = payload_start + length
+        if frame_end > limit:
+            raise RecordLogCorruptError(
+                f"truncated record at offset {pos}: frame needs "
+                f"{frame_end - pos} bytes, scan region has "
+                f"{limit - pos}")
+        expected = int.from_bytes(
+            header[header_len:header_len + _CRC_BYTES], "little")
+        payload = buf[payload_start:frame_end]
+        if zlib.crc32(payload) != expected:
+            raise RecordLogCorruptError(
+                f"checksum mismatch for record at offset {pos}")
+        yield payload, frame_end
+        pos = frame_end
+
+
+class RecordLogReader:
+    """Random-access, resumable reads over one record log file.
+
+    Memory-maps the file when possible so record payloads come back as
+    zero-copy :class:`memoryview` slices of the page cache; falls back
+    to buffered ``seek``/``read`` transparently when mapping is not
+    available (an empty file cannot be mapped on Linux, and any other
+    mmap failure downgrades the same way).  A live log that a writer
+    is still appending to is remapped on demand whenever a read
+    extends past the current mapping, so a tailing reader keeps its
+    zero-copy path as the file grows.
+    """
+
+    def __init__(self, path: str, use_mmap: bool = True) -> None:
+        self.path = path
+        self._use_mmap = use_mmap
+        self._fh: Optional[BinaryIO] = open(path, "rb")
+        self._mm: Optional[mmap.mmap] = None
+        self._remap()
+
+    @property
+    def mmapped(self) -> bool:
+        """Whether reads are currently served from an mmap."""
+        return self._mm is not None
+
+    def size(self) -> int:
+        """Current byte size of the underlying file."""
+        assert self._fh is not None
+        return os.fstat(self._fh.fileno()).st_size
+
+    def _remap(self) -> None:
+        if not self._use_mmap or self._fh is None:
+            return
+        # Drop (rather than close) any previous mapping: payload
+        # views handed out from it stay valid until they are garbage
+        # collected along with the old map.
+        self._mm = None
+        try:
+            self._mm = mmap.mmap(self._fh.fileno(), 0,
+                                 access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            self._mm = None  # empty or unmappable: buffered reads
+
+    def _ensure(self, limit: int) -> None:
+        if self._use_mmap and (self._mm is None
+                               or len(self._mm) < limit):
+            self._remap()
+
+    def pread(self, offset: int, length: int) -> Payload:
+        """Read *length* bytes at *offset*; zero-copy when mapped."""
+        end = offset + length
+        self._ensure(end)
+        if self._mm is not None and len(self._mm) >= end:
+            return memoryview(self._mm)[offset:end]
+        assert self._fh is not None
+        self._fh.seek(offset)
+        return self._fh.read(length)
+
+    def records(self, offset: int = 0, end: Optional[int] = None
+                ) -> Iterator[Tuple[Payload, int]]:
+        """Scan frames from *offset*, stopping at *end* bytes.
+
+        Bounds work exactly as in :func:`iter_records`; payloads are
+        zero-copy memoryviews when the file is mapped."""
+        if end is not None:
+            self._ensure(end)
+        if self._mm is not None and (end is None
+                                     or len(self._mm) >= end):
+            yield from iter_buffer_records(
+                memoryview(self._mm), offset=offset, end=end)
+        else:
+            assert self._fh is not None
+            yield from iter_records(self._fh, offset=offset, end=end)
+
+    def close(self) -> None:
+        """Release the mapping and the file handle."""
+        if self._mm is not None:
+            try:
+                self._mm.close()
+            except BufferError:
+                pass  # exported payload views keep the map alive
+            self._mm = None
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RecordLogReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

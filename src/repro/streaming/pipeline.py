@@ -28,7 +28,11 @@ from repro.core.online import StreamingAffinityPipeline
 from repro.core.paths import NodeId, Path
 from repro.core.stability import THETA_DEFAULT
 from repro.engine.query import StableQuery
-from repro.index.writer import ClusterIndexWriter
+from repro.index.merge import MergePolicy
+from repro.index.writer import (
+    DEFAULT_FLUSH_INTERVALS,
+    ClusterIndexWriter,
+)
 from repro.parallel import Executor, executor_for
 from repro.pipeline.cluster_generation import (
     ClusterGenerationReport,
@@ -95,7 +99,15 @@ class StreamingDocumentPipeline:
     interval's clusters and the evolving top-k are appended as they
     arrive, so a concurrent :class:`~repro.service.ClusterQueryService`
     can serve (and ``refresh()``-tail) the stream's results;
-    :meth:`close` finalizes the index.
+    :meth:`close` finalizes the index.  An existing index at
+    ``index_dir`` is *continued* — its vocabulary deltas preload the
+    pipeline's vocabulary and new intervals extend the stored
+    timeline — unless ``index_append=False`` rebuilds it from
+    scratch.  ``flush_intervals`` seals an index segment every N
+    ingested intervals and ``merge_policy``/``background_merge``
+    control the compaction of sealed segments
+    (:class:`~repro.index.merge.MergePolicy`; ``None`` disables
+    merging).
     """
 
     def __init__(self, l: int, k: int, gap: int = 0,
@@ -108,7 +120,12 @@ class StreamingDocumentPipeline:
                  use_simjoin: Optional[bool] = None,
                  simjoin_cutoff: int = STREAM_SIMJOIN_CUTOFF,
                  workers: Union[int, Executor, None] = None,
-                 index_dir: Optional[str] = None) -> None:
+                 index_dir: Optional[str] = None,
+                 index_append: bool = True,
+                 flush_intervals: Optional[int]
+                 = DEFAULT_FLUSH_INTERVALS,
+                 merge_policy: Optional[MergePolicy] = MergePolicy(),
+                 background_merge: bool = False) -> None:
         measure = get_measure(affinity) if isinstance(affinity, str) \
             else affinity
         self.config = _PipelineConfig(rho_threshold=rho_threshold,
@@ -133,7 +150,16 @@ class StreamingDocumentPipeline:
             self._index_writer = ClusterIndexWriter(
                 index_dir, vocab=self.vocab,
                 query=StableQuery(problem=problem, l=l, k=k, gap=gap),
-                overwrite=True)
+                overwrite=not index_append,
+                append=index_append,
+                flush_intervals=flush_intervals,
+                merge_policy=merge_policy,
+                background_merge=background_merge)
+
+    @property
+    def index_writer(self) -> Optional[ClusterIndexWriter]:
+        """The live index writer, when one is maintained."""
+        return self._index_writer
 
     def close(self, finalize_index: bool = True) -> None:
         """Release the owned worker pool (no-op when serial or when

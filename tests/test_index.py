@@ -19,7 +19,7 @@ from repro.index import (
     ClusterIndexWriter,
     IndexCorruptError,
 )
-from repro.index.format import manifest_path
+from repro.index.format import manifest_path, segment_dir
 from repro.pipeline import find_stable_clusters
 from repro.search import QueryRefiner
 from repro.storage import open_store
@@ -242,6 +242,11 @@ class TestWriterSafety:
             assert reader.num_intervals == 1
 
 
+def _segment_file(index_dir, filename, segment="seg-0000"):
+    """A log file's path inside one of the index's segments."""
+    return os.path.join(segment_dir(index_dir, segment), filename)
+
+
 class TestCorruptionRejection:
     def _build(self, tmp_path):
         index_dir = str(tmp_path / "index")
@@ -274,7 +279,7 @@ class TestCorruptionRejection:
                                         "clusters-000.bin"])
     def test_truncated_file_rejected(self, tmp_path, victim):
         index_dir = self._build(tmp_path)
-        path = os.path.join(index_dir, victim)
+        path = _segment_file(index_dir, victim)
         blob = open(path, "rb").read()
         assert blob, victim
         open(path, "wb").write(blob[:-3])
@@ -285,7 +290,7 @@ class TestCorruptionRejection:
                                         "clusters-001.bin"])
     def test_flipped_byte_rejected(self, tmp_path, victim):
         index_dir = self._build(tmp_path)
-        path = os.path.join(index_dir, victim)
+        path = _segment_file(index_dir, victim)
         blob = bytearray(open(path, "rb").read())
         blob[len(blob) // 2] ^= 0xFF
         open(path, "wb").write(bytes(blob))
@@ -294,7 +299,7 @@ class TestCorruptionRejection:
 
     def test_missing_log_file_rejected(self, tmp_path):
         index_dir = self._build(tmp_path)
-        os.unlink(os.path.join(index_dir, "vocabulary.bin"))
+        os.unlink(_segment_file(index_dir, "vocabulary.bin"))
         with pytest.raises(IndexCorruptError, match="missing"):
             ClusterIndexReader(index_dir)
 
@@ -304,7 +309,7 @@ class TestCorruptionRejection:
         in-flight frame — must not fail (or even reach) the scan."""
         index_dir = self._build(tmp_path)
         for victim in ("postings.bin", "clusters-000.bin"):
-            with open(os.path.join(index_dir, victim), "ab") as fh:
+            with open(_segment_file(index_dir, victim), "ab") as fh:
                 fh.write(b"\xff\x03torn-partial-frame")
         with ClusterIndexReader(index_dir) as reader:
             assert reader.num_intervals == 5
@@ -331,8 +336,12 @@ class TestManifestContents:
         assert manifest["query"]["gap"] == 1
         assert any("solver:" in line
                    for line in manifest["provenance"])
-        assert manifest["files"]["postings.bin"] == os.path.getsize(
-            os.path.join(index_dir, "postings.bin"))
+        assert manifest["generation"] >= 1
+        segment = manifest["segments"][0]
+        assert segment["sealed"] is True
+        assert segment["files"]["postings.bin"] == os.path.getsize(
+            _segment_file(index_dir, "postings.bin",
+                          segment["name"]))
 
     def test_writer_records_stable_query(self, tmp_path):
         index_dir = str(tmp_path / "index")
