@@ -2,7 +2,7 @@ PYTHON ?= python
 RUN := PYTHONPATH=src $(PYTHON)
 
 .PHONY: test bench bench-smoke bench-json stream-demo parallel-demo \
-        service-demo docs-check lint docstyle
+        service-demo serving-demo docs-check lint docstyle
 
 test:
 	$(RUN) -m pytest -q
@@ -23,12 +23,14 @@ bench-smoke:
 	$(RUN) benchmarks/bench_vocab_interning.py --smoke
 	$(RUN) benchmarks/bench_simjoin_signatures.py --smoke
 	$(RUN) benchmarks/bench_index_lifecycle.py --smoke
+	$(RUN) benchmarks/bench_serving_load.py --smoke
 
 # The versioned perf trajectory: one BENCH_<area>.json per harness,
 # written at the repo root (CI uploads every BENCH_*.json artifact).
 bench-json:
 	$(RUN) benchmarks/bench_simjoin_signatures.py --json BENCH_simjoin.json
 	$(RUN) benchmarks/bench_index_lifecycle.py --json BENCH_index.json
+	$(RUN) benchmarks/bench_serving_load.py --json BENCH_serving.json
 
 # Generate a synthetic week of posts and replay it through the
 # streaming subcommand (documents -> incremental top-k, end to end).
@@ -56,6 +58,12 @@ service-demo:
 	$(RUN) -m repro.cli query refine $(SERVICE_DEMO_DIR) somalia --stats
 	$(RUN) -m repro.cli query paths $(SERVICE_DEMO_DIR) --keyword somalia
 
+# Corpus -> index -> `serve` subprocess on an ephemeral port -> HTTP
+# round-trip asserted byte-identical to the in-process service (the
+# CI server smoke test).
+serving-demo:
+	$(RUN) examples/serving_roundtrip.py
+
 # "Build" the markdown docs site: link-check + coverage gates.
 docs-check:
 	$(RUN) -m pytest -q tests/test_docs.py tests/test_docstrings.py
@@ -68,4 +76,4 @@ lint:
 docstyle:
 	$(PYTHON) -m pydocstyle src/repro/engine src/repro/storage \
 	    src/repro/vocab src/repro/search src/repro/index \
-	    src/repro/service
+	    src/repro/service src/repro/serving

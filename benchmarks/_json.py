@@ -1,0 +1,51 @@
+"""Shared writer for the versioned ``BENCH_*.json`` artifacts.
+
+Every benchmark harness with a ``--json PATH`` mode (simjoin, index
+lifecycle, serving load) writes its headline figures through
+:func:`write_bench_json`, so all the repo-root artifacts CI uploads
+carry the same envelope::
+
+    {
+      "format": "repro-bench",
+      "version": 1,
+      "area": "serving",
+      "results": { ...harness-specific figures... }
+    }
+
+Consumers (trajectory plots, regression diffing) key on ``format`` /
+``version`` before reading ``results``; bumping ``BENCH_VERSION``
+is the one place to declare a breaking envelope change.
+
+(The module name shadows CPython's private ``_json`` accelerator
+when a benchmark runs standalone from this directory; the stdlib
+``json`` package detects that and falls back to its pure-Python
+scanner, which is fine at artifact-writing volume.)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+BENCH_FORMAT = "repro-bench"
+BENCH_VERSION = 1
+
+
+def bench_envelope(area: str, results: Dict[str, Any]
+                   ) -> Dict[str, Any]:
+    """The envelope dict for one harness's *results* figures."""
+    return {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "area": area,
+        "results": results,
+    }
+
+
+def write_bench_json(path: str, area: str,
+                     results: Dict[str, Any]) -> None:
+    """Write *results* to *path* inside the versioned envelope."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bench_envelope(area, results), handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")

@@ -257,9 +257,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     for row in rows:
         print(row)
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(results, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        from _json import write_bench_json
+        write_bench_json(args.json, "index", results)
         print(f"wrote {args.json}")
     reclaimed = (1 - results["index_bytes_after_merge"]
                  / results["index_bytes_before_merge"])

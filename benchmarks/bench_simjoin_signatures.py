@@ -283,9 +283,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(row)
     outcome = _assert_outcomes(results)
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(results, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        from _json import write_bench_json
+        write_bench_json(args.json, "simjoin", results)
         print(f"wrote {args.json}")
     print(f"simjoin signature benchmark: drivers identical, "
           f"reduction floor {outcome} "

@@ -21,8 +21,13 @@ Subcommands (all documented in ``docs/cli.md``):
   ``refine`` (Section 1's query-refinement suggestions), ``lookup``
   (keyword -> cluster point lookup), ``paths`` (stable paths,
   optionally filtered by keyword).
+* ``serve`` — expose a persisted (or live) index over HTTP: the
+  concurrent JSON endpoints of :mod:`repro.serving`, with admission
+  control under ``--memory-budget`` and single-flight request
+  batching.
 * ``explain`` — print the planner's decision for a described workload
-  (graph shape + query) without running anything.
+  (graph shape + query) without running anything; ``--serve`` adds
+  the serving dimension (cache split + hit-rate forecast).
 * ``bench-graph`` — generate a Section 5.2 synthetic cluster graph and
   time any set of registered solvers on it.
 
@@ -56,6 +61,7 @@ from repro.engine import (
     GraphStats,
     StableQuery,
     apply_index_dimension,
+    apply_serving_dimension,
     estimate_index_bytes,
     explain as plan_query,
     get_solver,
@@ -76,6 +82,7 @@ from repro.pipeline import (
 )
 from repro.search import render_refinement
 from repro.service import ClusterQueryService
+from repro.serving import ClusterServer
 from repro.storage import open_store
 from repro.streaming import (
     StreamingDocumentPipeline,
@@ -341,6 +348,9 @@ def cmd_explain(args: argparse.Namespace) -> int:
             "(measured after a real run)")
         apply_index_dimension(execution, graph_stats,
                               flush_intervals=args.flush_intervals)
+    if args.serve:
+        apply_serving_dimension(execution, graph_stats,
+                                skew=args.skew)
     print(execution.explain())
     return 0
 
@@ -533,6 +543,35 @@ def cmd_query_paths(args: argparse.Namespace) -> int:
             _follow(service, render, args)
         _maybe_stats(service, args)
     return 0 if shown else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a persisted (or live) index over HTTP."""
+    server = ClusterServer(
+        args.dir, host=args.host, port=args.port,
+        memory_budget=_memory_budget_bytes(args),
+        cache_size=args.cache_size,
+        max_inflight=args.max_inflight,
+        batching=not args.no_batching,
+        refresh_seconds=args.poll)
+    with server:
+        server.start()
+        live = "complete" if server.service.complete else "live"
+        print(f"serving {args.dir} ({live}, "
+              f"{server.service.num_intervals} intervals) at "
+              f"{server.url}", flush=True)
+        print(f"endpoints: /refine /lookup /paths /stats  "
+              f"(max {server.max_inflight} in flight, batching "
+              f"{'on' if server.batching else 'off'})", flush=True)
+        try:
+            if args.max_seconds is not None:
+                time.sleep(args.max_seconds)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -798,6 +837,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "contains this keyword")
     paths.set_defaults(func=cmd_query_paths)
 
+    serve = sub.add_parser(
+        "serve", help="expose a persisted or live index over "
+                      "concurrent HTTP (JSON endpoints)")
+    serve.add_argument("dir", help="cluster index directory")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to bind")
+    serve.add_argument("--port", type=int, default=8021,
+                       help="port to bind (0 = ephemeral; the banner "
+                            "prints the real URL)")
+    serve.add_argument("--memory-budget", type=float, default=None,
+                       metavar="MIB",
+                       help="serving memory budget in MiB, split "
+                            "across the hot-answer cache, the "
+                            "cluster cache, and request admission")
+    serve.add_argument("--cache-size", type=int, default=None,
+                       metavar="N",
+                       help="hot-keyword answer cache entries "
+                            "(overrides the budget split)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       metavar="N",
+                       help="admitted concurrent requests; beyond "
+                            "this clients get 429 + Retry-After "
+                            "(overrides the budget split)")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="disable single-flight request batching "
+                            "(each request pays its own index read)")
+    serve.add_argument("--poll", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="live-index refresh cadence (0 disables "
+                            "tailing)")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       metavar="S",
+                       help="exit after S seconds (smoke tests; "
+                            "default: serve until interrupted)")
+    serve.set_defaults(func=cmd_serve)
+
     explain = sub.add_parser(
         "explain",
         help="print the planner's decision for a workload shape",
@@ -818,6 +893,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "segment tier for a streamed index "
                               "sealed every N intervals (default: "
                               "one batch segment)")
+    explain.add_argument("--serve", action="store_true",
+                         help="also plan the serving tier: cache "
+                              "budget split, admission bound, and a "
+                              "refine hit-rate forecast from keyword "
+                              "skew")
+    explain.add_argument("--skew", type=float, default=1.0,
+                         metavar="S",
+                         help="with --serve: Zipf exponent of the "
+                              "query-keyword popularity (1.0 = "
+                              "classic web-query skew)")
     explain.set_defaults(func=cmd_explain)
 
     bench = sub.add_parser("bench-graph",

@@ -32,14 +32,18 @@ from repro.engine.planner import (
     ExecutionPlan,
     GraphStats,
     apply_index_dimension,
+    apply_serving_dimension,
     apply_worker_dimension,
     estimate_annotation_bytes,
     estimate_index_bytes,
     estimate_index_segments,
+    estimate_serving_working_set,
     estimate_ta_probes,
     estimate_window_bytes,
+    forecast_serving_hit_rate,
     plan,
     plan_streaming,
+    split_serving_budget,
 )
 from repro.engine.query import PROBLEMS, StableQuery
 from repro.engine.solvers import (
@@ -69,13 +73,16 @@ __all__ = [
     "StableQuery",
     "TASolver",
     "apply_index_dimension",
+    "apply_serving_dimension",
     "apply_worker_dimension",
     "estimate_annotation_bytes",
     "estimate_index_bytes",
     "estimate_index_segments",
+    "estimate_serving_working_set",
     "estimate_ta_probes",
     "estimate_window_bytes",
     "explain",
+    "forecast_serving_hit_rate",
     "get_solver",
     "plan",
     "plan_streaming",
@@ -83,4 +90,5 @@ __all__ = [
     "solve",
     "solve_report",
     "solver_names",
+    "split_serving_budget",
 ]

@@ -66,6 +66,24 @@ INDEX_EDGE_BYTES = 14            # two varint ids + float64 rho
 INDEX_POSTING_BYTES = 4          # id -> cluster-list entry
 INDEX_RECORD_OVERHEAD = 10       # frame + crc + tuple headers
 
+# Serving-tier cost model (the repro.serving HTTP layer): how a
+# --memory-budget splits between the two read caches and the
+# per-request working memory that bounds the admission pool.
+SERVING_ANSWER_BYTES = 480       # one cached Refinement + suggestions
+SERVING_CLUSTER_BYTES = 900      # one decoded KeywordCluster + LRU slot
+SERVING_REQUEST_BYTES = 64 * 1024  # working memory per in-flight request
+SERVING_HOT_SHARE = 0.4          # budget share: hot-keyword answers
+SERVING_CLUSTER_SHARE = 0.4      # budget share: decoded clusters
+SERVING_MIN_ENTRIES = 32         # caches never sized below this
+SERVING_MIN_INFLIGHT = 2         # admission pool bounds
+SERVING_MAX_INFLIGHT = 128
+# Defaults when serving without a budget (match the service/reader
+# constructor defaults: 256 hot answers, 1024 decoded clusters).
+SERVING_DEFAULT_HOT = 256
+SERVING_DEFAULT_CLUSTERS = 1024
+SERVING_DEFAULT_INFLIGHT = 32
+SERVING_DEFAULT_SKEW = 1.0       # Zipf exponent of keyword popularity
+
 
 @dataclass(frozen=True)
 class GraphStats:
@@ -143,6 +161,16 @@ class ExecutionPlan:
     # None = graph shape unknown (no estimate possible).
     join_candidate_pairs: Optional[int] = None
     join_verified_pairs: Optional[int] = None
+    # Serving dimension (apply_serving_dimension): how the HTTP tier's
+    # cache budget splits into hot-keyword answers and decoded cluster
+    # records, the admission pool that bounds in-flight requests, and
+    # the refine hit rate forecast from the keyword skew against the
+    # hot working set.  None = no serving tier planned.
+    serving_hot_entries: Optional[int] = None
+    serving_cluster_entries: Optional[int] = None
+    serving_max_inflight: Optional[int] = None
+    serving_hot_keywords: Optional[int] = None
+    serving_hit_rate: Optional[float] = None
     reasons: List[str] = field(default_factory=list)
 
     def explain(self) -> str:
@@ -190,6 +218,17 @@ class ExecutionPlan:
                 f"  join:     ~{self.join_candidate_pairs} candidate "
                 f"pairs/interval window, ~{self.join_verified_pairs} "
                 f"verified (two-level signature filter)")
+        if self.serving_hot_entries is not None:
+            lines.append(
+                f"  serving:  {self.serving_hot_entries} hot answers "
+                f"+ {self.serving_cluster_entries} cluster records "
+                f"cached, {self.serving_max_inflight} in-flight "
+                f"requests admitted")
+            lines.append(
+                f"            ~{self.serving_hot_keywords} keyword "
+                f"working set -> "
+                f"~{100 * (self.serving_hit_rate or 0):.0f}% refine "
+                f"hit-rate forecast")
         if self.workers > 1:
             # The plan fixes the degree, not the pool kind — a caller
             # may supply a thread executor instead of the default
@@ -345,6 +384,112 @@ def apply_join_dimension(result: ExecutionPlan,
     candidates, verified = estimate_join_candidates(graph_stats)
     result.join_candidate_pairs = candidates
     result.join_verified_pairs = verified
+
+
+def estimate_serving_working_set(graph_stats: GraphStats) -> int:
+    """Distinct stems with a cluster in one serving interval.
+
+    Refinement queries target one interval at a time (the latest, for
+    a live index), so the hot-keyword working set is that interval's
+    keyword count — ~``n`` clusters of
+    :data:`INDEX_KEYWORDS_PER_CLUSTER` stems each.
+    """
+    return max(1, graph_stats.max_interval_nodes
+               * INDEX_KEYWORDS_PER_CLUSTER)
+
+
+def forecast_serving_hit_rate(cache_entries: int, working_set: int,
+                              skew: float = SERVING_DEFAULT_SKEW
+                              ) -> float:
+    """Forecast the hot-answer LRU hit rate under Zipf-skewed queries.
+
+    Keyword popularity in query logs is Zipf-distributed (rank ``r``
+    drawing ``1/r^skew`` of the traffic); an LRU of ``C`` entries ends
+    up holding roughly the ``C`` most popular keys, so the hit rate is
+    the share of probability mass they cover: the ratio of generalized
+    harmonic numbers ``H(C, skew) / H(N, skew)`` over a working set of
+    ``N`` keywords.  Clamped to [0, 1]; a cache at least as large as
+    the working set always hits.
+    """
+    if working_set <= 0 or cache_entries >= working_set:
+        return 1.0
+    if cache_entries <= 0:
+        return 0.0
+
+    def harmonic(n: int) -> float:
+        return sum(1.0 / (rank ** skew) for rank in range(1, n + 1))
+
+    return min(1.0, harmonic(cache_entries) / harmonic(working_set))
+
+
+def split_serving_budget(memory_budget: Optional[int]
+                         ) -> Tuple[int, int, int]:
+    """Split a serving memory budget into cache sizes and admission.
+
+    Returns ``(hot_entries, cluster_entries, max_inflight)``:
+    :data:`SERVING_HOT_SHARE` of the budget buys hot-keyword answer
+    slots, :data:`SERVING_CLUSTER_SHARE` buys decoded-cluster slots,
+    and the remainder bounds the admission pool at one request per
+    :data:`SERVING_REQUEST_BYTES` of working memory.  ``None`` means
+    no budget: the service/reader constructor defaults apply.
+    """
+    if memory_budget is None:
+        return (SERVING_DEFAULT_HOT, SERVING_DEFAULT_CLUSTERS,
+                SERVING_DEFAULT_INFLIGHT)
+    hot = max(SERVING_MIN_ENTRIES,
+              int(memory_budget * SERVING_HOT_SHARE
+                  // SERVING_ANSWER_BYTES))
+    clusters = max(SERVING_MIN_ENTRIES,
+                   int(memory_budget * SERVING_CLUSTER_SHARE
+                       // SERVING_CLUSTER_BYTES))
+    request_budget = memory_budget * (
+        1.0 - SERVING_HOT_SHARE - SERVING_CLUSTER_SHARE)
+    inflight = int(request_budget // SERVING_REQUEST_BYTES)
+    inflight = max(SERVING_MIN_INFLIGHT,
+                   min(SERVING_MAX_INFLIGHT, inflight))
+    return hot, clusters, inflight
+
+
+def apply_serving_dimension(result: ExecutionPlan,
+                            graph_stats: GraphStats,
+                            memory_budget: Optional[int] = None,
+                            skew: float = SERVING_DEFAULT_SKEW
+                            ) -> None:
+    """Record the serving-tier forecast on a plan (``explain --serve``).
+
+    Splits *memory_budget* (falling back to the plan's own budget)
+    across the hot-keyword and cluster caches plus the admission
+    pool, then forecasts the refine hit rate from the keyword *skew*
+    against the estimated working set.
+    """
+    budget = memory_budget if memory_budget is not None \
+        else result.memory_budget
+    hot, clusters, inflight = split_serving_budget(budget)
+    working_set = estimate_serving_working_set(graph_stats)
+    result.serving_hot_entries = hot
+    result.serving_cluster_entries = clusters
+    result.serving_max_inflight = inflight
+    result.serving_hot_keywords = working_set
+    result.serving_hit_rate = forecast_serving_hit_rate(
+        hot, working_set, skew)
+    if budget is None:
+        result.reasons.append(
+            "serving without a memory budget: constructor-default "
+            f"caches ({SERVING_DEFAULT_HOT} answers, "
+            f"{SERVING_DEFAULT_CLUSTERS} clusters), "
+            f"{SERVING_DEFAULT_INFLIGHT} in-flight requests")
+    else:
+        result.reasons.append(
+            f"serving budget {_human_bytes(budget)} split "
+            f"{100 * SERVING_HOT_SHARE:.0f}/"
+            f"{100 * SERVING_CLUSTER_SHARE:.0f}/"
+            f"{100 * (1 - SERVING_HOT_SHARE - SERVING_CLUSTER_SHARE):.0f}"
+            f"%: hot answers / cluster records / request admission")
+    covered = "covers" if hot >= working_set else "partially covers"
+    result.reasons.append(
+        f"{hot}-entry hot cache {covered} the ~{working_set}-keyword "
+        f"working set: ~{100 * result.serving_hit_rate:.0f}% refine "
+        f"hit rate at Zipf skew {skew:g}")
 
 
 def estimate_ta_probes(graph_stats: GraphStats) -> float:

@@ -21,6 +21,7 @@ cluster cache survives, because merged records are byte-identical.
 from __future__ import annotations
 
 import os
+import threading
 from typing import (
     Any,
     Dict,
@@ -60,7 +61,7 @@ class _SegmentView:
     """One segment's open logs and tail state inside a reader."""
 
     __slots__ = ("name", "meta", "directory", "use_mmap", "consumed",
-                 "logs", "postings_seen", "paths_seen")
+                 "logs", "postings_seen", "paths_seen", "_open_lock")
 
     def __init__(self, directory: str, meta: Dict[str, Any],
                  use_mmap: bool) -> None:
@@ -72,18 +73,25 @@ class _SegmentView:
         self.logs: Dict[str, RecordLogReader] = {}
         self.postings_seen = 0
         self.paths_seen = 0
+        # Serving threads point-read concurrently; without the lock
+        # two threads racing the first read of a log would each open
+        # it and leak one handle.
+        self._open_lock = threading.Lock()
 
     def log(self, name: str) -> RecordLogReader:
         reader = self.logs.get(name)
         if reader is None:
-            path = os.path.join(self.directory, name)
-            try:
-                reader = RecordLogReader(path, self.use_mmap)
-            except FileNotFoundError:
-                raise IndexCorruptError(
-                    f"segment {self.name!r} is missing "
-                    f"{name!r}") from None
-            self.logs[name] = reader
+            with self._open_lock:
+                reader = self.logs.get(name)
+                if reader is None:
+                    path = os.path.join(self.directory, name)
+                    try:
+                        reader = RecordLogReader(path, self.use_mmap)
+                    except FileNotFoundError:
+                        raise IndexCorruptError(
+                            f"segment {self.name!r} is missing "
+                            f"{name!r}") from None
+                    self.logs[name] = reader
         return reader
 
     def close(self) -> None:

@@ -8,10 +8,22 @@ keyword -> cluster lookups, stable paths — without ever touching the
 source documents.  Against a *live* index (a streaming run still
 appending) :meth:`refresh` tails the growth and invalidates the
 per-interval refiners that changed.
+
+The service is thread-safe and built to be shared by every connection
+of a concurrent server (:mod:`repro.serving`): queries hold a shared
+read lock while :meth:`refresh` takes the write side, so a tailing
+poll or a merge's segment swap rewrites the index structures only
+once in-flight readers drain — and never corrupts one mid-answer.
+Hot refinement answers live in a *single* LRU shared across all
+intervals and connections (keyed ``(interval, stem)``), replacing the
+per-refiner caches of the single-threaded era, so its hit/miss
+counters survive refreshes and one memory budget bounds the whole
+working set.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Union
 
 from repro.core.paths import Path
@@ -19,8 +31,13 @@ from repro.graph.clusters import KeywordCluster
 from repro.index.reader import ClusterIndexReader
 from repro.pipeline.stable_pipeline import render_path_clusters
 from repro.search.refinement import QueryRefiner, Refinement
+from repro.storage.lru import LRUCache
+from repro.storage.rwlock import RWLock
+from repro.text.stemmer import stem
 
 DEFAULT_REFINER_CACHE = 256
+
+_MISSING = object()
 
 
 class ClusterQueryService:
@@ -29,17 +46,48 @@ class ClusterQueryService:
     Accepts a directory path (the reader is opened and owned — closed
     with the service) or an already-open
     :class:`~repro.index.ClusterIndexReader` (left open on close).
-    ``cache_size`` bounds each per-interval refiner's LRU of hot
-    keyword answers.
+    ``cache_size`` bounds the shared hot-keyword LRU of refinement
+    answers; ``cluster_cache_size`` sizes the owned reader's
+    decoded-cluster LRU (only valid with a directory path, where this
+    service opens the reader itself).
+
+    All query methods are thread-safe and may be called from any
+    number of threads concurrently with :meth:`refresh`.  After
+    :meth:`close`, queries raise :class:`RuntimeError` (the same
+    use-after-close contract as :mod:`repro.parallel` pools) instead
+    of failing deep inside the reader.
     """
 
     def __init__(self, index: Union[str, ClusterIndexReader],
-                 cache_size: int = DEFAULT_REFINER_CACHE) -> None:
+                 cache_size: int = DEFAULT_REFINER_CACHE,
+                 cluster_cache_size: Optional[int] = None) -> None:
         self._owns_reader = isinstance(index, str)
-        self.reader = ClusterIndexReader(index) \
-            if isinstance(index, str) else index
+        if isinstance(index, str):
+            if cluster_cache_size is None:
+                self.reader = ClusterIndexReader(index)
+            else:
+                self.reader = ClusterIndexReader(
+                    index, cache_size=cluster_cache_size)
+        else:
+            if cluster_cache_size is not None:
+                raise ValueError(
+                    "cluster_cache_size applies only when the service "
+                    "opens the reader itself (pass a directory path)")
+            self.reader = index
         self._cache_size = cache_size
         self._refiners: Dict[int, QueryRefiner] = {}
+        # One hot-keyword answer cache for every interval and every
+        # connection, keyed (interval, stem).  Counters survive
+        # refresh(), unlike the per-refiner caches they replace.
+        self._hot = LRUCache(cache_size)
+        self._rwlock = RWLock()
+        self._refiner_lock = threading.Lock()
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"{type(self).__name__} used after close()")
 
     # ------------------------------------------------------------------
     # Queries
@@ -55,19 +103,27 @@ class ClusterQueryService:
         """The most recent indexed interval, the default target.
 
         Raises ValueError while the index is empty."""
+        self._check_open()
         if self.reader.num_intervals == 0:
             raise ValueError("the index holds no intervals yet")
         return self.reader.num_intervals - 1
 
     def refiner(self, interval: Optional[int] = None) -> QueryRefiner:
-        """The (cached) refiner for *interval* (default: latest)."""
+        """The (cached) refiner for *interval* (default: latest).
+
+        Service-built refiners carry no private answer cache; hot
+        answers live in the service's shared LRU instead."""
+        self._check_open()
         interval = self.latest_interval if interval is None \
             else interval
         refiner = self._refiners.get(interval)
         if refiner is None:
-            refiner = self.reader.refiner(interval,
-                                          cache_size=self._cache_size)
-            self._refiners[interval] = refiner
+            with self._refiner_lock:
+                refiner = self._refiners.get(interval)
+                if refiner is None:
+                    refiner = self.reader.refiner(interval,
+                                                  cache_size=0)
+                    self._refiners[interval] = refiner
         return refiner
 
     def refine(self, keyword: str,
@@ -75,8 +131,19 @@ class ClusterQueryService:
         """Refinement suggestions for *keyword*, or None.
 
         *interval* defaults to the latest indexed interval; None
-        means the keyword falls in no cluster there."""
-        return self.refiner(interval).refine(keyword)
+        means the keyword falls in no cluster there.  Answers for hot
+        ``(interval, keyword)`` pairs come from the shared LRU."""
+        self._check_open()
+        with self._rwlock.read_locked():
+            if interval is None:
+                interval = self.latest_interval
+            key = (interval, stem(keyword.lower()))
+            cached = self._hot.get(key, _MISSING)
+            if cached is not _MISSING:
+                return cached
+            result = self.refiner(interval).refine(keyword)
+            self._hot.put(key, result)
+            return result
 
     def lookup(self, keyword: str,
                interval: Optional[int] = None
@@ -84,25 +151,33 @@ class ClusterQueryService:
         """The cluster *keyword* falls into, or None.
 
         *interval* defaults to the latest indexed interval."""
-        return self.reader.lookup(keyword, interval)
+        self._check_open()
+        with self._rwlock.read_locked():
+            return self.reader.lookup(keyword, interval)
 
     def stable_paths(self) -> List[Path]:
         """The run's current top-k stable paths."""
-        return self.reader.paths()
+        self._check_open()
+        with self._rwlock.read_locked():
+            return self.reader.paths()
 
     def paths_for(self, keyword: str) -> List[Path]:
         """Stable paths visiting any cluster containing *keyword*."""
-        return self.reader.paths_through(keyword)
+        self._check_open()
+        with self._rwlock.read_locked():
+            return self.reader.paths_through(keyword)
 
     def render_path(self, path: Path, max_keywords: int = 8) -> str:
         """Render one stable path, clusters read from the index.
 
         Uses the same renderer as the batch/stream CLI."""
-        return render_path_clusters(
-            path, lambda node: self.reader.cluster(node)
-            if self.reader.has_node(node) else None,
-            max_keywords=max_keywords,
-            missing="(not in index)")
+        self._check_open()
+        with self._rwlock.read_locked():
+            return render_path_clusters(
+                path, lambda node: self.reader.cluster(node)
+                if self.reader.has_node(node) else None,
+                max_keywords=max_keywords,
+                missing="(not in index)")
 
     # ------------------------------------------------------------------
     # Live indexes
@@ -111,16 +186,23 @@ class ClusterQueryService:
     def refresh(self) -> bool:
         """Tail a live index; True when new intervals/paths arrived.
 
-        The refiner for what used to be the latest interval is
-        invalidated (a streaming writer only appends, so older
-        intervals' answers cannot change)."""
-        before = self.reader.num_intervals
-        if not self.reader.refresh():
-            return False
-        for interval in list(self._refiners):
-            if interval >= before - 1:
-                del self._refiners[interval]
-        return True
+        Runs under the write lock, so in-flight queries finish on the
+        old segment view and queries arriving during the swap wait for
+        the new one.  The refiner and hot answers for what used to be
+        the latest interval are invalidated (a streaming writer only
+        appends, so older intervals' answers cannot change)."""
+        self._check_open()
+        with self._rwlock.write_locked():
+            before = self.reader.num_intervals
+            if not self.reader.refresh():
+                return False
+            for interval in list(self._refiners):
+                if interval >= before - 1:
+                    del self._refiners[interval]
+            for key in self._hot.keys():
+                if key[0] >= before - 1:
+                    self._hot.pop(key)
+            return True
 
     @property
     def complete(self) -> bool:
@@ -132,7 +214,9 @@ class ClusterQueryService:
 
         ``segments=True`` appends one line per live segment
         (``index inspect --segments``)."""
-        return self.reader.describe(segments=segments)
+        self._check_open()
+        with self._rwlock.read_locked():
+            return self.reader.describe(segments=segments)
 
     # ------------------------------------------------------------------
     # Serving statistics
@@ -141,35 +225,34 @@ class ClusterQueryService:
     def stats(self) -> Dict[str, int]:
         """Serving counters: cache hit/miss totals and index shape.
 
-        ``refiner_hits``/``refiner_misses`` aggregate the per-interval
-        refinement-answer LRUs; ``cluster_hits``/``cluster_misses``
-        are the reader's decoded-cluster LRU; the rest describe what
-        the reader currently serves (segment count, manifest
-        generation, bytes tailed so far, whether records come off an
-        mmap).  All counters reset with the process, not the index.
+        ``refiner_hits``/``refiner_misses`` count the shared
+        hot-keyword answer LRU (monotonic across :meth:`refresh` —
+        invalidation drops entries, never counters);
+        ``cluster_hits``/``cluster_misses`` are the reader's
+        decoded-cluster LRU; the rest describe what the reader
+        currently serves (segment count, manifest generation, bytes
+        tailed so far, whether records come off an mmap).  All
+        counters reset with the process, not the index.
         """
-        refiner_hits = refiner_misses = refiner_size = 0
-        for refiner in self._refiners.values():
-            hits, misses, size, _ = refiner.cache_info()
-            refiner_hits += hits
-            refiner_misses += misses
-            refiner_size += size
-        hits, misses, size, capacity = self.reader.cache_info()
-        return {
-            "refiner_hits": refiner_hits,
-            "refiner_misses": refiner_misses,
-            "refiner_entries": refiner_size,
-            "refiners_open": len(self._refiners),
-            "cluster_hits": hits,
-            "cluster_misses": misses,
-            "cluster_entries": size,
-            "cluster_capacity": capacity,
-            "segments": self.reader.num_segments,
-            "generation": self.reader.generation,
-            "intervals": self.reader.num_intervals,
-            "bytes_scanned": self.reader.bytes_scanned,
-            "mmap_active": int(self.reader.mmap_active),
-        }
+        self._check_open()
+        with self._rwlock.read_locked():
+            hot_hits, hot_misses, hot_size, _ = self._hot.info()
+            hits, misses, size, capacity = self.reader.cache_info()
+            return {
+                "refiner_hits": hot_hits,
+                "refiner_misses": hot_misses,
+                "refiner_entries": hot_size,
+                "refiners_open": len(self._refiners),
+                "cluster_hits": hits,
+                "cluster_misses": misses,
+                "cluster_entries": size,
+                "cluster_capacity": capacity,
+                "segments": self.reader.num_segments,
+                "generation": self.reader.generation,
+                "intervals": self.reader.num_intervals,
+                "bytes_scanned": self.reader.bytes_scanned,
+                "mmap_active": int(self.reader.mmap_active),
+            }
 
     def describe_stats(self) -> str:
         """:meth:`stats` rendered for ``query --stats``."""
@@ -201,9 +284,17 @@ class ClusterQueryService:
         return "\n".join(lines)
 
     def close(self) -> None:
-        """Close the reader if this service opened it."""
-        if self._owns_reader:
-            self.reader.close()
+        """Close the reader if this service opened it (idempotent).
+
+        Queries after close raise RuntimeError — mirroring the
+        :mod:`repro.parallel` pool use-after-close contract — instead
+        of failing deep in the reader."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._rwlock.write_locked():
+            if self._owns_reader:
+                self.reader.close()
 
     def __enter__(self) -> "ClusterQueryService":
         return self

@@ -1,0 +1,43 @@
+"""Concurrent HTTP serving tier over the persisted cluster index.
+
+The paper motivates its algorithms with a serving scenario — query
+refinement for "millions of users" of a blog search engine — and this
+package is that front end in miniature: a stdlib-only JSON-over-HTTP
+server sharing one thread-safe
+:class:`~repro.service.ClusterQueryService` across every connection.
+
+* :class:`~repro.serving.server.ClusterServer` — the
+  :class:`~http.server.ThreadingHTTPServer`-based server:
+  ``/refine``, ``/lookup``, ``/paths``, ``/stats`` endpoints,
+  admission control under a memory budget (429 + ``Retry-After``
+  past the in-flight bound), and a background thread live-tailing a
+  streaming index behind the service's read-write lock;
+* :class:`~repro.serving.batching.SingleFlight` — request batching:
+  concurrent requests for the same key coalesce into one index read;
+* payload builders (:func:`~repro.serving.server.refine_payload`
+  and friends) shared by the HTTP handler and in-process callers, so
+  HTTP answers are byte-identical to direct service calls.
+
+Start one from the CLI with ``repro serve INDEX_DIR``; measure the
+latency curve with ``benchmarks/bench_serving_load.py``.
+"""
+
+from repro.serving.batching import SingleFlight
+from repro.serving.server import (
+    ClusterServer,
+    encode_payload,
+    lookup_payload,
+    paths_payload,
+    refine_payload,
+)
+from repro.storage.rwlock import RWLock
+
+__all__ = [
+    "ClusterServer",
+    "RWLock",
+    "SingleFlight",
+    "encode_payload",
+    "lookup_payload",
+    "paths_payload",
+    "refine_payload",
+]

@@ -1,0 +1,101 @@
+"""Single-flight request batching: coalesce duplicate reads.
+
+Under concurrent load the same hot question arrives on many
+connections at once — sixty-four clients all asking to refine the
+keyword of the hour in the same interval.  Without batching each
+request pays its own index read; with it, the *first* request for a
+key becomes the **leader** and actually computes the answer, while
+every request that arrives for the same key before the leader
+finishes waits on it and shares the result.  The index is read once
+per distinct in-flight key, not once per request — the classic
+``singleflight`` pattern of serving caches.
+
+This deduplicates only *concurrent* work: once the leader publishes
+its result the key leaves the in-flight table, so later requests
+compute afresh (a cache above this layer decides how long answers
+live; see the hot-keyword LRU in
+:class:`~repro.service.ClusterQueryService`).  Leader failures
+propagate to every coalesced waiter — all of them would have failed
+the same way.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+
+class _Flight:
+    """One in-flight computation: the leader's result or error."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Coalesce concurrent calls for the same key into one execution.
+
+    :meth:`do` is the whole API: callers pass a hashable key and a
+    zero-argument function; exactly one caller per in-flight key runs
+    the function, the rest block until it finishes and return (or
+    re-raise) the same outcome.  Counters for :meth:`stats` are kept
+    under the same lock as the in-flight table.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, _Flight] = {}
+        self._calls = 0
+        self._leaders = 0
+        self._errors = 0
+
+    def do(self, key: Hashable, fn: Callable[[], Any]) -> Any:
+        """Run ``fn()`` once per concurrently requested *key*.
+
+        The leader executes and publishes; coalesced callers wait and
+        share the leader's return value or exception."""
+        with self._lock:
+            self._calls += 1
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                self._leaders += 1
+                lead = True
+            else:
+                lead = False
+        if not lead:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result
+        try:
+            flight.result = fn()
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._errors += 1
+            raise
+        finally:
+            with self._lock:
+                del self._inflight[key]
+            flight.done.set()
+        return flight.result
+
+    def stats(self) -> Tuple[int, int, int, int]:
+        """``(calls, leaders, coalesced, errors)`` so far.
+
+        ``coalesced`` is the reads saved: calls that waited on a
+        leader instead of touching the index themselves."""
+        with self._lock:
+            return (self._calls, self._leaders,
+                    self._calls - self._leaders, self._errors)
+
+    def __repr__(self) -> str:
+        calls, leaders, coalesced, errors = self.stats()
+        return (f"SingleFlight(calls={calls}, leaders={leaders}, "
+                f"coalesced={coalesced}, errors={errors})")

@@ -26,8 +26,12 @@ primitives those implementations use:
 * :mod:`~repro.storage.recordlog` — framed, crc32-checksummed record
   logs: the durable file format the persistent cluster index
   (:mod:`repro.index`) is built from.
-* :class:`~repro.storage.lru.LRUCache` — the bounded read cache shared
-  by ``DiskDict``, the index reader, and the query refiner.
+* :class:`~repro.storage.lru.LRUCache` — the bounded, thread-safe
+  read cache shared by ``DiskDict``, the index reader, and the query
+  refiner.
+* :class:`~repro.storage.rwlock.RWLock` — the writer-preferring
+  read-write lock the serving tier queries through while a live
+  index refresh swaps segments.
 """
 
 from repro.storage.backends import (
@@ -52,6 +56,7 @@ from repro.storage.recordlog import (
     iter_records,
     read_records,
 )
+from repro.storage.rwlock import RWLock
 from repro.storage.spillstack import SpillableStack
 
 __all__ = [
@@ -60,6 +65,7 @@ __all__ = [
     "DiskDict",
     "IOStats",
     "LRUCache",
+    "RWLock",
     "RecordLogCorruptError",
     "append_record",
     "decode_record",

@@ -4,12 +4,19 @@
 buffer memory with it; the cluster-index reader and the query
 refiner (:mod:`repro.index`, :mod:`repro.search`) keep their hot
 keywords decoded with it.  One implementation, one eviction rule.
+
+Every operation holds an internal mutex, so a cache shared between
+serving threads (the :mod:`repro.serving` HTTP tier keeps one hot-
+keyword cache for all connections) cannot corrupt the recency list
+or lose hit/miss increments.  The critical sections are a few dict
+operations, far below the cost of the reads being cached.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Any, Tuple
+from typing import Any, List, Tuple
 
 _MISSING = object()
 
@@ -19,43 +26,54 @@ class LRUCache:
 
     ``capacity <= 0`` disables the cache entirely (every ``get``
     misses, ``put`` is a no-op) so callers need no branching.  Hits
-    and misses are counted for :meth:`info`.
+    and misses are counted for :meth:`info`.  All methods are
+    thread-safe.
     """
 
-    __slots__ = ("capacity", "hits", "misses", "_data")
+    __slots__ = ("capacity", "hits", "misses", "_data", "_lock")
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
         self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: Any, default: Any = None) -> Any:
         """The cached value (refreshing its recency), else *default*."""
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def put(self, key: Any, value: Any) -> None:
         """Cache *value*, evicting the coldest entries past capacity."""
         if self.capacity <= 0:
             return
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
 
     def pop(self, key: Any, default: Any = None) -> Any:
         """Remove and return *key*'s value (no hit/miss accounting)."""
-        return self._data.pop(key, default)
+        with self._lock:
+            return self._data.pop(key, default)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
+
+    def keys(self) -> List[Any]:
+        """A snapshot of the cached keys, coldest first."""
+        with self._lock:
+            return list(self._data)
 
     def __contains__(self, key: Any) -> bool:
         return key in self._data
@@ -65,7 +83,9 @@ class LRUCache:
 
     def info(self) -> Tuple[int, int, int, int]:
         """``(hits, misses, size, capacity)`` for diagnostics."""
-        return (self.hits, self.misses, len(self._data), self.capacity)
+        with self._lock:
+            return (self.hits, self.misses, len(self._data),
+                    self.capacity)
 
     def __repr__(self) -> str:
         return (f"LRUCache(capacity={self.capacity}, "

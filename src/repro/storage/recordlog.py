@@ -190,12 +190,19 @@ class RecordLogReader:
             self._remap()
 
     def pread(self, offset: int, length: int) -> Payload:
-        """Read *length* bytes at *offset*; zero-copy when mapped."""
+        """Read *length* bytes at *offset*; zero-copy when mapped.
+
+        Thread-safe: mapped reads slice the mmap, unmapped reads use
+        ``os.pread`` (a positioned syscall that never moves the shared
+        handle's offset), so concurrent serving threads can point-read
+        one log without interleaving each other's seeks."""
         end = offset + length
         self._ensure(end)
         if self._mm is not None and len(self._mm) >= end:
             return memoryview(self._mm)[offset:end]
         assert self._fh is not None
+        if hasattr(os, "pread"):
+            return os.pread(self._fh.fileno(), length, offset)
         self._fh.seek(offset)
         return self._fh.read(length)
 

@@ -1,0 +1,91 @@
+"""A writer-preferring read-write lock for the serving tier.
+
+Queries against a :class:`~repro.service.ClusterQueryService` only
+*read* the index structures, so any number of them may run at once;
+a :meth:`~repro.service.ClusterQueryService.refresh` that tails a
+live index (or absorbs a merge's segment swap) *rewrites* those
+structures and must run alone.  A plain mutex would serialize every
+query behind every other; this lock lets readers share and makes the
+writer wait only for the readers already in flight.
+
+Writer preference — arriving readers queue behind a *waiting* writer
+rather than overtaking it — keeps a refresh from starving under a
+steady query load: the swap happens as soon as the current readers
+drain, and the queued readers then see the new segments.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """Shared/exclusive lock: many readers or one writer.
+
+    Use the :meth:`read_locked` / :meth:`write_locked` context
+    managers; the raw acquire/release pairs exist for callers that
+    need to span a lock across methods.  The lock is not reentrant —
+    a thread holding it in either mode must not acquire it again.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        """Take the lock shared; blocks while a writer holds or waits."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Release one shared hold, waking a waiting writer when last."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Take the lock exclusive; blocks until in-flight readers drain."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        """Release the exclusive hold and wake every waiter."""
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with lock.read_locked():`` — shared critical section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with lock.write_locked():`` — exclusive critical section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        return (f"RWLock(readers={self._readers}, "
+                f"writer={self._writer}, "
+                f"writers_waiting={self._writers_waiting})")

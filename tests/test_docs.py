@@ -19,7 +19,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOCS_DIR = os.path.join(REPO_ROOT, "docs")
 
 REQUIRED_PAGES = ("index.md", "architecture.md", "index-serving.md",
-                  "cli.md", "tutorial.md")
+                  "serving.md", "cli.md", "tutorial.md")
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(#[^)\s]*)?\)")
 _HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)

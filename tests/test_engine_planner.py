@@ -20,14 +20,18 @@ from repro.datagen import synthetic_cluster_graph
 from repro.engine import (
     GraphStats,
     StableQuery,
+    apply_serving_dimension,
     estimate_annotation_bytes,
+    estimate_serving_working_set,
     estimate_window_bytes,
     explain,
+    forecast_serving_hit_rate,
     get_solver,
     plan,
     solve,
     solve_report,
     solver_names,
+    split_serving_budget,
 )
 
 
@@ -330,3 +334,101 @@ class TestStreamingFromQuery:
     def test_full_path_query_cannot_stream(self):
         with pytest.raises(ValueError, match="full-path"):
             StreamingStableClusters.from_query(StableQuery(l=None))
+
+
+class TestServingDimension:
+    GS = GraphStats(num_intervals=10, max_interval_nodes=1000,
+                    avg_out_degree=5.0, gap=1)
+
+    def test_working_set_scales_with_interval_width(self):
+        from repro.engine.planner import INDEX_KEYWORDS_PER_CLUSTER
+        assert estimate_serving_working_set(self.GS) \
+            == 1000 * INDEX_KEYWORDS_PER_CLUSTER
+        empty = GraphStats(num_intervals=0, max_interval_nodes=0,
+                           avg_out_degree=0.0, gap=0)
+        assert estimate_serving_working_set(empty) == 1
+
+    def test_hit_rate_bounds(self):
+        assert forecast_serving_hit_rate(100, 100) == 1.0
+        assert forecast_serving_hit_rate(200, 100) == 1.0
+        assert forecast_serving_hit_rate(50, 0) == 1.0
+        assert forecast_serving_hit_rate(0, 100) == 0.0
+        partial = forecast_serving_hit_rate(50, 100)
+        assert 0.0 < partial < 1.0
+
+    def test_hit_rate_monotonic_in_cache_size(self):
+        rates = [forecast_serving_hit_rate(c, 10_000)
+                 for c in (8, 64, 512, 4096)]
+        assert rates == sorted(rates)
+        assert rates[0] > 0.0
+
+    def test_skew_concentrates_traffic(self):
+        """Steeper Zipf skew means a small cache covers more
+        traffic; skew 0 (uniform) degrades to C/N."""
+        flat = forecast_serving_hit_rate(100, 1000, skew=0.0)
+        zipf = forecast_serving_hit_rate(100, 1000, skew=1.0)
+        steep = forecast_serving_hit_rate(100, 1000, skew=1.5)
+        assert flat == pytest.approx(0.1)
+        assert steep > zipf > flat
+
+    def test_split_without_budget_uses_defaults(self):
+        from repro.engine.planner import (
+            SERVING_DEFAULT_CLUSTERS,
+            SERVING_DEFAULT_HOT,
+            SERVING_DEFAULT_INFLIGHT,
+        )
+        assert split_serving_budget(None) == (
+            SERVING_DEFAULT_HOT, SERVING_DEFAULT_CLUSTERS,
+            SERVING_DEFAULT_INFLIGHT)
+
+    def test_split_shares_the_budget_40_40_20(self):
+        from repro.engine.planner import (
+            SERVING_ANSWER_BYTES,
+            SERVING_CLUSTER_BYTES,
+            SERVING_REQUEST_BYTES,
+        )
+        budget = 10 * 1024 * 1024
+        hot, clusters, inflight = split_serving_budget(budget)
+        assert hot == int(budget * 0.4 // SERVING_ANSWER_BYTES)
+        assert clusters == int(budget * 0.4 // SERVING_CLUSTER_BYTES)
+        # The admission share is computed as 1 - 0.4 - 0.4 (which
+        # is 0.1999... in floats), not a literal 0.2.
+        assert inflight == int(
+            budget * (1.0 - 0.4 - 0.4) // SERVING_REQUEST_BYTES)
+
+    def test_split_clamps_to_floors_and_ceilings(self):
+        from repro.engine.planner import (
+            SERVING_MAX_INFLIGHT,
+            SERVING_MIN_ENTRIES,
+            SERVING_MIN_INFLIGHT,
+        )
+        hot, clusters, inflight = split_serving_budget(1)
+        assert hot == clusters == SERVING_MIN_ENTRIES
+        assert inflight == SERVING_MIN_INFLIGHT
+        _, _, inflight = split_serving_budget(10 ** 12)
+        assert inflight == SERVING_MAX_INFLIGHT
+
+    def test_apply_serving_dimension_annotates_the_plan(self):
+        execution = plan(StableQuery(problem="kl", l=2, k=3), self.GS)
+        apply_serving_dimension(execution, self.GS,
+                                memory_budget=4 * 1024 * 1024)
+        hot, clusters, inflight = split_serving_budget(4 * 1024 * 1024)
+        assert execution.serving_hot_entries == hot
+        assert execution.serving_cluster_entries == clusters
+        assert execution.serving_max_inflight == inflight
+        working_set = estimate_serving_working_set(self.GS)
+        assert execution.serving_hot_keywords == working_set
+        assert execution.serving_hit_rate == pytest.approx(
+            forecast_serving_hit_rate(hot, working_set))
+        text = execution.explain()
+        assert "serving:" in text
+        assert "40/40/20" in text
+        assert "hit rate" in text
+
+    def test_apply_without_budget_reports_defaults(self):
+        execution = plan(StableQuery(problem="kl", l=2, k=3), self.GS)
+        execution.memory_budget = None
+        apply_serving_dimension(execution, self.GS)
+        assert any("constructor-default" in reason
+                   for reason in execution.reasons)
+        assert "serving:" in execution.explain()

@@ -94,14 +94,145 @@ class TestClusterQueryService:
                 assert service.render_path(path) == \
                     render_stable_path(result, path)
 
-    def test_hot_keywords_hit_the_cache(self, built):
+    def test_hot_keywords_hit_the_shared_cache(self, built):
+        """Hot answers live in the service-wide LRU (shared across
+        intervals and connections), not in per-refiner caches."""
         index_dir, _ = built
         with ClusterQueryService(index_dir) as service:
             service.refine("beckham")
-            refiner = service.refiner()
-            hits_before = refiner.cache_info()[0]
+            hits_before = service.stats()["refiner_hits"]
             service.refine("beckham")
-            assert refiner.cache_info()[0] == hits_before + 1
+            stats = service.stats()
+            assert stats["refiner_hits"] == hits_before + 1
+            # Stemming variants of the hot keyword share the entry.
+            service.refine("Beckham")
+            assert service.stats()["refiner_hits"] == hits_before + 2
+            # The service-built refiners carry no private cache.
+            assert service.refiner().cache_info()[3] == 0
+
+    def test_describe_stats_before_any_query(self, built):
+        """`query --stats` formatting at zero hits / zero misses."""
+        index_dir, _ = built
+        with ClusterQueryService(index_dir) as service:
+            text = service.describe_stats()
+            assert "refiner cache: no queries yet" in text
+            assert "cluster cache:" in text
+            assert "index:" in text
+
+    def test_describe_stats_after_queries(self, built):
+        index_dir, _ = built
+        with ClusterQueryService(index_dir) as service:
+            service.refine("beckham")
+            service.refine("beckham")
+            text = service.describe_stats()
+            assert "refiner cache: 1/2 hits (50%)" in text
+
+    def test_stats_monotonic_across_refresh(self, tmp_path):
+        """Hot-cache counters survive refresh(); only entries are
+        invalidated."""
+        corpus = _corpus(m=3)
+        index_dir = str(tmp_path / "live")
+        with StreamingDocumentPipeline(
+                l=1, k=2, index_dir=index_dir) as pipeline:
+            pipeline.add_documents(corpus.documents(0))
+            with ClusterQueryService(index_dir) as service:
+                service.refine("beckham")
+                service.refine("beckham")
+                before = service.stats()
+                assert before["refiner_hits"] == 1
+                assert before["refiner_misses"] == 1
+                pipeline.add_documents(corpus.documents(1))
+                assert service.refresh()
+                after = service.stats()
+                assert after["refiner_hits"] >= \
+                    before["refiner_hits"]
+                assert after["refiner_misses"] >= \
+                    before["refiner_misses"]
+                # The invalidated interval's answer is recomputed:
+                # a miss, never a stale hit.
+                service.refine("beckham")
+                final = service.stats()
+                assert final["refiner_misses"] == \
+                    after["refiner_misses"] + 1
+
+    def test_use_after_close_raises(self, built):
+        """The pool use-after-close contract, mirrored."""
+        index_dir, _ = built
+        service = ClusterQueryService(index_dir)
+        service.refine("beckham")
+        service.close()
+        service.close()  # idempotent, like the executors
+        with pytest.raises(RuntimeError,
+                           match="ClusterQueryService used after "
+                                 "close"):
+            service.refine("beckham")
+        with pytest.raises(RuntimeError):
+            service.stats()
+        with pytest.raises(RuntimeError):
+            service.latest_interval
+
+    def test_close_leaves_external_reader_open(self, built):
+        from repro.index import ClusterIndexReader
+        index_dir, _ = built
+        reader = ClusterIndexReader(index_dir)
+        service = ClusterQueryService(reader)
+        service.close()
+        # The service is closed but the borrowed reader still works.
+        assert reader.num_intervals > 0
+        reader.close()
+
+    def test_cluster_cache_size_needs_owned_reader(self, built):
+        from repro.index import ClusterIndexReader
+        index_dir, _ = built
+        with ClusterIndexReader(index_dir) as reader:
+            with pytest.raises(ValueError,
+                               match="cluster_cache_size"):
+                ClusterQueryService(reader, cluster_cache_size=8)
+
+    def test_concurrent_queries_and_refresh(self, tmp_path):
+        """Regression for the thread-unsafe service: two threads
+        hammering refine() while a third refresh()-es a growing
+        live index must neither crash nor return wrong answers."""
+        corpus = _corpus(m=4)
+        index_dir = str(tmp_path / "live")
+        errors = []
+        stop = threading.Event()
+        with StreamingDocumentPipeline(
+                l=1, k=2, index_dir=index_dir) as pipeline:
+            pipeline.add_documents(corpus.documents(0))
+            service = ClusterQueryService(index_dir)
+            expected = service.refine("beckham", 0)
+            assert expected is not None
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        result = service.refine("beckham", 0)
+                        if result != expected:
+                            errors.append(
+                                f"answer changed: {result}")
+                        service.lookup("madrid", 0)
+                        service.stable_paths()
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(repr(exc))
+                        return
+
+            workers = [threading.Thread(target=hammer)
+                       for _ in range(2)]
+            for worker in workers:
+                worker.start()
+            try:
+                for interval in (1, 2, 3):
+                    pipeline.add_documents(
+                        corpus.documents(interval))
+                    assert service.refresh()
+            finally:
+                stop.set()
+                for worker in workers:
+                    worker.join(timeout=10)
+        assert not errors, errors[:3]
+        assert service.num_intervals == 4
+        service.close()
 
     def test_refresh_tails_a_live_stream(self, tmp_path):
         corpus = _corpus(m=3)

@@ -1,0 +1,442 @@
+"""Tests for the concurrent HTTP serving tier (repro.serving).
+
+The load-bearing contract: every HTTP answer is byte-identical to
+the in-process :class:`~repro.service.ClusterQueryService` payload —
+pinned here across both paper problems and against a live streamed
+index — plus the serving machinery itself: single-flight batching,
+admission control (429 + Retry-After), the read-write lock, error
+paths, and the CLI ``serve`` subcommand end to end.
+"""
+
+import http.client
+import json
+import re
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.pipeline import find_stable_clusters
+from repro.service import ClusterQueryService
+from repro.serving import (
+    ClusterServer,
+    RWLock,
+    SingleFlight,
+    encode_payload,
+    lookup_payload,
+    paths_payload,
+    refine_payload,
+)
+from repro.streaming import StreamingDocumentPipeline
+from repro.text.documents import Document, IntervalCorpus
+
+
+def _corpus(m=4):
+    docs = []
+    doc = 0
+    for interval in range(m):
+        for _ in range(22):
+            docs.append(Document(doc_id=f"e{doc}", interval=interval,
+                                 text="beckham galaxy madrid soccer"))
+            doc += 1
+        for i in range(6):
+            docs.append(Document(doc_id=f"b{doc}", interval=interval,
+                                 text=f"noise{i} filler{interval} "
+                                      f"chatter{doc}"))
+            doc += 1
+    corpus = IntervalCorpus()
+    corpus.extend(docs)
+    return corpus
+
+
+def _get(url: str, path: str):
+    """One GET: returns (status, body bytes, headers dict)."""
+    host, port = url.split("//")[1].split(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return (response.status, response.read(),
+                dict(response.getheaders()))
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module", params=["kl", "normalized"])
+def built_index(request, tmp_path_factory):
+    """A persisted index per paper problem (both must serve)."""
+    index_dir = str(tmp_path_factory.mktemp("serving")
+                    / f"index-{request.param}")
+    find_stable_clusters(_corpus(), l=2, k=3, gap=1,
+                         problem=request.param, index_dir=index_dir)
+    return index_dir
+
+
+class TestSingleFlight:
+    def test_sequential_calls_all_lead(self):
+        flight = SingleFlight()
+        assert flight.do("k", lambda: 1) == 1
+        assert flight.do("k", lambda: 2) == 2
+        assert flight.stats() == (2, 2, 0, 0)
+
+    def test_concurrent_same_key_coalesces(self):
+        """Deterministic coalescing: the leader blocks on an event
+        until the waiter is known to have joined the flight."""
+        flight = SingleFlight()
+        leader_entered = threading.Event()
+        release_leader = threading.Event()
+        results = []
+
+        def compute():
+            leader_entered.set()
+            assert release_leader.wait(timeout=10)
+            return "answer"
+
+        def leader():
+            results.append(flight.do("hot", compute))
+
+        def waiter():
+            # Never calls compute(): would block forever on the
+            # unset event if it did.
+            results.append(flight.do(
+                "hot", lambda: pytest.fail("waiter computed")))
+
+        lead = threading.Thread(target=leader)
+        lead.start()
+        assert leader_entered.wait(timeout=10)
+        wait = threading.Thread(target=waiter)
+        wait.start()
+        # The waiter has joined once it is counted as coalesced.
+        deadline = time.time() + 10
+        while flight.stats()[2] < 1:
+            assert time.time() < deadline, "waiter never coalesced"
+            time.sleep(0.001)
+        release_leader.set()
+        lead.join(timeout=10)
+        wait.join(timeout=10)
+        assert results == ["answer", "answer"]
+        assert flight.stats() == (2, 1, 1, 0)
+
+    def test_different_keys_do_not_coalesce(self):
+        flight = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow():
+            entered.set()
+            release.wait(timeout=10)
+            return "slow"
+
+        lead = threading.Thread(
+            target=lambda: flight.do("a", slow))
+        lead.start()
+        assert entered.wait(timeout=10)
+        assert flight.do("b", lambda: "fast") == "fast"
+        release.set()
+        lead.join(timeout=10)
+        assert flight.stats() == (2, 2, 0, 0)
+
+    def test_leader_error_propagates_to_waiters(self):
+        flight = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+        outcomes = []
+
+        def boom():
+            entered.set()
+            release.wait(timeout=10)
+            raise ValueError("index on fire")
+
+        def leader():
+            try:
+                flight.do("k", boom)
+            except ValueError as exc:
+                outcomes.append(("leader", str(exc)))
+
+        def waiter():
+            try:
+                flight.do("k", lambda: pytest.fail("computed"))
+            except ValueError as exc:
+                outcomes.append(("waiter", str(exc)))
+
+        lead = threading.Thread(target=leader)
+        lead.start()
+        assert entered.wait(timeout=10)
+        wait = threading.Thread(target=waiter)
+        wait.start()
+        deadline = time.time() + 10
+        while flight.stats()[2] < 1:
+            assert time.time() < deadline
+            time.sleep(0.001)
+        release.set()
+        lead.join(timeout=10)
+        wait.join(timeout=10)
+        assert sorted(outcomes) == [("leader", "index on fire"),
+                                    ("waiter", "index on fire")]
+        assert flight.stats()[3] == 1  # one error, counted once
+
+    def test_key_leaves_table_after_completion(self):
+        flight = SingleFlight()
+        flight.do("k", lambda: 1)
+        assert flight._inflight == {}
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        lock.acquire_read()
+        lock.acquire_read()
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        order = []
+        with lock.write_locked():
+            reader = threading.Thread(
+                target=lambda: (lock.acquire_read(),
+                                order.append("read"),
+                                lock.release_read()))
+            reader.start()
+            time.sleep(0.05)
+            assert order == []  # reader blocked by the writer
+            order.append("write")
+        reader.join(timeout=10)
+        assert order == ["write", "read"]
+
+    def test_writer_preference_over_new_readers(self):
+        """A waiting writer is not starved: readers arriving after
+        it queue behind the swap."""
+        lock = RWLock()
+        order = []
+        lock.acquire_read()
+        writer = threading.Thread(
+            target=lambda: (lock.acquire_write(),
+                            order.append("write"),
+                            lock.release_write()))
+        writer.start()
+        deadline = time.time() + 10
+        while not lock._writers_waiting:
+            assert time.time() < deadline
+            time.sleep(0.001)
+        late_reader = threading.Thread(
+            target=lambda: (lock.acquire_read(),
+                            order.append("read"),
+                            lock.release_read()))
+        late_reader.start()
+        time.sleep(0.05)
+        assert order == []  # both queued behind the first reader
+        lock.release_read()
+        writer.join(timeout=10)
+        late_reader.join(timeout=10)
+        assert order == ["write", "read"]
+
+
+class TestHttpByteIdentity:
+    def test_endpoints_match_in_process(self, built_index):
+        """refine/lookup/paths over HTTP == in-process payloads,
+        byte for byte, for both paper problems."""
+        with ClusterServer(built_index).start() as server, \
+                ClusterQueryService(built_index) as service:
+            probes = [
+                ("/refine?keyword=beckham",
+                 lambda: refine_payload(service, "beckham")),
+                ("/refine?keyword=beckham&interval=0&top=2",
+                 lambda: refine_payload(service, "beckham", 0, 2)),
+                ("/refine?keyword=nosuchword",
+                 lambda: refine_payload(service, "nosuchword")),
+                ("/lookup?keyword=madrid",
+                 lambda: lookup_payload(service, "madrid")),
+                ("/lookup?keyword=madrid&interval=1",
+                 lambda: lookup_payload(service, "madrid", 1)),
+                ("/paths", lambda: paths_payload(service)),
+                ("/paths?keyword=beckham",
+                 lambda: paths_payload(service, "beckham")),
+            ]
+            for path, build in probes:
+                status, body, _ = _get(server.url, path)
+                assert status == 200, (path, status, body)
+                assert body == encode_payload(build()), path
+
+    def test_batching_off_serves_identical_bytes(self, built_index):
+        with ClusterServer(built_index, batching=False).start() \
+                as server, \
+                ClusterQueryService(built_index) as service:
+            status, body, _ = _get(server.url,
+                                   "/refine?keyword=beckham")
+            assert status == 200
+            assert body == encode_payload(
+                refine_payload(service, "beckham"))
+            assert server.server_stats()["singleflight"]["calls"] \
+                == 0
+
+    def test_live_streamed_index(self, tmp_path):
+        """A server tailing a live index serves the new intervals
+        once refresh lands — and stays byte-identical to a fresh
+        in-process service at every step."""
+        corpus = _corpus(m=3)
+        index_dir = str(tmp_path / "live")
+        with StreamingDocumentPipeline(
+                l=1, k=2, index_dir=index_dir) as pipeline:
+            pipeline.add_documents(corpus.documents(0))
+            with ClusterServer(index_dir,
+                               refresh_seconds=0.02).start() \
+                    as server:
+                status, body, _ = _get(server.url,
+                                       "/refine?keyword=beckham")
+                assert status == 200
+                assert json.loads(body)["interval"] == 0
+                pipeline.add_documents(corpus.documents(1))
+                deadline = time.time() + 10
+                while server.service.num_intervals < 2:
+                    assert time.time() < deadline, \
+                        "refresh thread never tailed the append"
+                    time.sleep(0.02)
+                status, body, _ = _get(server.url,
+                                       "/refine?keyword=beckham")
+                assert status == 200
+                assert json.loads(body)["interval"] == 1
+                with ClusterQueryService(index_dir) as fresh:
+                    assert body == encode_payload(
+                        refine_payload(fresh, "beckham"))
+
+
+class TestHttpErrors:
+    def test_unknown_route_404(self, built_index):
+        with ClusterServer(built_index).start() as server:
+            status, body, _ = _get(server.url, "/nope")
+            assert status == 404
+            assert "/refine" in json.loads(body)["endpoints"]
+
+    def test_missing_keyword_400(self, built_index):
+        with ClusterServer(built_index).start() as server:
+            status, body, _ = _get(server.url, "/refine")
+            assert status == 400
+            assert "keyword" in json.loads(body)["error"]
+
+    def test_bad_interval_400(self, built_index):
+        with ClusterServer(built_index).start() as server:
+            status, body, _ = _get(
+                server.url, "/refine?keyword=beckham&interval=x")
+            assert status == 400
+            assert "integer" in json.loads(body)["error"]
+
+    def test_empty_live_index_400(self, tmp_path):
+        index_dir = str(tmp_path / "live")
+        pipeline = StreamingDocumentPipeline(l=1, k=2,
+                                             index_dir=index_dir)
+        try:
+            with ClusterServer(index_dir,
+                               refresh_seconds=0).start() as server:
+                status, body, _ = _get(server.url,
+                                       "/refine?keyword=beckham")
+                assert status == 400
+                assert "no intervals" in json.loads(body)["error"]
+        finally:
+            pipeline.close()
+
+    def test_stats_endpoint_counters(self, built_index):
+        with ClusterServer(built_index).start() as server:
+            _get(server.url, "/refine?keyword=beckham")
+            _get(server.url, "/refine?keyword=beckham")
+            status, body, _ = _get(server.url, "/stats")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["server"]["requests"] == 3
+            # Both refines build a payload (index_reads), but the
+            # second is answered from the shared hot cache.
+            assert payload["server"]["index_reads"] == 2
+            assert payload["service"]["refiner_hits"] == 1
+
+
+class TestAdmissionControl:
+    def test_saturated_server_429_with_retry_after(self,
+                                                   built_index):
+        with ClusterServer(built_index, max_inflight=2).start() \
+                as server:
+            # Deterministic saturation: take every admission slot
+            # by hand, then knock.
+            assert server._inflight.acquire(blocking=False)
+            assert server._inflight.acquire(blocking=False)
+            try:
+                status, body, headers = _get(
+                    server.url, "/refine?keyword=beckham")
+                assert status == 429
+                assert headers["Retry-After"] == "1"
+                assert "saturated" in json.loads(body)["error"]
+            finally:
+                server._release()
+                server._release()
+            status, _, _ = _get(server.url,
+                                "/refine?keyword=beckham")
+            assert status == 200
+            assert server.server_stats()["rejected"] == 1
+
+    def test_stats_served_even_when_saturated(self, built_index):
+        """Monitoring stays reachable while queries are shed."""
+        with ClusterServer(built_index, max_inflight=1).start() \
+                as server:
+            assert server._inflight.acquire(blocking=False)
+            try:
+                status, _, _ = _get(server.url, "/stats")
+            finally:
+                server._release()
+            assert status == 429  # /stats is admitted like the rest
+
+    def test_budget_split_sizes_the_server(self, built_index):
+        from repro.engine import split_serving_budget
+        budget = 2 * 1024 * 1024
+        hot, clusters, inflight = split_serving_budget(budget)
+        with ClusterServer(built_index,
+                           memory_budget=budget) as server:
+            assert server.max_inflight == inflight
+            assert server.service._hot.capacity == hot
+
+    def test_max_inflight_must_be_positive(self, built_index):
+        with pytest.raises(ValueError, match="max_inflight"):
+            ClusterServer(built_index, max_inflight=0)
+
+
+class TestServerLifecycle:
+    def test_start_after_close_raises(self, built_index):
+        server = ClusterServer(built_index)
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises(RuntimeError, match="used after close"):
+            server.start()
+
+    def test_close_closes_owned_service(self, built_index):
+        server = ClusterServer(built_index).start()
+        service = server.service
+        server.close()
+        with pytest.raises(RuntimeError, match="used after close"):
+            service.refine("beckham")
+
+    def test_borrowed_service_left_open(self, built_index):
+        with ClusterQueryService(built_index) as service:
+            server = ClusterServer(service).start()
+            server.close()
+            assert service.refine("beckham") is not None
+
+    def test_cli_serve_subprocess_round_trip(self, built_index):
+        """The `serve` subcommand end to end: ephemeral port,
+        banner URL, byte-identical answer, clean shutdown."""
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             built_index, "--port", "0", "--max-seconds", "60"],
+            stdout=subprocess.PIPE, text=True)
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"at (http://[\d.]+:\d+)", banner)
+            assert match, banner
+            status, body, _ = _get(match.group(1),
+                                   "/refine?keyword=beckham")
+            assert status == 200
+            with ClusterQueryService(built_index) as service:
+                assert body == encode_payload(
+                    refine_payload(service, "beckham"))
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
