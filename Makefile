@@ -2,7 +2,8 @@ PYTHON ?= python
 RUN := PYTHONPATH=src $(PYTHON)
 
 .PHONY: test bench bench-smoke bench-json stream-demo parallel-demo \
-        service-demo serving-demo docs-check lint docstyle
+        service-demo serving-demo distributed-demo docs-check lint \
+        docstyle
 
 test:
 	$(RUN) -m pytest -q
@@ -24,6 +25,7 @@ bench-smoke:
 	$(RUN) benchmarks/bench_simjoin_signatures.py --smoke
 	$(RUN) benchmarks/bench_index_lifecycle.py --smoke
 	$(RUN) benchmarks/bench_serving_load.py --smoke
+	$(RUN) benchmarks/bench_distributed.py --smoke
 
 # The versioned perf trajectory: one BENCH_<area>.json per harness,
 # written at the repo root (CI uploads every BENCH_*.json artifact).
@@ -31,6 +33,7 @@ bench-json:
 	$(RUN) benchmarks/bench_simjoin_signatures.py --json BENCH_simjoin.json
 	$(RUN) benchmarks/bench_index_lifecycle.py --json BENCH_index.json
 	$(RUN) benchmarks/bench_serving_load.py --json BENCH_serving.json
+	$(RUN) benchmarks/bench_distributed.py --json BENCH_distributed.json
 
 # Generate a synthetic week of posts and replay it through the
 # streaming subcommand (documents -> incremental top-k, end to end).
@@ -64,6 +67,12 @@ service-demo:
 serving-demo:
 	$(RUN) examples/serving_roundtrip.py
 
+# Corpus -> index -> `serve --shards 2` subprocess (coordinator +
+# shard workers) -> HTTP round-trip asserted byte-identical to the
+# in-process service (the CI distributed smoke test).
+distributed-demo:
+	$(RUN) examples/distributed_roundtrip.py
+
 # "Build" the markdown docs site: link-check + coverage gates.
 docs-check:
 	$(RUN) -m pytest -q tests/test_docs.py tests/test_docstrings.py
@@ -76,4 +85,4 @@ lint:
 docstyle:
 	$(PYTHON) -m pydocstyle src/repro/engine src/repro/storage \
 	    src/repro/vocab src/repro/search src/repro/index \
-	    src/repro/service src/repro/serving
+	    src/repro/service src/repro/serving src/repro/distributed

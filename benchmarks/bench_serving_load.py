@@ -66,6 +66,13 @@ SMOKE_SCALE = dict(intervals=8, per_interval=12, pool=200,
 # index reads on the one-hot-keyword workload.
 REDUCTION_FLOOR = 0.30
 
+# The most-concurrent point should retain at least this share of the
+# saturation (knee) throughput.  Always warning-only: the one-process
+# tier drops past its knee by design (the GIL is the ceiling); the
+# floor exists to make the drop visible in BENCH_serving.json, and
+# ``serve --shards N`` (bench_distributed.py) is the fix.
+RETENTION_FLOOR = 0.60
+
 
 def build_index(directory: str, intervals: int,
                 per_interval: int, pool: int) -> None:
@@ -218,6 +225,7 @@ def bench_latency_curve(record, directory: str, pool: int,
     """p50/p95/p99 + throughput at each concurrency level."""
     experiment = "Serving load: latency curve"
     curve: List[Dict] = []
+    baseline_per_client: Optional[float] = None
     with ClusterServer(directory, max_inflight=128).start() as server:
         for clients in CONCURRENCIES:
             mix = zipf_keywords(pool, requests_per_client)
@@ -233,21 +241,32 @@ def bench_latency_curve(record, directory: str, pool: int,
                 server.url, clients, plays)
             assert errors == 0, \
                 f"{errors} non-200 responses at {clients} clients"
+            throughput = round(len(latencies) / wall, 1) \
+                if wall else 0.0
+            per_client = throughput / clients
+            if baseline_per_client is None:
+                baseline_per_client = per_client or 1.0
             point = {
                 "clients": clients,
                 "requests": len(latencies),
                 "p50_ms": round(percentile(latencies, 0.50), 3),
                 "p95_ms": round(percentile(latencies, 0.95), 3),
                 "p99_ms": round(percentile(latencies, 0.99), 3),
-                "throughput_rps": round(len(latencies) / wall, 1)
-                if wall else 0.0,
+                "throughput_rps": throughput,
+                # rps each client sees, and how it compares to what
+                # one lone client got — 1.0 is perfect scaling, and
+                # the fall-off localizes the knee in the artifact.
+                "per_client_rps": round(per_client, 1),
+                "scaling_efficiency": round(
+                    per_client / baseline_per_client, 3),
             }
             curve.append(point)
             record(experiment, f"{clients:>2} client(s)",
                    f"p50 {point['p50_ms']:.2f}ms  "
                    f"p95 {point['p95_ms']:.2f}ms  "
                    f"p99 {point['p99_ms']:.2f}ms  "
-                   f"{point['throughput_rps']:.0f} req/s")
+                   f"{point['throughput_rps']:.0f} req/s  "
+                   f"(eff {point['scaling_efficiency']:.2f})")
     return curve
 
 
@@ -304,6 +323,27 @@ def bench_singleflight(record, clients: int, per_client: int,
     }
 
 
+def _check_retention(results: Dict) -> str:
+    """Surface the post-knee throughput drop (always warning-only).
+
+    A MISSED outcome never fails the run — the single-process tier
+    loses throughput past its knee by construction — but it lands in
+    the recorded results so the regression stays visible release
+    over release."""
+    retention = results["saturation_retention"]
+    if retention >= RETENTION_FLOOR:
+        return f"met ({100 * retention:.0f}% of peak retained)"
+    last = results["latency_curve"][-1]
+    message = (f"{last['clients']}-client throughput retains only "
+               f"{100 * retention:.0f}% of the "
+               f"{results['saturation_throughput_rps']:.0f} rps peak "
+               f"at {results['knee_clients']} clients "
+               f"(floor {100 * RETENTION_FLOOR:.0f}%)")
+    print(f"warning: {message} [visibility only; serve --shards N "
+          f"is the fix]")
+    return f"MISSED ({100 * retention:.0f}% retained)"
+
+
 def _assert_reduction(results: Dict) -> str:
     """Enforce the coalescing floor (warning-only under CI)."""
     reduction = results["singleflight"]["read_reduction"]
@@ -341,7 +381,9 @@ def run_serving_bench(record: Callable[[str, str, object], None],
             hammer_clusters)
     finally:
         shutil.rmtree(directory, ignore_errors=True)
-    return {
+    saturation = max(point["throughput_rps"] for point in curve)
+    final = curve[-1]["throughput_rps"]
+    results = {
         "workload": {
             "intervals": intervals,
             "clusters_per_interval": per_interval,
@@ -351,10 +393,17 @@ def run_serving_bench(record: Callable[[str, str, object], None],
         "answers_checked": checked,
         "answers_identical": True,
         "latency_curve": curve,
-        "saturation_throughput_rps":
-            max(point["throughput_rps"] for point in curve),
+        "saturation_throughput_rps": saturation,
+        "knee_clients": next(point["clients"] for point in curve
+                             if point["throughput_rps"]
+                             == saturation),
+        "final_throughput_rps": final,
+        "saturation_retention":
+            round(final / saturation, 3) if saturation else 0.0,
         "singleflight": singleflight,
     }
+    results["retention_floor"] = _check_retention(results)
+    return results
 
 
 def test_serving_load_benchmark(series) -> None:
@@ -362,9 +411,13 @@ def test_serving_load_benchmark(series) -> None:
     coalescing floor asserted, latency curve reported."""
     results = run_serving_bench(series, **SMOKE_SCALE)
     assert len(results["latency_curve"]) == len(CONCURRENCIES)
+    assert all("scaling_efficiency" in point
+               for point in results["latency_curve"])
     outcome = _assert_reduction(results)
     series("Serving load: single-flight batching",
            "reduction floor", outcome)
+    series("Serving load: latency curve", "retention floor",
+           results["retention_floor"])
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -395,6 +448,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     top = results["latency_curve"][-1]
     print(f"serving load benchmark: answers identical, "
           f"reduction floor {outcome}, "
+          f"retention floor {results['retention_floor']}, "
           f"{top['clients']} clients p95 {top['p95_ms']:.2f}ms, "
           f"saturation {results['saturation_throughput_rps']:.0f} "
           f"req/s")

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""CI smoke test for the distributed tier: ``serve --shards``.
+
+Builds a small index, starts ``stable-clusters serve --shards 2``
+as a real subprocess — an HTTP front end over a scatter-gather
+coordinator and two shard worker processes — and round-trips the
+endpoints with a scripted HTTP client, asserting each answer is
+byte-identical to the in-process
+:class:`repro.service.ClusterQueryService` payload (the contract
+docs/distributed.md documents).  Exercises exactly what a sharded
+deployment would: the CLI entry point, worker spawn, the banner, a
+TCP client, clean shutdown of the whole process tree.
+
+Usage::
+
+    PYTHONPATH=src python examples/distributed_roundtrip.py [workdir]
+"""
+
+import http.client
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.pipeline import find_stable_clusters
+from repro.service import ClusterQueryService
+from repro.serving import (
+    encode_payload,
+    lookup_payload,
+    paths_payload,
+    refine_payload,
+)
+from repro.text.documents import Document, IntervalCorpus
+
+DAYS = 4
+SHARD_WORKERS = 2
+
+
+def build_corpus() -> IntervalCorpus:
+    """A small deterministic corpus with one persistent event."""
+    documents = []
+    doc = 0
+    for day in range(DAYS):
+        for _ in range(20):
+            documents.append(Document(
+                doc_id=f"e{doc}", interval=day,
+                text="somalia mogadishu ethiopian islamist"))
+            doc += 1
+        for i in range(6):
+            documents.append(Document(
+                doc_id=f"b{doc}", interval=day,
+                text=f"noise{i} filler{day} chatter{doc}"))
+            doc += 1
+    corpus = IntervalCorpus()
+    corpus.extend(documents)
+    return corpus
+
+
+def start_server(index_dir: str) -> "tuple[subprocess.Popen, str]":
+    """``serve --shards`` on an ephemeral port: (process, URL)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", index_dir,
+         "--port", "0", "--shards", str(SHARD_WORKERS),
+         "--max-seconds", "120"],
+        stdout=subprocess.PIPE, text=True)
+    banner = process.stdout.readline()
+    match = re.search(r"at (http://[\d.]+:\d+)", banner)
+    assert match, f"no URL in serve banner: {banner!r}"
+    assert f"{SHARD_WORKERS} shard workers" in banner, \
+        f"banner does not announce the shard tier: {banner!r}"
+    return process, match.group(1)
+
+
+def roundtrip(url: str, index_dir: str) -> int:
+    """Scatter-gathered HTTP answers vs the in-process service."""
+    host, port = url.split("//")[1].split(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=30)
+    checked = 0
+    with ClusterQueryService(index_dir) as service:
+        probes = [
+            ("/refine?keyword=somalia",
+             lambda: refine_payload(service, "somalia")),
+            ("/refine?keyword=mogadishu&interval=1&top=3",
+             lambda: refine_payload(service, "mogadishu", 1, 3)),
+            ("/lookup?keyword=ethiopian",
+             lambda: lookup_payload(service, "ethiopian")),
+            ("/lookup?keyword=nosuchword",
+             lambda: lookup_payload(service, "nosuchword")),
+            ("/paths", lambda: paths_payload(service)),
+            ("/paths?keyword=somalia",
+             lambda: paths_payload(service, "somalia")),
+        ]
+        for path, build in probes:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 200, (path, response.status)
+            assert body == encode_payload(build()), \
+                f"scatter-gather diverged from in-process for {path}"
+            checked += 1
+        conn.request("GET", "/stats")
+        response = conn.getresponse()
+        assert response.status == 200
+        stats = json.loads(response.read())
+        assert stats["service"]["workers"] == SHARD_WORKERS, stats
+        assert stats["service"]["scatters"] > 0, stats
+    conn.close()
+    return checked
+
+
+def main() -> int:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else Path(tempfile.mkdtemp(prefix="repro-distributed-"))
+    index_dir = str(workdir / "index")
+    corpus = build_corpus()
+    find_stable_clusters(corpus, l=2, k=3, gap=1,
+                         index_dir=index_dir)
+    process, url = start_server(index_dir)
+    try:
+        checked = roundtrip(url, index_dir)
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+    print(f"distributed round-trip OK: {checked} answers "
+          f"byte-identical over {SHARD_WORKERS} shard workers "
+          f"at {url}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

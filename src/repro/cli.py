@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import shutil
+import signal
 import sys
 import tempfile
 import time
@@ -57,9 +58,14 @@ from repro.datagen import (
     synthetic_cluster_graph,
 )
 from repro.datagen.events import drifting_event
+from repro.distributed import (
+    DistributedQueryService,
+    build_sharded_index,
+)
 from repro.engine import (
     GraphStats,
     StableQuery,
+    apply_distributed_dimension,
     apply_index_dimension,
     apply_serving_dimension,
     estimate_index_bytes,
@@ -351,6 +357,9 @@ def cmd_explain(args: argparse.Namespace) -> int:
     if args.serve:
         apply_serving_dimension(execution, graph_stats,
                                 skew=args.skew)
+    if args.shards:
+        apply_distributed_dimension(execution, graph_stats,
+                                    args.shards)
     print(execution.explain())
     return 0
 
@@ -398,7 +407,21 @@ def cmd_bench_graph(args: argparse.Namespace) -> int:
 
 def cmd_index_build(args: argparse.Namespace) -> int:
     """Build a persistent cluster index from a JSONL corpus."""
-    result = _run_batch(args, args.dir)
+    if args.shards is None:
+        result = _run_batch(args, args.dir)
+    else:
+        # Shard-parallel build: run the pipeline without a writer,
+        # then let repro.distributed encode the segment shards in
+        # parallel worker processes (byte-identical output).
+        result = _run_batch(args, None)
+        total = build_sharded_index(
+            args.dir, result.interval_clusters, result.paths,
+            vocab=result.vocabulary, plan=result.plan,
+            num_shards=args.shards, workers=args.workers)
+        if result.plan is not None:
+            result.plan.index_dir = args.dir
+            result.plan.index_bytes = total
+            result.plan.index_segments = 1
     if args.explain and result.plan is not None:
         print(result.plan.explain())
         print()
@@ -412,7 +435,8 @@ def cmd_index_build(args: argparse.Namespace) -> int:
 def cmd_index_inspect(args: argparse.Namespace) -> int:
     """Summarize a persisted index: shape, layout, provenance."""
     with ClusterQueryService(args.dir) as service:
-        print(service.describe(segments=args.segments))
+        print(service.describe(segments=args.segments,
+                               shards=args.shards))
     return 0
 
 
@@ -547,30 +571,54 @@ def cmd_query_paths(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a persisted (or live) index over HTTP."""
-    server = ClusterServer(
-        args.dir, host=args.host, port=args.port,
-        memory_budget=_memory_budget_bytes(args),
-        cache_size=args.cache_size,
-        max_inflight=args.max_inflight,
-        batching=not args.no_batching,
-        refresh_seconds=args.poll)
-    with server:
-        server.start()
-        live = "complete" if server.service.complete else "live"
-        print(f"serving {args.dir} ({live}, "
-              f"{server.service.num_intervals} intervals) at "
-              f"{server.url}", flush=True)
-        print(f"endpoints: /refine /lookup /paths /stats  "
-              f"(max {server.max_inflight} in flight, batching "
-              f"{'on' if server.batching else 'off'})", flush=True)
-        try:
-            if args.max_seconds is not None:
-                time.sleep(args.max_seconds)
-            else:
-                while True:
-                    time.sleep(3600)
-        except KeyboardInterrupt:
-            print("shutting down")
+    try:
+        # Exit through the finally blocks on SIGTERM so shard
+        # workers get their stop sentinel instead of being orphaned.
+        signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    except ValueError:  # not the main thread (in-process tests)
+        pass
+    coordinator = None
+    if args.shards:
+        # Scatter-gather mode: the HTTP front door keeps its
+        # single-flight batching and admission control, but queries
+        # route through the distributed coordinator instead of the
+        # in-process service.
+        coordinator = DistributedQueryService(
+            args.dir, workers=args.shards,
+            request_timeout=args.request_timeout,
+            hedge_delay=args.hedge_ms / 1000.0)
+    try:
+        server = ClusterServer(
+            coordinator if coordinator is not None else args.dir,
+            host=args.host, port=args.port,
+            memory_budget=_memory_budget_bytes(args),
+            cache_size=args.cache_size,
+            max_inflight=args.max_inflight,
+            batching=not args.no_batching,
+            refresh_seconds=args.poll)
+        with server:
+            server.start()
+            live = "complete" if server.service.complete else "live"
+            tier = (f", {args.shards} shard workers"
+                    if coordinator is not None else "")
+            print(f"serving {args.dir} ({live}, "
+                  f"{server.service.num_intervals} intervals{tier}) "
+                  f"at {server.url}", flush=True)
+            print(f"endpoints: /refine /lookup /paths /stats  "
+                  f"(max {server.max_inflight} in flight, batching "
+                  f"{'on' if server.batching else 'off'})",
+                  flush=True)
+            try:
+                if args.max_seconds is not None:
+                    time.sleep(args.max_seconds)
+                else:
+                    while True:
+                        time.sleep(3600)
+            except KeyboardInterrupt:
+                print("shutting down")
+    finally:
+        if coordinator is not None:
+            coordinator.close()
     return 0
 
 
@@ -783,6 +831,13 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("input", help="JSONL file of posts")
     build.add_argument("--dir", required=True,
                        help="directory to write the index to")
+    build.add_argument("--shards", type=int, default=None,
+                       metavar="N",
+                       help="shard-parallel build: encode the "
+                            "segment's N cluster shards in worker "
+                            "processes (byte-identical to the "
+                            "serial writer; default: serial write, "
+                            "4 shards)")
     build.set_defaults(func=cmd_index_build)
     inspect = index_sub.add_parser(
         "inspect", help="summarize an index: shape, layout, "
@@ -791,6 +846,10 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--segments", action="store_true",
                          help="also list each live segment's "
                               "intervals, clusters, and bytes")
+    inspect.add_argument("--shards", action="store_true",
+                         help="also list per-shard record counts "
+                              "and bytes (the hash skew that bounds "
+                              "scatter-gather balance)")
     inspect.set_defaults(func=cmd_index_inspect)
     merge = index_sub.add_parser(
         "merge", help="compact an index's sealed segments (rewrites "
@@ -871,6 +930,20 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="exit after S seconds (smoke tests; "
                             "default: serve until interrupted)")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="scatter-gather over N shard worker "
+                            "processes (answers stay byte-identical "
+                            "to in-process serving; 0 = serve "
+                            "in-process)")
+    serve.add_argument("--request-timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="with --shards: total deadline per "
+                            "scatter-gather query")
+    serve.add_argument("--hedge-ms", type=float, default=250.0,
+                       metavar="MS",
+                       help="with --shards: straggler budget before "
+                            "a partial query is re-sent to its "
+                            "replica worker")
     serve.set_defaults(func=cmd_serve)
 
     explain = sub.add_parser(
@@ -903,6 +976,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --serve: Zipf exponent of the "
                               "query-keyword popularity (1.0 = "
                               "classic web-query skew)")
+    explain.add_argument("--shards", type=int, default=0,
+                         metavar="N",
+                         help="also plan distributed scatter-gather "
+                              "over N shard workers: fan-out width, "
+                              "per-worker working set, merge "
+                              "fan-in, hedging budget")
     explain.set_defaults(func=cmd_explain)
 
     bench = sub.add_parser("bench-graph",

@@ -1,0 +1,49 @@
+"""Distributed scatter-gather query execution over shard workers.
+
+The serving tier's escape from the single-process ceiling: a
+coordinator (:class:`DistributedQueryService`) fans each refine/
+lookup/paths query out to per-shard worker processes over
+:mod:`multiprocessing.connection` pipes and merges the partial
+answers into the exact single-process result — byte-identical to
+:class:`repro.service.ClusterQueryService`, pinned by the test
+suite.  Slow or dead workers are absorbed by per-request timeouts,
+hedged re-sends to a replica worker, and automatic respawn
+(:mod:`repro.distributed.coordinator`); the partition and merge
+rules live in :mod:`repro.distributed.partition`; the worker
+process in :mod:`repro.distributed.worker`; and the shard-parallel
+build path in :mod:`repro.distributed.build`.
+"""
+
+from repro.distributed.build import build_sharded_index
+from repro.distributed.coordinator import (
+    DEFAULT_HEDGE_DELAY,
+    DEFAULT_REQUEST_TIMEOUT,
+    DEFAULT_WORKERS,
+    DistributedQueryService,
+    DistributedTimeout,
+    DistributedWorkerError,
+)
+from repro.distributed.partition import (
+    build_refinement,
+    detach_cluster,
+    merge_best,
+    merge_paths,
+    revive_cluster,
+)
+from repro.distributed.worker import worker_main
+
+__all__ = [
+    "DEFAULT_HEDGE_DELAY",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "DEFAULT_WORKERS",
+    "DistributedQueryService",
+    "DistributedTimeout",
+    "DistributedWorkerError",
+    "build_refinement",
+    "build_sharded_index",
+    "detach_cluster",
+    "merge_best",
+    "merge_paths",
+    "revive_cluster",
+    "worker_main",
+]

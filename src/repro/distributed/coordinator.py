@@ -1,0 +1,568 @@
+"""Scatter-gather coordination over a pool of shard workers.
+
+:class:`DistributedQueryService` exposes the same query surface as
+:class:`repro.service.ClusterQueryService` — refine, lookup, stable
+paths, rendering, refresh, stats — but executes each query as a
+scatter-gather: the candidate space is hash-partitioned over worker
+processes (:mod:`repro.distributed.partition`), each worker answers
+its partial over a :mod:`multiprocessing.connection` pipe, and the
+coordinator merges the partials into the exact single-process
+answer.  The HTTP tier accepts it wherever it accepts the in-process
+service (``serve --shards N``), keeping single-flight batching and
+admission control in front of the fan-out.
+
+Straggler and failure handling follows the classic tail-tolerance
+recipe: every scatter carries a total deadline; a partial still
+outstanding after ``hedge_delay`` seconds is re-sent to the
+partition's replica worker (workers are symmetric, so any worker can
+answer any partition); a worker whose pipe dies mid-query is
+respawned and the outstanding partials re-dispatched.  Duplicate
+answers — from hedges or re-sends — are de-duplicated by call id, so
+fault handling never changes a merged result, only its latency.
+
+Consistency: the coordinator reads the manifest itself and workers
+reopen the index independently, which is safe because segments are
+append-only — an interval, once written, is immutable.  ``refresh``
+re-checks the manifest and broadcasts to every worker so a live
+(streamed) index advances the whole pool together.
+"""
+
+import multiprocessing
+import threading
+import time
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional
+
+from repro.core.paths import Path
+from repro.distributed.partition import (
+    build_refinement,
+    merge_best,
+    merge_paths,
+    revive_cluster,
+)
+from repro.distributed.worker import worker_main
+from repro.graph.clusters import KeywordCluster
+from repro.index.format import load_manifest, shard_for
+from repro.pipeline.stable_pipeline import render_path_clusters
+from repro.search.refinement import Refinement
+from repro.storage.lru import LRUCache
+from repro.text.stemmer import stem
+
+# Defaults of the tail-tolerance knobs: a scatter that misses the
+# request timeout raises; a partial outstanding past the hedge delay
+# is re-sent to the partition's replica worker.
+DEFAULT_WORKERS = 2
+DEFAULT_REQUEST_TIMEOUT = 10.0
+DEFAULT_HEDGE_DELAY = 0.25
+DEFAULT_HOT_CACHE = 256
+_SPAWN_TIMEOUT = 60.0
+
+_MISSING = object()
+
+
+class DistributedTimeout(RuntimeError):
+    """A scatter-gather query missed its total request deadline."""
+
+
+class DistributedWorkerError(RuntimeError):
+    """A worker failed a partial query (its error, relayed)."""
+
+
+class _Worker:
+    """One live worker process and its pipe, by partition index."""
+
+    __slots__ = ("index", "process", "conn")
+
+    def __init__(self, index, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+
+
+class DistributedQueryService:
+    """Scatter-gather query execution over shard worker processes.
+
+    Drop-in for :class:`repro.service.ClusterQueryService` from the
+    serving tier's point of view, with answers pinned byte-identical
+    to it by the test suite.  ``workers`` sets the fan-out width
+    (partition count); ``request_timeout`` bounds every scatter;
+    ``hedge_delay`` is the straggler budget before a partial is
+    re-sent to its replica.  Thread-safe; queries serialize on one
+    coordinator lock while the heavy lifting runs in the workers.
+    """
+
+    def __init__(self, directory: str,
+                 workers: int = DEFAULT_WORKERS, *,
+                 cache_size: int = DEFAULT_HOT_CACHE,
+                 cluster_cache_size: int = 1024,
+                 request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+                 hedge_delay: float = DEFAULT_HEDGE_DELAY) -> None:
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.directory = directory
+        self.num_workers = workers
+        self.request_timeout = float(request_timeout)
+        self.hedge_delay = float(hedge_delay)
+        self._cluster_cache_size = cluster_cache_size
+        self._manifest = load_manifest(directory)
+        self._hot = LRUCache(cache_size)
+        self._lock = threading.RLock()
+        self._closed = False
+        self._call_id = 0
+        self._counters = dict.fromkeys(
+            ("queries", "scatters", "partial_calls", "hedged_calls",
+             "worker_deaths", "respawns", "timeouts",
+             "stale_replies"), 0)
+        self._workers: List[_Worker] = []
+        try:
+            for index in range(workers):
+                self._workers.append(self._spawn(index))
+            self._paths = self._fetch_paths()
+        except Exception:
+            self._shutdown_workers()
+            raise
+
+    # ------------------------------------------------------------------
+    # Worker pool plumbing
+    # ------------------------------------------------------------------
+
+    def _spawn(self, index: int) -> _Worker:
+        parent, child = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=worker_main,
+            args=(child, self.directory),
+            kwargs={"cluster_cache_size": self._cluster_cache_size},
+            name=f"repro-dist-worker-{index}", daemon=True)
+        process.start()
+        child.close()
+        if not parent.poll(_SPAWN_TIMEOUT):
+            process.terminate()
+            parent.close()
+            raise DistributedWorkerError(
+                f"worker {index} did not report ready within "
+                f"{_SPAWN_TIMEOUT:.0f}s")
+        message = parent.recv()
+        if message[0] != "ready":
+            process.join(timeout=5)
+            parent.close()
+            raise DistributedWorkerError(
+                f"worker {index} failed to open {self.directory!r}: "
+                f"{message[1]}")
+        return _Worker(index, process, parent)
+
+    def _replace(self, worker: _Worker) -> _Worker:
+        """Reap a dead worker and respawn its partition slot."""
+        self._counters["worker_deaths"] += 1
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5)
+        replacement = self._spawn(worker.index)
+        self._workers[worker.index] = replacement
+        self._counters["respawns"] += 1
+        return replacement
+
+    def _send_batch(self, worker: _Worker, calls) -> _Worker:
+        """Send a batch; a dead pipe respawns and retries once."""
+        try:
+            worker.conn.send(("batch", calls))
+            return worker
+        except (BrokenPipeError, OSError):
+            replacement = self._replace(worker)
+            replacement.conn.send(("batch", calls))
+            return replacement
+
+    def _worker_for(self, conn) -> Optional[_Worker]:
+        for worker in self._workers:
+            if worker.conn is conn:
+                return worker
+        return None
+
+    def _next_call_id(self) -> int:
+        self._call_id += 1
+        return self._call_id
+
+    def _drain(self) -> None:
+        """Discard replies left over from hedged/abandoned calls."""
+        for worker in self._workers:
+            try:
+                while worker.conn.poll(0):
+                    worker.conn.recv()
+                    self._counters["stale_replies"] += 1
+            except (EOFError, OSError):
+                pass  # death surfaces on the next send to this pipe
+
+    # ------------------------------------------------------------------
+    # The scatter-gather core
+    # ------------------------------------------------------------------
+
+    def _scatter(self, calls: Dict[int, tuple]) -> Dict[int, Any]:
+        """Run one partial call per partition and gather the answers.
+
+        *calls* maps partition -> (method, kwargs).  Returns
+        partition -> payload.  Implements the full tail-tolerance
+        loop: hedge to replicas after ``hedge_delay``, respawn and
+        re-dispatch on worker death, raise on the total deadline.
+        """
+        self._drain()
+        self._counters["scatters"] += 1
+        self._counters["partial_calls"] += len(calls)
+        pending: Dict[int, tuple] = {}
+        per_worker: Dict[int, list] = {}
+        for part, (method, kwargs) in calls.items():
+            call_id = self._next_call_id()
+            pending[call_id] = (part, method, kwargs)
+            per_worker.setdefault(part % self.num_workers, []).append(
+                (call_id, method, kwargs))
+        for index, batch in per_worker.items():
+            self._send_batch(self._workers[index], batch)
+        results: Dict[int, Any] = {}
+        deadline = time.monotonic() + self.request_timeout
+        hedge_at = time.monotonic() + self.hedge_delay
+        hedged = False
+        while pending:
+            now = time.monotonic()
+            if now >= deadline:
+                self._counters["timeouts"] += 1
+                raise DistributedTimeout(
+                    f"scatter-gather missed its "
+                    f"{self.request_timeout:.1f}s deadline with "
+                    f"{len(pending)} partial answer(s) outstanding")
+            if not hedged and now >= hedge_at:
+                hedged = True
+                self._hedge(pending)
+            wait_until = deadline if hedged \
+                else min(hedge_at, deadline)
+            ready = mp_connection.wait(
+                [worker.conn for worker in self._workers],
+                timeout=max(wait_until - now, 0.0))
+            for conn in ready:
+                worker = self._worker_for(conn)
+                if worker is None:
+                    continue  # replaced while iterating
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._redispatch(worker, pending)
+                    continue
+                self._absorb(worker, message, pending, results)
+        return results
+
+    def _absorb(self, worker, message, pending, results) -> None:
+        """Fold one reply message into the gather state."""
+        if message[0] != "result":
+            return
+        for call_id, ok, payload in message[1]:
+            info = pending.pop(call_id, None)
+            if info is None:
+                self._counters["stale_replies"] += 1
+                continue
+            if not ok:
+                raise DistributedWorkerError(
+                    f"partial query {info[1]!r} failed on worker "
+                    f"{worker.index}: {payload}")
+            results[info[0]] = payload
+
+    def _hedge(self, pending) -> None:
+        """Re-send outstanding partials to each partition's replica."""
+        per_worker: Dict[int, list] = {}
+        for call_id, (part, method, kwargs) in pending.items():
+            replica = (part + 1) % self.num_workers
+            per_worker.setdefault(replica, []).append(
+                (call_id, method, kwargs))
+        self._counters["hedged_calls"] += len(pending)
+        for index, batch in per_worker.items():
+            self._send_batch(self._workers[index], batch)
+
+    def _redispatch(self, worker, pending) -> None:
+        """Respawn a dead worker, re-send outstanding partials.
+
+        Every pending call goes back to its primary partition owner
+        (the fresh replacement when the primary died); duplicates
+        from earlier sends are dropped by call id on arrival.
+        """
+        self._replace(worker)
+        per_worker: Dict[int, list] = {}
+        for call_id, (part, method, kwargs) in pending.items():
+            per_worker.setdefault(part % self.num_workers, []).append(
+                (call_id, method, kwargs))
+        for index, batch in per_worker.items():
+            self._send_batch(self._workers[index], batch)
+
+    def _call_worker(self, worker: _Worker, method: str,
+                     kwargs: dict) -> Any:
+        """One direct, un-hedged call to a specific worker."""
+        call_id = self._next_call_id()
+        worker = self._send_batch(worker,
+                                  [(call_id, method, kwargs)])
+        deadline = time.monotonic() + self.request_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._counters["timeouts"] += 1
+                raise DistributedTimeout(
+                    f"worker {worker.index} did not answer "
+                    f"{method!r} within {self.request_timeout:.1f}s")
+            if not worker.conn.poll(remaining):
+                continue
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                worker = self._replace(worker)
+                worker = self._send_batch(
+                    worker, [(call_id, method, kwargs)])
+                continue
+            if message[0] != "result":
+                continue
+            for reply_id, ok, payload in message[1]:
+                if reply_id != call_id:
+                    self._counters["stale_replies"] += 1
+                    continue
+                if not ok:
+                    raise DistributedWorkerError(
+                        f"{method!r} failed on worker "
+                        f"{worker.index}: {payload}")
+                return payload
+
+    def _broadcast(self, method: str, kwargs: dict) -> Dict[int, Any]:
+        """The same direct call on every worker (control plane)."""
+        return {worker.index: self._call_worker(worker, method,
+                                                kwargs)
+                for worker in list(self._workers)}
+
+    def _fetch_paths(self) -> List[Path]:
+        return list(self._scatter({0: ("paths", {})})[0])
+
+    def _scatter_best(self, keyword: str,
+                      interval: int) -> Optional[KeywordCluster]:
+        calls = {
+            part: ("shard_best",
+                   {"keyword": keyword, "interval": interval,
+                    "shard": part, "num_shards": self.num_workers})
+            for part in range(self.num_workers)}
+        return merge_best(self._scatter(calls).values())
+
+    # ------------------------------------------------------------------
+    # The query surface (ClusterQueryService-compatible)
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "DistributedQueryService is closed")
+
+    @property
+    def num_intervals(self) -> int:
+        """Intervals the coordinator's manifest view covers."""
+        return int(self._manifest["num_intervals"])
+
+    @property
+    def complete(self) -> bool:
+        """Whether the producing run finalized the index."""
+        return bool(self._manifest["complete"])
+
+    @property
+    def latest_interval(self) -> int:
+        """The most recent indexed interval (raises while empty)."""
+        self._check_open()
+        if self.num_intervals == 0:
+            raise ValueError("the index holds no intervals yet")
+        return self.num_intervals - 1
+
+    def refine(self, keyword: str,
+               interval: Optional[int] = None
+               ) -> Optional[Refinement]:
+        """Refinement suggestions for *keyword* (None = no cluster).
+
+        Scatters a partial best-candidate query over every
+        partition, merges the winners, and builds the refinement —
+        byte-identical to the in-process service over the same
+        index.  Hot (interval, stem) answers are served from the
+        coordinator's LRU without touching the workers.
+        """
+        self._check_open()
+        with self._lock:
+            if interval is None:
+                interval = self.latest_interval
+            key = (interval, stem(keyword.lower()))
+            cached = self._hot.get(key, _MISSING)
+            if cached is not _MISSING:
+                return cached
+            self._counters["queries"] += 1
+            cluster = self._scatter_best(keyword, interval)
+            result = build_refinement(keyword, cluster)
+            self._hot.put(key, result)
+            return result
+
+    def lookup(self, keyword: str,
+               interval: Optional[int] = None
+               ) -> Optional[KeywordCluster]:
+        """The merged best cluster for *keyword*, uncached."""
+        self._check_open()
+        with self._lock:
+            if interval is None:
+                interval = self.latest_interval
+            self._counters["queries"] += 1
+            return self._scatter_best(keyword, interval)
+
+    def stable_paths(self) -> List[Path]:
+        """The run's current top-k stable paths (coordinator copy)."""
+        self._check_open()
+        with self._lock:
+            return list(self._paths)
+
+    def paths_for(self, keyword: str) -> List[Path]:
+        """Stable paths passing through *keyword*, merged by index."""
+        self._check_open()
+        with self._lock:
+            self._counters["queries"] += 1
+            calls = {
+                part: ("shard_paths_for",
+                       {"keyword": keyword, "shard": part,
+                        "num_shards": self.num_workers})
+                for part in range(self.num_workers)}
+            return merge_paths(self._scatter(calls).values())
+
+    def render_path(self, path: Path, max_keywords: int = 8) -> str:
+        """Render one stable path, gathering clusters by owner."""
+        self._check_open()
+        with self._lock:
+            by_part: Dict[int, list] = {}
+            for node in path.nodes:
+                part = shard_for(node[0], node[1], self.num_workers)
+                by_part.setdefault(part, []).append(node)
+            calls = {part: ("clusters", {"nodes": nodes})
+                     for part, nodes in by_part.items()}
+            mapping = {}
+            for pairs in self._scatter(calls).values():
+                for node, detached in pairs:
+                    mapping[tuple(node)] = revive_cluster(detached)
+            return render_path_clusters(
+                path, mapping.get, max_keywords=max_keywords,
+                missing="(not in index)")
+
+    def refresh(self) -> bool:
+        """Advance the whole pool over a live index's new tail.
+
+        Re-reads the manifest; on growth, broadcasts a refresh to
+        every worker, drops hot cache entries at or beyond the
+        previously-newest interval, and refetches the stored paths.
+        Returns whether anything changed.
+        """
+        self._check_open()
+        with self._lock:
+            manifest = load_manifest(self.directory)
+            if manifest.get("generation") == \
+                    self._manifest.get("generation"):
+                return False
+            before = self.num_intervals
+            self._broadcast("refresh", {})
+            self._manifest = manifest
+            for key in self._hot.keys():
+                if key[0] >= before - 1:
+                    self._hot.pop(key)
+            self._paths = self._fetch_paths()
+            return True
+
+    # ------------------------------------------------------------------
+    # Fault injection and introspection
+    # ------------------------------------------------------------------
+
+    def set_worker_delay(self, index: int, seconds: float) -> bool:
+        """Inject *seconds* of latency into one worker's batches.
+
+        The fault-injection hook the tests and benchmarks use to
+        create a straggler: the target worker sleeps before
+        answering each later batch, which drives queries through the
+        hedging path.  Never hedged itself (it must land on exactly
+        one worker).
+        """
+        with self._lock:
+            self._check_open()
+            return self._call_worker(self._workers[index],
+                                     "set_delay",
+                                     {"seconds": seconds})
+
+    def worker_pids(self) -> List[int]:
+        """Live worker process ids, by partition slot."""
+        with self._lock:
+            self._check_open()
+            return [worker.process.pid for worker in self._workers]
+
+    def worker_stats(self) -> Dict[int, Dict[str, Any]]:
+        """Each worker's own counters (direct, un-hedged calls)."""
+        with self._lock:
+            self._check_open()
+            return self._broadcast("stats", {})
+
+    def stats(self) -> Dict[str, Any]:
+        """Coordinator counters, flat and JSON-safe.
+
+        Includes the scatter/hedge/respawn/timeout totals that make
+        tail-tolerance observable, plus the hot-cache counters under
+        the same names the in-process service reports.
+        """
+        self._check_open()
+        with self._lock:
+            hits, misses, entries, _ = self._hot.info()
+            out: Dict[str, Any] = dict(self._counters)
+            out.update(
+                workers=self.num_workers,
+                refiner_hits=hits,
+                refiner_misses=misses,
+                refiner_entries=entries,
+                intervals=self.num_intervals,
+                generation=int(self._manifest.get("generation", 0)),
+                complete=int(self.complete))
+            return out
+
+    def describe_stats(self) -> str:
+        """One line per counter, aligned (the CLI's stats view)."""
+        stats = self.stats()
+        width = max(len(name) for name in stats)
+        return "\n".join(f"{name.ljust(width)}  {value}"
+                         for name, value in sorted(stats.items()))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _shutdown_workers(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+
+    def close(self) -> None:
+        """Stop and reap every worker process (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            self._shutdown_workers()
+
+    def __enter__(self) -> "DistributedQueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"DistributedQueryService(dir={self.directory!r}, "
+                f"workers={self.num_workers}, {state})")

@@ -1,0 +1,116 @@
+"""The partition and merge contract of scatter-gather queries.
+
+A coordinator splits one logical query into per-partition partial
+queries, each answered by a worker process over its slice of the
+postings space, and folds the partial answers back into the exact
+single-process result.  Partition ownership reuses the index's hash
+sharding (:func:`repro.index.format.shard_for` over ``(interval,
+idx)`` nodes), so the partial answer sets are disjoint and their
+union is the full candidate set — the precondition every merge rule
+here relies on.
+
+Clusters cross the process boundary in a *detached* form — plain
+``(keywords, edges, interval)`` tuples — so a worker bound to an
+interned vocabulary and a string-mode coordinator still exchange
+byte-identical answers.  Both sides of a cluster's canonical order
+(sorted keywords, canonically sorted edges) survive the round trip,
+which is what keeps the rendered payloads byte-comparable to
+:class:`repro.service.ClusterQueryService`.
+"""
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.paths import Path
+from repro.graph.clusters import KeywordCluster
+from repro.search.refinement import (
+    Refinement,
+    prefer_larger,
+    rank_suggestions,
+)
+from repro.text.stemmer import stem
+
+# A cluster flattened for the pipe: (sorted keywords, canonical
+# edges, source interval label).
+DetachedCluster = Tuple[Tuple[str, ...],
+                        Tuple[Tuple[str, str, float], ...],
+                        Optional[int]]
+
+# A partition's partial answer: the postings node where its local
+# winner first appeared, plus the winner itself (None = no candidate
+# in this partition).
+PartialBest = Optional[Tuple[Tuple[int, int], DetachedCluster]]
+
+
+def detach_cluster(cluster: KeywordCluster) -> DetachedCluster:
+    """Flatten *cluster* into its vocabulary-free wire form.
+
+    Keywords are sorted and edges kept in the cluster's canonical
+    order, so :func:`revive_cluster` rebuilds an object whose
+    rendered payloads match the original byte for byte.
+    """
+    return (tuple(sorted(cluster.keywords)), tuple(cluster.edges),
+            cluster.interval)
+
+
+def revive_cluster(detached: DetachedCluster) -> KeywordCluster:
+    """Rebuild a string-mode :class:`KeywordCluster` from wire form.
+
+    The inverse of :func:`detach_cluster` for everything queries
+    observe: keyword set, edge list, interval label and size.
+    """
+    keywords, edges, interval = detached
+    return KeywordCluster(frozenset(keywords), edges=tuple(edges),
+                          interval=interval)
+
+
+def merge_best(partials: Iterable[PartialBest]
+               ) -> Optional[KeywordCluster]:
+    """Fold per-partition winners into the global best cluster.
+
+    Replays the single-process rule — ``prefer_larger`` over
+    candidates in ascending node order — on the partial winners.
+    Each partition reports the node where its local winner first
+    appeared, so sorting partials by node and folding again selects
+    exactly the cluster a single reader would have: the global
+    first-seen largest candidate.
+    """
+    best: Optional[KeywordCluster] = None
+    ordered = sorted((pair for pair in partials if pair is not None),
+                     key=lambda pair: tuple(pair[0]))
+    for _, detached in ordered:
+        best = prefer_larger(best, revive_cluster(detached))
+    return best
+
+
+def build_refinement(keyword: str,
+                     cluster: Optional[KeywordCluster]
+                     ) -> Optional[Refinement]:
+    """Assemble the final :class:`Refinement` around a merged winner.
+
+    Mirrors :meth:`repro.search.QueryRefiner.refine` exactly: the
+    stemmed query, the winning cluster, and the ranked suggestion
+    list derived from its edges.  Returns None when no partition held
+    a candidate.
+    """
+    if cluster is None:
+        return None
+    query_stem = stem(keyword.lower())
+    return Refinement(query_stem=query_stem, cluster=cluster,
+                      suggestions=rank_suggestions(cluster,
+                                                   query_stem))
+
+
+def merge_paths(partials: Iterable[Sequence[Tuple[int, Path]]]
+                ) -> List[Path]:
+    """Merge per-partition ``(index, path)`` matches, de-duplicated.
+
+    A stable path matches a keyword when any of its nodes does, so a
+    path may surface from several partitions; indexing into the
+    reader's stored path order both de-duplicates and restores the
+    exact single-process ordering.
+    """
+    by_index = {}
+    for pairs in partials:
+        for index, path in pairs:
+            by_index[index] = path
+    return [by_index[index] for index in sorted(by_index)]

@@ -31,6 +31,7 @@ from repro.engine.engine import (
 from repro.engine.planner import (
     ExecutionPlan,
     GraphStats,
+    apply_distributed_dimension,
     apply_index_dimension,
     apply_serving_dimension,
     apply_worker_dimension,
@@ -72,6 +73,7 @@ __all__ = [
     "SolverStats",
     "StableQuery",
     "TASolver",
+    "apply_distributed_dimension",
     "apply_index_dimension",
     "apply_serving_dimension",
     "apply_worker_dimension",

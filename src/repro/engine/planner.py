@@ -171,6 +171,15 @@ class ExecutionPlan:
     serving_max_inflight: Optional[int] = None
     serving_hot_keywords: Optional[int] = None
     serving_hit_rate: Optional[float] = None
+    # Distributed scatter-gather dimension (apply_distributed_
+    # dimension): fan-out width of the shard worker pool, each
+    # worker's share of the index working set, the partial answers
+    # merged per query, and the straggler budget before a partial is
+    # hedged to its replica worker.  None = queries stay in-process.
+    distributed_workers: Optional[int] = None
+    distributed_worker_bytes: Optional[int] = None
+    distributed_merge_fanin: Optional[int] = None
+    distributed_hedge_ms: Optional[float] = None
     reasons: List[str] = field(default_factory=list)
 
     def explain(self) -> str:
@@ -229,6 +238,16 @@ class ExecutionPlan:
                 f"working set -> "
                 f"~{100 * (self.serving_hit_rate or 0):.0f}% refine "
                 f"hit-rate forecast")
+        if self.distributed_workers is not None:
+            lines.append(
+                f"  shards:   {self.distributed_workers} "
+                f"scatter-gather workers, "
+                f"~{_human_bytes(self.distributed_worker_bytes or 0)}"
+                f" working set each")
+            lines.append(
+                f"            {self.distributed_merge_fanin} partial "
+                f"answers merged/query, stragglers hedged after "
+                f"{self.distributed_hedge_ms or 0:.0f}ms")
         if self.workers > 1:
             # The plan fixes the degree, not the pool kind — a caller
             # may supply a thread executor instead of the default
@@ -490,6 +509,41 @@ def apply_serving_dimension(result: ExecutionPlan,
         f"{hot}-entry hot cache {covered} the ~{working_set}-keyword "
         f"working set: ~{100 * result.serving_hit_rate:.0f}% refine "
         f"hit rate at Zipf skew {skew:g}")
+
+
+# Distributed scatter-gather cost model.  The hedge default is
+# restated from repro.distributed (the planner stays below that tier
+# in the layering, like INDEX_MERGE_MAX_SEGMENTS above).
+DISTRIBUTED_HEDGE_MS = 250.0
+
+
+def apply_distributed_dimension(result: ExecutionPlan,
+                                graph_stats: GraphStats,
+                                workers: int,
+                                hedge_ms: float = DISTRIBUTED_HEDGE_MS
+                                ) -> None:
+    """Record the scatter-gather forecast on a plan (``--shards N``).
+
+    Fills the distributed dimension: fan-out width, each worker's
+    share of the index working set (postings nodes are
+    hash-partitioned, so shares are near-even), the merge fan-in a
+    query pays (one partial answer per partition), and the hedging
+    budget after which a straggling partial is re-sent to its
+    replica worker.  Uses the plan's measured ``index_bytes`` when a
+    write already ran, the Section-4 estimate otherwise.
+    """
+    workers = max(1, int(workers))
+    total = result.index_bytes if result.index_bytes \
+        else estimate_index_bytes(graph_stats)
+    result.distributed_workers = workers
+    result.distributed_worker_bytes = max(1, total // workers)
+    result.distributed_merge_fanin = workers
+    result.distributed_hedge_ms = float(hedge_ms)
+    result.reasons.append(
+        f"scatter-gather over {workers} worker(s): each owns "
+        f"~1/{workers} of ~{_human_bytes(total)} index postings; a "
+        f"partial outstanding past {hedge_ms:.0f}ms is hedged to its "
+        f"replica")
 
 
 def estimate_ta_probes(graph_stats: GraphStats) -> float:

@@ -415,11 +415,37 @@ class ClusterIndexReader:
             })
         return out
 
-    def describe(self, segments: bool = False) -> str:
+    def shard_summary(self) -> List[Dict[str, Any]]:
+        """Per-shard record counts and log bytes across segments.
+
+        Hash-shard balance bounds how evenly distributed
+        scatter-gather fan-out splits the work, so skew is worth
+        inspecting before choosing ``serve --shards N`` (the
+        ``index inspect --shards`` CLI flag)."""
+        num_shards = int(self._manifest["num_shards"])
+        shard_of = {shard_file(shard): shard
+                    for shard in range(num_shards)}
+        records = [0] * num_shards
+        sizes = [0] * num_shards
+        for _, name, _, _ in self._nodes.values():
+            records[shard_of[name]] += 1
+        for meta in self._manifest["segments"]:
+            for name, size in meta["files"].items():
+                shard = shard_of.get(name)
+                if shard is not None:
+                    sizes[shard] += size
+        return [{"shard": shard, "file": shard_file(shard),
+                 "records": records[shard], "bytes": sizes[shard]}
+                for shard in range(num_shards)]
+
+    def describe(self, segments: bool = False,
+                 shards: bool = False) -> str:
         """Multi-line summary for ``index inspect``.
 
-        With ``segments=True`` every segment gets its own line
-        (the ``--segments`` CLI flag)."""
+        With ``segments=True`` every segment gets its own line (the
+        ``--segments`` CLI flag); ``shards=True`` adds per-shard
+        record counts and bytes (the ``--shards`` flag), the skew
+        view that bounds scatter-gather balance."""
         manifest = self._manifest
         state = "complete" if self.complete else "live (streaming)"
         lines = [f"cluster index at {self.directory}",
@@ -448,6 +474,15 @@ class ClusterIndexReader:
                     f"{info['vocab_size']} keywords, "
                     f"{info['path_generations']} path generations, "
                     f"{info['bytes']} bytes, {state}")
+        if shards:
+            summary = self.shard_summary()
+            total = sum(info["records"] for info in summary) or 1
+            lines.append("  shards:")
+            for info in summary:
+                share = 100.0 * info["records"] / total
+                lines.append(
+                    f"    {info['file']}: {info['records']} records "
+                    f"({share:.1f}%), {info['bytes']} bytes")
         provenance = manifest.get("provenance") or []
         if provenance:
             lines.append("  provenance:")

@@ -209,14 +209,17 @@ class ClusterQueryService:
         """True once the producing run finalized the index."""
         return self.reader.complete
 
-    def describe(self, segments: bool = False) -> str:
+    def describe(self, segments: bool = False,
+                 shards: bool = False) -> str:
         """The underlying index summary (``index inspect``).
 
         ``segments=True`` appends one line per live segment
-        (``index inspect --segments``)."""
+        (``index inspect --segments``); ``shards=True`` adds the
+        per-shard skew view (``index inspect --shards``)."""
         self._check_open()
         with self._rwlock.read_locked():
-            return self.reader.describe(segments=segments)
+            return self.reader.describe(segments=segments,
+                                        shards=shards)
 
     # ------------------------------------------------------------------
     # Serving statistics

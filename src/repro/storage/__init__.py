@@ -53,6 +53,7 @@ from repro.storage.pager import BufferPool, Page, PagedFile
 from repro.storage.recordlog import (
     RecordLogCorruptError,
     append_record,
+    frame_record,
     iter_records,
     read_records,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "decode_record",
     "encode_compact",
     "encode_pickle",
+    "frame_record",
     "iter_records",
     "read_records",
     "MemoryStore",

@@ -34,17 +34,27 @@ class RecordLogCorruptError(ValueError):
     """A record frame is truncated or fails its checksum."""
 
 
+def frame_record(payload: bytes) -> bytes:
+    """The framed bytes :func:`append_record` writes for *payload*.
+
+    Exposed so parallel builders can frame records into in-memory
+    blobs and concatenate them byte-identically to what a serial
+    writer appends.
+    """
+    out: List[bytes] = []
+    encode_varint(len(payload), out)
+    out.append(zlib.crc32(payload).to_bytes(_CRC_BYTES, "little"))
+    out.append(payload)
+    return b"".join(out)
+
+
 def append_record(fh: BinaryIO, payload: bytes) -> int:
     """Append one framed *payload* to *fh*; returns bytes written.
 
     The caller owns positioning (logs are append-only, so the handle
     is expected to sit at end-of-file) and flushing.
     """
-    out: List[bytes] = []
-    encode_varint(len(payload), out)
-    out.append(zlib.crc32(payload).to_bytes(_CRC_BYTES, "little"))
-    out.append(payload)
-    frame = b"".join(out)
+    frame = frame_record(payload)
     fh.write(frame)
     return len(frame)
 

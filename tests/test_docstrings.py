@@ -18,7 +18,7 @@ import repro
 # The audited public API surface (matches the pydocstyle paths in CI).
 AUDITED_PACKAGES = ("repro.engine", "repro.storage", "repro.vocab",
                     "repro.search", "repro.index", "repro.service",
-                    "repro.serving")
+                    "repro.serving", "repro.distributed")
 
 
 def _public_members(module):

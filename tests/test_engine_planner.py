@@ -20,7 +20,9 @@ from repro.datagen import synthetic_cluster_graph
 from repro.engine import (
     GraphStats,
     StableQuery,
+    apply_distributed_dimension,
     apply_serving_dimension,
+    estimate_index_bytes,
     estimate_annotation_bytes,
     estimate_serving_working_set,
     estimate_window_bytes,
@@ -432,3 +434,24 @@ class TestServingDimension:
         assert any("constructor-default" in reason
                    for reason in execution.reasons)
         assert "serving:" in execution.explain()
+
+    def test_apply_distributed_dimension_annotates_the_plan(self):
+        execution = plan(StableQuery(problem="kl", l=2, k=3), self.GS)
+        apply_distributed_dimension(execution, self.GS, 4)
+        assert execution.distributed_workers == 4
+        total = execution.index_bytes or estimate_index_bytes(self.GS)
+        assert execution.distributed_worker_bytes == \
+            max(1, total // 4)
+        assert execution.distributed_merge_fanin == 4
+        assert execution.distributed_hedge_ms == 250.0
+        text = execution.explain()
+        assert "shards:" in text
+        assert "scatter-gather" in text
+        assert "hedged" in text
+        assert any("scatter-gather over 4 worker(s)" in reason
+                   for reason in execution.reasons)
+
+    def test_undistributed_plan_has_no_shards_block(self):
+        execution = plan(StableQuery(problem="kl", l=2, k=3), self.GS)
+        assert execution.distributed_workers is None
+        assert "shards:" not in execution.explain()
