@@ -2,8 +2,8 @@ PYTHON ?= python
 RUN := PYTHONPATH=src $(PYTHON)
 
 .PHONY: test bench bench-smoke bench-json stream-demo parallel-demo \
-        service-demo serving-demo distributed-demo docs-check lint \
-        docstyle
+        service-demo serving-demo distributed-demo corpus-demo \
+        docs-check lint docstyle
 
 test:
 	$(RUN) -m pytest -q
@@ -26,6 +26,7 @@ bench-smoke:
 	$(RUN) benchmarks/bench_index_lifecycle.py --smoke
 	$(RUN) benchmarks/bench_serving_load.py --smoke
 	$(RUN) benchmarks/bench_distributed.py --smoke
+	$(RUN) benchmarks/bench_corpus_ingest.py --smoke
 
 # The versioned perf trajectory: one BENCH_<area>.json per harness,
 # written at the repo root (CI uploads every BENCH_*.json artifact).
@@ -34,6 +35,7 @@ bench-json:
 	$(RUN) benchmarks/bench_index_lifecycle.py --json BENCH_index.json
 	$(RUN) benchmarks/bench_serving_load.py --json BENCH_serving.json
 	$(RUN) benchmarks/bench_distributed.py --json BENCH_distributed.json
+	$(RUN) benchmarks/bench_corpus_ingest.py --json BENCH_corpus.json
 
 # Generate a synthetic week of posts and replay it through the
 # streaming subcommand (documents -> incremental top-k, end to end).
@@ -73,6 +75,12 @@ serving-demo:
 distributed-demo:
 	$(RUN) examples/distributed_roundtrip.py
 
+# Real vocabulary through the whole stack: the bundled mini DBLP-XML
+# fixture -> streaming adapter -> stable topics -> persistent index
+# -> `serve` subprocess -> HTTP answers asserted byte-identical.
+corpus-demo:
+	$(RUN) examples/dblp_topics.py
+
 # "Build" the markdown docs site: link-check + coverage gates.
 docs-check:
 	$(RUN) -m pytest -q tests/test_docs.py tests/test_docstrings.py
@@ -85,4 +93,5 @@ lint:
 docstyle:
 	$(PYTHON) -m pydocstyle src/repro/engine src/repro/storage \
 	    src/repro/vocab src/repro/search src/repro/index \
-	    src/repro/service src/repro/serving src/repro/distributed
+	    src/repro/service src/repro/serving src/repro/distributed \
+	    src/repro/corpus

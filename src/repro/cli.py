@@ -14,6 +14,12 @@ Subcommands (all documented in ``docs/cli.md``):
 * ``stream`` — replay the same JSONL input *incrementally* (Section
   4.6); ``--index-dir`` maintains a live index a concurrent ``query
   --follow`` can tail.
+* ``corpus`` — real-corpus ingestion (:mod:`repro.corpus`): ``stats``
+  measures a DBLP-XML/JSONL/CSV file (ingest report + per-interval
+  histogram), ``ingest`` converts any of those formats to the
+  canonical JSONL wire format; the same adapters mount on
+  ``stable``/``stream``/``index build``/``explain`` via ``--corpus
+  FILE --format dblp|jsonl|csv``.
 * ``index`` — ``build`` a persistent cluster index from a corpus,
   ``inspect`` an existing one (``--segments`` lists the live segment
   tier), or ``merge`` (compact) its sealed segments.
@@ -62,12 +68,22 @@ from repro.distributed import (
     DistributedQueryService,
     build_sharded_index,
 )
+from repro.corpus import (
+    ADAPTERS,
+    CorpusAdapter,
+    IntervalBucketing,
+    dump_jsonl,
+    open_adapter,
+)
 from repro.engine import (
+    CorpusStats,
     GraphStats,
     StableQuery,
+    apply_corpus_dimension,
     apply_distributed_dimension,
     apply_index_dimension,
     apply_serving_dimension,
+    estimate_corpus_graph,
     estimate_index_bytes,
     explain as plan_query,
     get_solver,
@@ -151,6 +167,51 @@ def _read_corpus(path: str) -> IntervalCorpus:
     return corpus
 
 
+def _corpus_adapter(args: argparse.Namespace) -> CorpusAdapter:
+    """Build the adapter ``--corpus``/``--format`` (and the field-
+    mapping/bucketing flags) describe."""
+    bucketing = None
+    if args.bucket is not None:
+        bucketing = IntervalBucketing.parse(args.bucket,
+                                            origin=args.origin)
+    elif args.origin is not None:
+        cls = ADAPTERS[args.format]
+        default = cls.default_bucketing()
+        bucketing = IntervalBucketing(mode=default.mode,
+                                      width=default.width,
+                                      origin=args.origin)
+    fields = {}
+    if args.format != "dblp":
+        fields = {"text_field": args.text_field,
+                  "time_field": args.time_field,
+                  "id_field": args.id_field}
+    return open_adapter(args.format, args.corpus, bucketing=bucketing,
+                        strict=args.strict, **fields)
+
+
+def _load_corpus(args: argparse.Namespace):
+    """Resolve a subcommand's input into an
+    :class:`~repro.text.IntervalCorpus`.
+
+    Either the positional JSONL ``input`` (the historical wire
+    format) or ``--corpus FILE --format ...`` through an adapter —
+    exactly one of the two.  Returns ``(corpus, adapter)``; the
+    adapter is ``None`` on the positional path.
+    """
+    has_input = getattr(args, "input", None) is not None
+    has_corpus = getattr(args, "corpus", None) is not None
+    if has_input == has_corpus:
+        raise ValueError(
+            "supply either a positional JSONL input or "
+            "--corpus FILE (with --format), not "
+            + ("both" if has_input else "neither"))
+    if has_input:
+        return _read_corpus(args.input), None
+    adapter = _corpus_adapter(args)
+    corpus = IntervalCorpus.from_adapter(adapter)
+    return corpus, adapter
+
+
 def cmd_clusters(args: argparse.Namespace) -> int:
     """Print per-interval keyword clusters for a JSONL corpus."""
     corpus = _read_corpus(args.input)
@@ -172,7 +233,10 @@ def _memory_budget_bytes(args: argparse.Namespace) -> Optional[int]:
 def _run_batch(args: argparse.Namespace,
                index_dir: Optional[str]):
     """The shared ``stable``/``index build`` execution path."""
-    corpus = _read_corpus(args.input)
+    corpus, adapter = _load_corpus(args)
+    if adapter is not None:
+        print(adapter.report.describe())
+        print()
     return find_stable_clusters(corpus, l=args.length, k=args.k,
                                 gap=args.gap, problem=args.problem,
                                 rho_threshold=args.rho,
@@ -226,7 +290,12 @@ def cmd_stream(args: argparse.Namespace) -> int:
             f"solver {args.solver!r} cannot stream "
             f"problem={args.problem!r}; the streaming engine for it "
             f"is {query.streaming_solver!r}")
-    all_documents = read_jsonl_documents(args.input)
+    corpus_in, adapter = _load_corpus(args)
+    if adapter is not None:
+        print(adapter.report.describe())
+        print()
+    all_documents = [doc for index in corpus_in.interval_indices
+                     for doc in corpus_in.documents(index)]
     if not all_documents:
         print("error: no documents in input", file=sys.stderr)
         return 2
@@ -337,13 +406,26 @@ def cmd_explain(args: argparse.Namespace) -> int:
         return 2
     query = StableQuery(problem=args.problem, l=length,
                         k=args.k, gap=args.gap, workers=args.workers)
-    graph_stats = GraphStats(
-        num_intervals=args.m, max_interval_nodes=args.n,
-        avg_out_degree=float(args.d), gap=args.gap,
-        num_nodes=args.m * args.n,
-        num_edges=int(args.m * args.n * args.d))
+    corpus_stats = None
+    if args.corpus is not None:
+        # Measure the real source instead of trusting -m/-n/-d: the
+        # corpus dimension feeds the planner an estimated graph shape.
+        adapter = _corpus_adapter(args)
+        corpus = IntervalCorpus.from_adapter(adapter)
+        corpus_stats = CorpusStats.measure(corpus,
+                                           source=adapter.source_name,
+                                           format=adapter.format_name)
+        graph_stats = estimate_corpus_graph(corpus_stats, gap=args.gap)
+    else:
+        graph_stats = GraphStats(
+            num_intervals=args.m, max_interval_nodes=args.n,
+            avg_out_degree=float(args.d), gap=args.gap,
+            num_nodes=args.m * args.n,
+            num_edges=int(args.m * args.n * args.d))
     execution = plan_query(graph_stats, query,
                            memory_budget=_memory_budget_bytes(args))
+    if corpus_stats is not None:
+        apply_corpus_dimension(execution, corpus_stats)
     if args.index_dir is not None:
         # Forecast the persistent-index cost for this shape the same
         # way the window estimate forecasts memory.
@@ -361,6 +443,38 @@ def cmd_explain(args: argparse.Namespace) -> int:
         apply_distributed_dimension(execution, graph_stats,
                                     args.shards)
     print(execution.explain())
+    return 0
+
+
+def cmd_corpus_stats(args: argparse.Namespace) -> int:
+    """Measure a corpus file: ingest report plus interval shape."""
+    adapter = _corpus_adapter(args)
+    corpus = IntervalCorpus.from_adapter(adapter)
+    print(adapter.report.describe())
+    stats = CorpusStats.measure(corpus, source=adapter.source_name,
+                                format=adapter.format_name)
+    print(f"corpus: {stats.describe()}")
+    peak = max(stats.max_interval_documents, 1)
+    for interval in corpus.interval_indices:
+        count = len(corpus.documents(interval))
+        bar = "#" * round(40 * count / peak)
+        print(f"  interval {interval:>4}: {count:>7} docs  {bar}")
+    return 0
+
+
+def cmd_corpus_ingest(args: argparse.Namespace) -> int:
+    """Convert a corpus to the canonical JSONL wire format."""
+    adapter = _corpus_adapter(args)
+    corpus = IntervalCorpus.from_adapter(adapter)
+    if args.output is not None:
+        written = dump_jsonl(corpus, args.output)
+        print(adapter.report.describe())
+        print(f"wrote {written} documents over "
+              f"{corpus.num_intervals} intervals to {args.output}")
+    else:
+        # JSONL to stdout, the report to stderr so pipes stay clean.
+        written = dump_jsonl(corpus, sys.stdout)
+        print(adapter.report.describe(), file=sys.stderr)
     return 0
 
 
@@ -704,6 +818,49 @@ def _graph_shape_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _corpus_format_parent() -> argparse.ArgumentParser:
+    """--format plus the adapter field-mapping/bucketing flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--format", choices=sorted(ADAPTERS),
+                        default="jsonl",
+                        help="corpus file format (adapter)")
+    parent.add_argument("--text-field", default="text",
+                        metavar="NAME",
+                        help="jsonl/csv: field holding the document "
+                             "text")
+    parent.add_argument("--time-field", default="interval",
+                        metavar="NAME",
+                        help="jsonl/csv: field holding the timestamp")
+    parent.add_argument("--id-field", default="id", metavar="NAME",
+                        help="jsonl/csv: field holding the document "
+                             "id (optional in the data)")
+    parent.add_argument("--bucket", default=None, metavar="MODE",
+                        help="interval bucketing: interval, year, "
+                             "month, or epoch[:SECONDS] (default: "
+                             "the format's own — year for dblp, "
+                             "pass-through interval otherwise)")
+    parent.add_argument("--origin", type=int, default=None,
+                        metavar="BUCKET",
+                        help="bucket value that becomes interval 0 "
+                             "(default: the smallest seen)")
+    parent.add_argument("--strict", action="store_true",
+                        help="fail on the first malformed record "
+                             "instead of skip-and-count")
+    return parent
+
+
+def _corpus_parent() -> argparse.ArgumentParser:
+    """--corpus + the format flags, for subcommands where an adapter
+    source is an alternative to the positional JSONL input."""
+    parent = argparse.ArgumentParser(
+        add_help=False, parents=[_corpus_format_parent()])
+    parent.add_argument("--corpus", default=None, metavar="FILE",
+                        help="read documents from FILE through the "
+                             "--format adapter instead of a "
+                             "positional JSONL input")
+    return parent
+
+
 def _query_service_parent() -> argparse.ArgumentParser:
     """The flags every ``query`` action shares: the index directory
     and the --follow polling loop for live (streaming) indexes."""
@@ -740,6 +897,7 @@ def build_parser() -> argparse.ArgumentParser:
     workers = _workers_parent()
     graph_shape = _graph_shape_parent()
     query_service = _query_service_parent()
+    corpus_source = _corpus_parent()
 
     demo = sub.add_parser("demo", help="synthetic week walkthrough",
                           parents=[shape, workers])
@@ -766,8 +924,9 @@ def build_parser() -> argparse.ArgumentParser:
     stable = sub.add_parser("stable",
                             help="full stable-cluster search",
                             parents=[shape, generation, solver,
-                                     workers])
-    stable.add_argument("input", help="JSONL file of posts")
+                                     workers, corpus_source])
+    stable.add_argument("input", nargs="?", default=None,
+                        help="JSONL file of posts (or use --corpus)")
     stable.add_argument("--index-dir", default=None, metavar="DIR",
                         help="persist the run as a queryable cluster "
                              "index at DIR")
@@ -780,9 +939,10 @@ def build_parser() -> argparse.ArgumentParser:
     stream = sub.add_parser(
         "stream",
         help="incremental top-k maintenance over a JSONL stream",
-        parents=[shape, generation, workers])
-    stream.add_argument("input", help="JSONL file of posts, replayed "
-                                      "interval by interval")
+        parents=[shape, generation, workers, corpus_source])
+    stream.add_argument("input", nargs="?", default=None,
+                        help="JSONL file of posts, replayed interval "
+                             "by interval (or use --corpus)")
     # Streaming has exactly one engine per problem (Section 4.6), so
     # its --solver choices are narrower than the batch registry; this
     # is the single place they are defined.
@@ -827,8 +987,9 @@ def build_parser() -> argparse.ArgumentParser:
     build = index_sub.add_parser(
         "build", help="run the batch pipeline and persist the "
                       "result as a queryable index",
-        parents=[shape, generation, solver, workers])
-    build.add_argument("input", help="JSONL file of posts")
+        parents=[shape, generation, solver, workers, corpus_source])
+    build.add_argument("input", nargs="?", default=None,
+                       help="JSONL file of posts (or use --corpus)")
     build.add_argument("--dir", required=True,
                        help="directory to write the index to")
     build.add_argument("--shards", type=int, default=None,
@@ -946,10 +1107,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "replica worker")
     serve.set_defaults(func=cmd_serve)
 
+    corpus = sub.add_parser(
+        "corpus", help="ingest or measure a real corpus file "
+                       "(dblp/jsonl/csv adapters)")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command",
+                                       required=True)
+    ingest = corpus_sub.add_parser(
+        "ingest", help="convert any corpus format to the canonical "
+                       "JSONL wire format",
+        parents=[_corpus_format_parent()])
+    ingest.add_argument("corpus", metavar="FILE",
+                        help="corpus file to ingest")
+    ingest.add_argument("--output", default=None, metavar="OUT",
+                        help="write JSONL to OUT (default: stdout, "
+                             "report on stderr)")
+    ingest.set_defaults(func=cmd_corpus_ingest)
+    stats = corpus_sub.add_parser(
+        "stats", help="ingest report + per-interval document "
+                      "histogram for a corpus file",
+        parents=[_corpus_format_parent()])
+    stats.add_argument("corpus", metavar="FILE",
+                       help="corpus file to measure")
+    stats.set_defaults(func=cmd_corpus_stats)
+
     explain = sub.add_parser(
         "explain",
         help="print the planner's decision for a workload shape",
-        parents=[graph_shape, workers])
+        parents=[graph_shape, workers, corpus_source])
     explain.add_argument("--problem", choices=["kl", "normalized"],
                          default="kl",
                          help="Problem 1 (kl) or Problem 2 "

@@ -1,0 +1,71 @@
+"""Real-corpus ingestion: file formats -> interval documents.
+
+The adapter seam between files on disk and the paper's pipelines.
+:class:`CorpusAdapter` streams ``(interval, Document)`` pairs with an
+:class:`IngestReport` of parsed/skipped/malformed/repaired counts;
+:class:`IntervalBucketing` maps raw timestamps (years, months, epoch
+seconds) onto dense interval indices.  Three concrete adapters ship:
+:class:`DBLPAdapter` (incremental DBLP-style XML, constant memory),
+:class:`JSONLAdapter`, and :class:`CSVAdapter` (configurable field
+mapping).  ``repro.text.IntervalCorpus.from_adapter`` and
+``repro.streaming.StreamingDocumentPipeline.ingest_adapter`` consume
+any of them.
+"""
+
+from repro.corpus.base import (
+    BUCKET_MODES,
+    CorpusAdapter,
+    CorpusFormatError,
+    IngestReport,
+    IntervalBucketing,
+    iter_decoded_lines,
+    load_documents,
+)
+from repro.corpus.csvfile import CSVAdapter
+from repro.corpus.dblp import DBLPAdapter
+from repro.corpus.jsonl import JSONLAdapter, dump_jsonl
+
+#: CLI ``--format`` names -> adapter classes.
+ADAPTERS = {
+    "dblp": DBLPAdapter,
+    "jsonl": JSONLAdapter,
+    "csv": CSVAdapter,
+}
+
+
+def open_adapter(fmt: str, source, bucketing=None, strict=False,
+                 **fields) -> CorpusAdapter:
+    """Build the adapter registered for *fmt* over *source*.
+
+    ``fields`` forwards field-mapping options (``text_field``,
+    ``time_field``, ``id_field``) to the JSONL/CSV adapters; the DBLP
+    adapter takes none and rejects any.
+    """
+    try:
+        cls = ADAPTERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown corpus format {fmt!r}; "
+            f"expected one of {sorted(ADAPTERS)}") from None
+    if cls is DBLPAdapter and fields:
+        raise ValueError(
+            "the dblp format has a fixed schema; field mapping "
+            f"options {sorted(fields)} do not apply")
+    return cls(source, bucketing=bucketing, strict=strict, **fields)
+
+
+__all__ = [
+    "ADAPTERS",
+    "BUCKET_MODES",
+    "CSVAdapter",
+    "CorpusAdapter",
+    "CorpusFormatError",
+    "DBLPAdapter",
+    "IngestReport",
+    "IntervalBucketing",
+    "JSONLAdapter",
+    "dump_jsonl",
+    "iter_decoded_lines",
+    "load_documents",
+    "open_adapter",
+]

@@ -1,0 +1,394 @@
+"""Corpus-adapter contract: real text sources -> interval documents.
+
+Every workload the pipelines had seen before this package was
+synthetic (:mod:`repro.datagen`).  A :class:`CorpusAdapter` is the
+seam that feeds *real* timestamped text into the same machinery: a
+streaming iterator of ``(interval, Document)`` pairs read from a file
+on disk, with an :class:`IngestReport` counting what parsed, what was
+skipped on purpose, and what was malformed.  Timestamps of any
+granularity (publication years, ISO dates, epoch seconds) map onto
+the paper's dense interval indices through
+:class:`IntervalBucketing`.
+
+Error contract: a *structurally* unreadable source (truncated XML,
+an empty CSV, undecodable framing) raises the typed
+:class:`CorpusFormatError`; *per-record* garbage (a missing field, an
+unusable timestamp) is skipped and counted by default, or raises the
+same typed error when the adapter was built with ``strict=True``.
+Adapters never leak a bare stdlib exception for bad input.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from datetime import date, datetime
+from typing import (
+    IO,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.text.documents import Document
+
+#: The timestamp granularities :class:`IntervalBucketing` understands.
+BUCKET_MODES = ("interval", "year", "month", "epoch")
+
+#: Default width (seconds) of one ``epoch`` bucket: a day.
+EPOCH_BUCKET_SECONDS = 86400
+
+
+class CorpusFormatError(ValueError):
+    """A corpus source is structurally unreadable.
+
+    Raised for truncated or unparseable files, missing mandatory
+    columns, and — in ``strict`` mode — the first malformed record.
+    Subclasses :class:`ValueError` so the CLI's domain-error handling
+    renders it as a clean message, never a traceback.
+    """
+
+
+@dataclass
+class IngestReport:
+    """What one adapter pass over a source parsed, skipped, or dropped.
+
+    ``parsed`` documents were yielded; ``skipped`` records were
+    structurally fine but intentionally not ingested (for example
+    DBLP ``<www>`` homepage records); ``malformed`` records were
+    counted and dropped (or raised, in strict mode); ``repaired``
+    counts in-place fixes that still let a record parse (undeclared
+    XML entities replaced, lines re-decoded as latin-1).  ``reasons``
+    breaks the skip/malformed/repair counts down by cause.
+    """
+
+    source: str = ""
+    format: str = ""
+    parsed: int = 0
+    skipped: int = 0
+    malformed: int = 0
+    repaired: int = 0
+    reasons: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_records(self) -> int:
+        """Every record the pass saw, whatever became of it."""
+        return self.parsed + self.skipped + self.malformed
+
+    def count_reason(self, reason: str) -> None:
+        """Bump the per-cause breakdown for *reason*."""
+        self.reasons[reason] = self.reasons.get(reason, 0) + 1
+
+    def describe(self) -> str:
+        """Multi-line ingest summary for the CLI and demos."""
+        where = self.source or "<stream>"
+        label = f" ({self.format})" if self.format else ""
+        parts = [f"{self.parsed} parsed", f"{self.skipped} skipped",
+                 f"{self.malformed} malformed"]
+        if self.repaired:
+            parts.append(f"{self.repaired} repaired")
+        lines = [f"ingest {where}{label}: " + ", ".join(parts)]
+        for reason in sorted(self.reasons):
+            lines.append(f"  - {reason}: {self.reasons[reason]}")
+        return "\n".join(lines)
+
+
+_ISO_MONTH = re.compile(r"\s*(\d{1,4})-(\d{1,2})")
+_LEADING_YEAR = re.compile(r"\s*(\d{1,4})")
+_NUMBER = re.compile(r"\s*-?\d+(\.\d+)?\s*$")
+
+
+def _reject_bool(value: object) -> None:
+    if isinstance(value, bool):
+        raise ValueError(f"boolean {value!r} is not a timestamp")
+
+
+def _int_of(value: object) -> int:
+    """A strict interval index from *value* (int or digit string)."""
+    _reject_bool(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, str):
+        text = value.strip()
+        if re.fullmatch(r"-?\d+", text):
+            return int(text)
+    raise ValueError(f"cannot read an interval index from {value!r}")
+
+
+def _year_of(value: object) -> int:
+    """A publication year from an int, a date, or a ``YYYY...`` string."""
+    _reject_bool(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, (datetime, date)):
+        return value.year
+    if isinstance(value, str):
+        match = _LEADING_YEAR.match(value)
+        if match:
+            return int(match.group(1))
+    raise ValueError(f"cannot read a year from {value!r}")
+
+
+def _month_number(value: object) -> int:
+    """Months since year zero, from a date or ``YYYY-MM...`` string."""
+    _reject_bool(value)
+    if isinstance(value, (datetime, date)):
+        return value.year * 12 + (value.month - 1)
+    if isinstance(value, str):
+        match = _ISO_MONTH.match(value)
+        if match:
+            month = int(match.group(2))
+            if 1 <= month <= 12:
+                return int(match.group(1)) * 12 + (month - 1)
+    raise ValueError(
+        f"month bucketing needs a date or a 'YYYY-MM...' string, "
+        f"got {value!r}")
+
+
+def _epoch_seconds(value: object) -> float:
+    """Epoch seconds from a number, numeric string, or datetime."""
+    _reject_bool(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime):
+        return value.timestamp()
+    if isinstance(value, str) and _NUMBER.match(value):
+        return float(value)
+    raise ValueError(f"cannot read epoch seconds from {value!r}")
+
+
+@dataclass(frozen=True)
+class IntervalBucketing:
+    """Maps raw timestamp values onto interval indices.
+
+    ``mode`` selects the granularity: ``"interval"`` passes an
+    already-bucketed index through, ``"year"`` buckets by publication
+    year (ints, ``YYYY...`` strings, or dates), ``"month"`` by
+    calendar month (dates or ``YYYY-MM`` strings), ``"epoch"`` into
+    fixed-width buckets of ``width`` seconds.  ``origin`` is the
+    bucket value that becomes interval 0 (a year for ``"year"``, a
+    month number ``year * 12 + month - 1`` for ``"month"``, a bucket
+    ordinal for ``"epoch"``); when ``None``, adapters yield raw bucket
+    values and :meth:`repro.text.IntervalCorpus.from_adapter` rebases
+    the smallest seen to 0.
+    """
+
+    mode: str = "year"
+    width: int = EPOCH_BUCKET_SECONDS
+    origin: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in BUCKET_MODES:
+            raise ValueError(
+                f"bucketing mode must be one of {BUCKET_MODES}, "
+                f"got {self.mode!r}")
+        if self.width < 1:
+            raise ValueError(
+                f"epoch bucket width must be >= 1 second, "
+                f"got {self.width}")
+
+    @classmethod
+    def parse(cls, spec: str,
+              origin: Optional[int] = None) -> "IntervalBucketing":
+        """Build a bucketing from a CLI spec.
+
+        Accepts ``interval``, ``year``, ``month``, ``epoch``, or
+        ``epoch:SECONDS`` (for example ``epoch:3600`` for hourly
+        buckets).
+        """
+        text = spec.strip().lower()
+        if text.startswith("epoch"):
+            width = EPOCH_BUCKET_SECONDS
+            if ":" in text:
+                _, _, tail = text.partition(":")
+                try:
+                    width = int(tail)
+                except ValueError:
+                    raise ValueError(
+                        f"epoch bucket width must be an integer "
+                        f"second count, got {tail!r}") from None
+            return cls(mode="epoch", width=width, origin=origin)
+        return cls(mode=text, origin=origin)
+
+    def bucket_of(self, value: object) -> int:
+        """The raw (un-rebased) bucket ordinal of *value*.
+
+        Raises :class:`ValueError` when the value cannot be read at
+        this granularity; adapters turn that into a counted
+        malformed record.
+        """
+        if self.mode == "interval":
+            return _int_of(value)
+        if self.mode == "year":
+            return _year_of(value)
+        if self.mode == "month":
+            return _month_number(value)
+        return int(_epoch_seconds(value) // self.width)
+
+    def interval_of(self, value: object) -> int:
+        """The interval index of *value*: its bucket, origin-shifted."""
+        bucket = self.bucket_of(value)
+        if self.origin is None:
+            return bucket
+        return bucket - self.origin
+
+    def describe(self) -> str:
+        """Compact rendering for reports and explain output."""
+        parts = [self.mode]
+        if self.mode == "epoch":
+            parts.append(f"{self.width}s")
+        if self.origin is not None:
+            parts.append(f"origin {self.origin}")
+        return " ".join(parts)
+
+
+def iter_decoded_lines(handle: IO,
+                       report: Optional[IngestReport] = None
+                       ) -> Iterator[str]:
+    """Decode *handle* line by line, tolerating mixed encodings.
+
+    Text handles pass through untouched.  Binary handles decode each
+    line as UTF-8 and fall back to latin-1 (which never fails) for
+    lines that are not valid UTF-8 — real feeds mix encodings line by
+    line, and one mojibake post should not kill an ingest.  Each
+    fallback is counted on *report* as a repaired record.  Yielded
+    lines keep their newline (the CSV reader needs it to reassemble
+    quoted multi-line fields).
+    """
+    first = True
+    for line in handle:
+        if isinstance(line, bytes):
+            try:
+                decoded = line.decode("utf-8")
+            except UnicodeDecodeError:
+                decoded = line.decode("latin-1")
+                if report is not None:
+                    report.repaired += 1
+                    report.count_reason("re-decoded line as latin-1")
+        else:
+            decoded = line
+        if first:
+            decoded = decoded.lstrip("﻿")
+            first = False
+        yield decoded
+
+
+class CorpusAdapter:
+    """Streaming reader of one corpus source: ``(interval, Document)``.
+
+    Concrete adapters (DBLP XML, JSONL, CSV) implement
+    :meth:`_records`; iterating the adapter yields ``(interval,
+    Document)`` pairs in source order while :attr:`report` accumulates
+    the pass's :class:`IngestReport` (reset at the start of every
+    iteration, complete once the iterator is exhausted).  ``source``
+    is a filesystem path (re-iterable) or an open handle (single
+    pass).  With ``strict=True`` the first malformed record raises
+    :class:`CorpusFormatError` instead of being counted.
+    """
+
+    #: Report label for the concrete format; subclasses override.
+    format_name = "corpus"
+
+    def __init__(self, source: Union[str, IO],
+                 bucketing: Optional[IntervalBucketing] = None,
+                 strict: bool = False) -> None:
+        self.source = source
+        self.bucketing = bucketing if bucketing is not None \
+            else self.default_bucketing()
+        self.strict = strict
+        self.report = self._new_report()
+
+    @classmethod
+    def default_bucketing(cls) -> IntervalBucketing:
+        """The bucketing used when the caller supplies none."""
+        return IntervalBucketing(mode="interval")
+
+    @property
+    def source_name(self) -> str:
+        """Printable name of the source (path, or ``<stream>``)."""
+        if isinstance(self.source, str):
+            return self.source
+        return getattr(self.source, "name", "<stream>")
+
+    def _new_report(self) -> IngestReport:
+        return IngestReport(source=self.source_name,
+                            format=self.format_name)
+
+    def __iter__(self) -> Iterator[Tuple[int, Document]]:
+        """Stream the source; resets :attr:`report` for this pass."""
+        self.report = self._new_report()
+        return self._records()
+
+    def documents(self) -> Iterator[Document]:
+        """The same stream, yielding bare documents."""
+        for _, doc in self:
+            yield doc
+
+    # ------------------------------------------------------------------
+    # Hooks for concrete adapters
+    # ------------------------------------------------------------------
+
+    def _records(self) -> Iterator[Tuple[int, Document]]:
+        raise NotImplementedError
+
+    def _open(self):
+        """``(handle, owns_handle)`` for the source (binary for paths)."""
+        if isinstance(self.source, str):
+            try:
+                return open(self.source, "rb"), True
+            except OSError as exc:
+                raise CorpusFormatError(
+                    f"cannot open corpus {self.source!r}: {exc}"
+                    ) from exc
+        return self.source, False
+
+    def _malformed(self, reason: str, detail: str = "") -> None:
+        """Count one malformed record, or raise it in strict mode."""
+        if self.strict:
+            where = f" ({detail})" if detail else ""
+            raise CorpusFormatError(
+                f"malformed record in {self.source_name}: "
+                f"{reason}{where}")
+        self.report.malformed += 1
+        self.report.count_reason(reason)
+
+    def _skipped(self, reason: str) -> None:
+        """Count one intentionally skipped record."""
+        self.report.skipped += 1
+        self.report.count_reason(reason)
+
+    def _emit(self, doc_id: str, value: object,
+              text: str) -> Optional[Tuple[int, Document]]:
+        """Bucket one record's timestamp and build its document.
+
+        Returns ``None`` (after counting) when the timestamp is
+        unusable at the adapter's bucketing granularity or falls
+        before the configured origin.
+        """
+        try:
+            interval = self.bucketing.interval_of(value)
+        except ValueError as exc:
+            self._malformed(
+                f"unusable {self.bucketing.mode} timestamp",
+                detail=str(exc))
+            return None
+        if interval < 0:
+            self._malformed(
+                f"timestamp before origin "
+                f"{self.bucketing.origin}")
+            return None
+        self.report.parsed += 1
+        return interval, Document(doc_id=doc_id, interval=interval,
+                                  text=text)
+
+
+def load_documents(adapter: CorpusAdapter) -> List[Document]:
+    """Materialize every document the adapter yields, in source order."""
+    return list(adapter.documents())

@@ -1,0 +1,107 @@
+"""CSV corpus adapter: header-mapped rows -> interval documents.
+
+The first row must be a header naming, at minimum, the configured
+text and time columns (an id column is optional).  Quoted fields may
+span lines; rows the :mod:`csv` machinery rejects, short rows, and
+rows missing text or timestamp are counted as malformed rather than
+aborting the pass.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import IO, Iterator, List, Optional, Tuple, Union
+
+from repro.corpus.base import (
+    CorpusAdapter,
+    CorpusFormatError,
+    IntervalBucketing,
+    iter_decoded_lines,
+)
+from repro.text.documents import Document
+
+
+class CSVAdapter(CorpusAdapter):
+    """Streaming adapter for comma-separated timestamped text.
+
+    ``text_field`` and ``time_field`` name mandatory header columns
+    (a missing header or column is a structural
+    :class:`CorpusFormatError`); ``id_field`` is optional with a
+    ``doc<row>`` fallback.  Timestamps are bucketed by ``bucketing``,
+    pass-through ``interval`` indices by default.
+    """
+
+    format_name = "csv"
+
+    def __init__(self, source: Union[str, IO],
+                 bucketing: Optional[IntervalBucketing] = None,
+                 strict: bool = False,
+                 text_field: str = "text",
+                 time_field: str = "interval",
+                 id_field: str = "id") -> None:
+        super().__init__(source, bucketing=bucketing, strict=strict)
+        self.text_field = text_field
+        self.time_field = time_field
+        self.id_field = id_field
+
+    def _records(self) -> Iterator[Tuple[int, Document]]:
+        handle, owns = self._open()
+        try:
+            reader = csv.reader(iter_decoded_lines(handle, self.report))
+            header = self._read_header(reader)
+            text_col = header.index(self.text_field)
+            time_col = header.index(self.time_field)
+            id_col = header.index(self.id_field) \
+                if self.id_field in header else None
+            row_no = 1
+            while True:
+                row_no += 1
+                try:
+                    row = next(reader)
+                except StopIteration:
+                    return
+                except csv.Error as exc:
+                    self._malformed("unparseable CSV row",
+                                    detail=str(exc))
+                    continue
+                record = self._record_of(row, row_no, text_col,
+                                         time_col, id_col)
+                if record is not None:
+                    yield record
+        finally:
+            if owns:
+                handle.close()
+
+    def _read_header(self, reader) -> List[str]:
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise CorpusFormatError(
+                f"empty CSV corpus {self.source_name}") from None
+        except csv.Error as exc:
+            raise CorpusFormatError(
+                f"unreadable CSV header in {self.source_name}: {exc}"
+                ) from exc
+        for name in (self.text_field, self.time_field):
+            if name not in header:
+                raise CorpusFormatError(
+                    f"CSV corpus {self.source_name} has no "
+                    f"{name!r} column (header: {header})")
+        return header
+
+    def _record_of(self, row: List[str], row_no: int, text_col: int,
+                   time_col: int, id_col: Optional[int]
+                   ) -> Optional[Tuple[int, Document]]:
+        if not row:
+            return None
+        if len(row) <= max(text_col, time_col):
+            self._malformed("short row")
+            return None
+        text = row[text_col].strip()
+        if not text:
+            self._malformed(f"missing text field {self.text_field!r}")
+            return None
+        doc_id = f"doc{row_no}"
+        if id_col is not None and len(row) > id_col and row[id_col]:
+            doc_id = row[id_col]
+        return self._emit(doc_id, row[time_col], text)

@@ -1,0 +1,108 @@
+"""JSONL corpus adapter and the canonical JSONL serializer.
+
+One JSON object per line.  Field names are configurable so arbitrary
+feeds map on without preprocessing; the defaults (``text`` /
+``interval`` / ``id``) reproduce the wire format
+:func:`repro.streaming.read_jsonl_documents` has always read, with
+pass-through ``interval`` bucketing.  :func:`dump_jsonl` writes that
+same canonical shape back out, giving lossless
+corpus -> JSONL -> corpus round trips.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator, Optional, Tuple, Union
+
+from repro.corpus.base import (
+    CorpusAdapter,
+    IntervalBucketing,
+    iter_decoded_lines,
+)
+from repro.text.documents import Document, IntervalCorpus
+
+
+class JSONLAdapter(CorpusAdapter):
+    """Streaming adapter for line-delimited JSON documents.
+
+    Each non-blank line must be a JSON object holding ``text_field``
+    (the document text) and ``time_field`` (the timestamp, bucketed
+    by ``bucketing``); ``id_field`` is optional and falls back to
+    ``doc<line>``.  Lines that are not valid JSON, not objects, or
+    missing fields are counted as malformed (or raise in strict
+    mode).
+    """
+
+    format_name = "jsonl"
+
+    def __init__(self, source: Union[str, IO],
+                 bucketing: Optional[IntervalBucketing] = None,
+                 strict: bool = False,
+                 text_field: str = "text",
+                 time_field: str = "interval",
+                 id_field: str = "id") -> None:
+        super().__init__(source, bucketing=bucketing, strict=strict)
+        self.text_field = text_field
+        self.time_field = time_field
+        self.id_field = id_field
+
+    def _records(self) -> Iterator[Tuple[int, Document]]:
+        handle, owns = self._open()
+        try:
+            lines = iter_decoded_lines(handle, self.report)
+            for line_no, line in enumerate(lines, start=1):
+                record = self._record_of(line, line_no)
+                if record is not None:
+                    yield record
+        finally:
+            if owns:
+                handle.close()
+
+    def _record_of(self, line: str, line_no: int
+                   ) -> Optional[Tuple[int, Document]]:
+        stripped = line.strip()
+        if not stripped:
+            return None
+        try:
+            payload = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            self._malformed("invalid JSON line", detail=str(exc))
+            return None
+        if not isinstance(payload, dict):
+            self._malformed("line is not a JSON object")
+            return None
+        text = payload.get(self.text_field)
+        if not isinstance(text, str) or not text.strip():
+            self._malformed(f"missing text field {self.text_field!r}")
+            return None
+        if self.time_field not in payload:
+            self._malformed(f"missing time field {self.time_field!r}")
+            return None
+        raw_id = payload.get(self.id_field)
+        doc_id = str(raw_id) if raw_id is not None else f"doc{line_no}"
+        return self._emit(doc_id, payload[self.time_field], text)
+
+
+def dump_jsonl(corpus: IntervalCorpus, target: Union[str, IO]) -> int:
+    """Write *corpus* as canonical JSONL; returns the line count.
+
+    One ``{"id", "interval", "text"}`` object per line, intervals in
+    ascending order and documents in insertion order within each —
+    exactly what :class:`JSONLAdapter` (and the streaming CLI) read
+    back.  ``target`` is a path or a writable text handle.
+    """
+    handle: IO
+    owns = isinstance(target, str)
+    handle = open(target, "w", encoding="utf-8") if owns else target
+    written = 0
+    try:
+        for interval in corpus.interval_indices:
+            for doc in corpus.documents(interval):
+                json.dump({"id": doc.doc_id, "interval": doc.interval,
+                           "text": doc.text}, handle)
+                handle.write("\n")
+                written += 1
+    finally:
+        if owns:
+            handle.close()
+    return written

@@ -29,13 +29,16 @@ from repro.engine.engine import (
     solve_report,
 )
 from repro.engine.planner import (
+    CorpusStats,
     ExecutionPlan,
     GraphStats,
+    apply_corpus_dimension,
     apply_distributed_dimension,
     apply_index_dimension,
     apply_serving_dimension,
     apply_worker_dimension,
     estimate_annotation_bytes,
+    estimate_corpus_graph,
     estimate_index_bytes,
     estimate_index_segments,
     estimate_serving_working_set,
@@ -63,6 +66,7 @@ __all__ = [
     "AUTO",
     "BFSSolver",
     "BruteforceSolver",
+    "CorpusStats",
     "DFSSolver",
     "ExecutionPlan",
     "GraphStats",
@@ -73,11 +77,13 @@ __all__ = [
     "SolverStats",
     "StableQuery",
     "TASolver",
+    "apply_corpus_dimension",
     "apply_distributed_dimension",
     "apply_index_dimension",
     "apply_serving_dimension",
     "apply_worker_dimension",
     "estimate_annotation_bytes",
+    "estimate_corpus_graph",
     "estimate_index_bytes",
     "estimate_index_segments",
     "estimate_serving_working_set",

@@ -84,6 +84,15 @@ SERVING_DEFAULT_CLUSTERS = 1024
 SERVING_DEFAULT_INFLIGHT = 32
 SERVING_DEFAULT_SKEW = 1.0       # Zipf exponent of keyword popularity
 
+# Corpus-ingest cost model (explain --corpus): how a measured corpus
+# shape maps onto the paper's graph shape before any clustering runs.
+# Section 3 keeps only chi-square-significant biconnected components,
+# so clusters are far sparser than documents; the divisor is
+# calibrated against the synthetic-week demo corpus and the DBLP
+# fixture (both land within 2x).
+CORPUS_DOCS_PER_CLUSTER = 60
+CORPUS_DEFAULT_DEGREE = 3.0      # d when no graph has been built yet
+
 
 @dataclass(frozen=True)
 class GraphStats:
@@ -117,6 +126,83 @@ class GraphStats:
                 f"nodes={self.num_nodes} edges={self.num_edges}")
 
 
+@dataclass(frozen=True)
+class CorpusStats:
+    """Measured shape of an ingested corpus (documents, not clusters).
+
+    The corpus analogue of :class:`GraphStats`: what ``explain
+    --corpus`` measures from a real source before any clustering has
+    run, and what :func:`estimate_corpus_graph` turns into an
+    expected graph shape.
+    """
+
+    num_intervals: int
+    num_documents: int
+    max_interval_documents: int
+    source: str = ""
+    format: str = ""
+
+    @classmethod
+    def measure(cls, corpus, source: str = "",
+                format: str = "") -> "CorpusStats":
+        """Measure an :class:`~repro.text.IntervalCorpus` (one pass)."""
+        sizes = [len(corpus.documents(i))
+                 for i in corpus.interval_indices]
+        return cls(num_intervals=corpus.num_intervals,
+                   num_documents=corpus.num_documents,
+                   max_interval_documents=max(sizes) if sizes else 0,
+                   source=source, format=format)
+
+    def describe(self) -> str:
+        """Compact rendering for explain output."""
+        where = f" from {self.source}" if self.source else ""
+        label = f" ({self.format})" if self.format else ""
+        return (f"{self.num_documents} docs over "
+                f"{self.num_intervals} intervals, max "
+                f"{self.max_interval_documents}/interval"
+                f"{where}{label}")
+
+
+def estimate_corpus_graph(corpus_stats: CorpusStats,
+                          gap: int = 0) -> GraphStats:
+    """Forecast the cluster-graph shape a corpus will generate.
+
+    Scales document counts down by :data:`CORPUS_DOCS_PER_CLUSTER`
+    (Section 3 keeps only significant biconnected components) and
+    assumes :data:`CORPUS_DEFAULT_DEGREE` window-join connectivity —
+    enough for the Section-4 memory model to size windows and
+    backends before the expensive stages run.
+    """
+    m = corpus_stats.num_intervals
+    n = max(1, int(math.ceil(corpus_stats.max_interval_documents
+                             / CORPUS_DOCS_PER_CLUSTER)))
+    nodes = max(1, int(math.ceil(corpus_stats.num_documents
+                                 / CORPUS_DOCS_PER_CLUSTER)))
+    if m < 1:
+        return GraphStats(num_intervals=0, max_interval_nodes=0,
+                          avg_out_degree=0.0, gap=gap)
+    return GraphStats(num_intervals=m, max_interval_nodes=n,
+                      avg_out_degree=CORPUS_DEFAULT_DEGREE, gap=gap,
+                      num_nodes=nodes,
+                      num_edges=int(nodes * CORPUS_DEFAULT_DEGREE))
+
+
+def apply_corpus_dimension(result: "ExecutionPlan",
+                           corpus_stats: CorpusStats) -> None:
+    """Record a measured corpus shape on a plan (``explain --corpus``).
+
+    The graph estimate itself is produced by
+    :func:`estimate_corpus_graph` and fed to the planner as its
+    ``graph_stats``; this dimension keeps the measured document
+    counts visible alongside it and says how they were scaled.
+    """
+    result.corpus_stats = corpus_stats
+    result.reasons.append(
+        f"graph shape estimated from the measured corpus: "
+        f"~{CORPUS_DOCS_PER_CLUSTER} docs/cluster "
+        f"(Section-3 pruning), d={CORPUS_DEFAULT_DEGREE:g} assumed")
+
+
 @dataclass
 class ExecutionPlan:
     """The planner's decision: solver, backend, and sizing.
@@ -137,6 +223,12 @@ class ExecutionPlan:
     memory_budget: Optional[int] = None
     query: Optional[StableQuery] = None
     graph_stats: Optional[GraphStats] = None
+    # Corpus dimension (apply_corpus_dimension): the measured document
+    # shape a real source was found to have, when the plan's graph
+    # stats are an estimate_corpus_graph forecast rather than a
+    # measured graph.  None = the plan was made from graph shape
+    # directly.
+    corpus_stats: Optional[CorpusStats] = None
     # Interned-keyword count of the run's corpus vocabulary; filled in
     # by pipelines once generation has run (the planner cannot know it
     # up front).  None = no vocabulary measured for this plan.
@@ -187,6 +279,8 @@ class ExecutionPlan:
         lines = ["execution plan"]
         if self.query is not None:
             lines.append(f"  query:    {self.query.describe()}")
+        if self.corpus_stats is not None:
+            lines.append(f"  corpus:   {self.corpus_stats.describe()}")
         if self.graph_stats is not None:
             lines.append(f"  graph:    {self.graph_stats.describe()}")
         if self.vocab_size is not None:

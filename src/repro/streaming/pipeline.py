@@ -39,7 +39,7 @@ from repro.pipeline.cluster_generation import (
     generate_interval_clusters_task,
 )
 from repro.storage.backends import StateStore
-from repro.text.documents import Document
+from repro.text.documents import Document, IntervalCorpus
 from repro.vocab import Vocabulary
 
 
@@ -236,6 +236,22 @@ class StreamingDocumentPipeline:
         report.num_documents = len(documents)
         report.seconds_clustering = clustered - started
         return report
+
+    def ingest_adapter(self, adapter) -> List[IntervalIngestReport]:
+        """Replay a :class:`repro.corpus` adapter through the stream.
+
+        Buffers the adapter into an
+        :meth:`~repro.text.IntervalCorpus.from_adapter` corpus first
+        (adapter record order need not be time-sorted), then feeds
+        each interval — including empty ones inside the span, so the
+        timeline matches the batch pipeline's — through
+        :meth:`add_documents` in ascending order.  Returns the
+        per-interval reports of this replay; the adapter's own
+        :class:`~repro.corpus.IngestReport` is complete afterwards.
+        """
+        corpus = IntervalCorpus.from_adapter(adapter)
+        return [self.add_documents(corpus.documents(interval))
+                for interval in range(corpus.num_intervals)]
 
     def add_clusters(self, clusters: Sequence) -> IntervalIngestReport:
         """Ingest one interval's pre-generated keyword clusters

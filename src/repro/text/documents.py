@@ -9,7 +9,7 @@ interval and yields preprocessed keyword sets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
 
 from repro.text.stemmer import PorterStemmer
@@ -18,6 +18,27 @@ from repro.text.tokenizer import tokenize
 from repro.vocab import Vocabulary
 
 _stemmer = PorterStemmer()
+
+
+def _validate_interval(interval: int) -> int:
+    """Check that *interval* is a usable index; returns it.
+
+    Interval indices are dense 0..m-1 by convention; anything that is
+    not a non-negative ``int`` (bools included — they compare equal
+    to 0/1 but signal a caller bug) would silently vanish from every
+    positional consumer downstream, so it is rejected here, mirroring
+    the timestamp guard of
+    :func:`repro.streaming.source.interval_batches`.
+    """
+    if isinstance(interval, bool) or not isinstance(interval, int):
+        raise ValueError(
+            f"document interval must be an int, got {interval!r}")
+    if interval < 0:
+        raise ValueError(
+            f"document interval must be >= 0, got {interval}; "
+            "rebase timestamps before building the corpus "
+            "(IntervalCorpus.from_adapter does this for you)")
+    return interval
 
 
 def preprocess(text: str, do_stem: bool = True) -> FrozenSet[str]:
@@ -71,9 +92,68 @@ class IntervalCorpus:
 
     intervals: Dict[int, List[Document]] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        """Validate interval indices of a dict supplied at build time."""
+        for interval in self.intervals:
+            _validate_interval(interval)
+
     def add(self, doc: Document) -> None:
-        """Insert *doc* under its interval."""
+        """Insert *doc* under its interval.
+
+        Raises :class:`ValueError` for negative or non-integer
+        interval indices — previously such documents were stored but
+        invisible to every dense-interval consumer.
+        """
+        _validate_interval(doc.interval)
         self.intervals.setdefault(doc.interval, []).append(doc)
+
+    @classmethod
+    def from_adapter(cls, adapter, rebase: bool = True,
+                     fill_gaps: bool = True) -> "IntervalCorpus":
+        """Materialize a corpus from a :class:`repro.corpus` adapter.
+
+        Consumes the adapter's ``(interval, Document)`` stream in one
+        pass.  With ``rebase`` (the default) the smallest interval
+        seen becomes index 0 — so raw bucket values such as
+        publication years land on the dense 0..m-1 timeline the
+        pipelines expect; with ``fill_gaps`` empty intervals inside
+        the span are populated with empty document lists, matching
+        the dense replay of
+        :func:`repro.streaming.source.interval_batches` (and its
+        timestamp-span guard, which is applied here too).  Set both
+        to ``False`` to keep the adapter's indices verbatim.  The
+        adapter's :class:`~repro.corpus.IngestReport` is complete
+        once this returns.
+        """
+        from repro.corpus.base import CorpusFormatError
+
+        by_interval: Dict[int, List[Document]] = {}
+        for interval, doc in adapter:
+            by_interval.setdefault(interval, []).append(doc)
+        corpus = cls()
+        if not by_interval:
+            return corpus
+        lo, hi = min(by_interval), max(by_interval)
+        span = hi - lo + 1
+        if span > max(1000, 100 * len(by_interval)):
+            raise CorpusFormatError(
+                f"corpus timestamps span {span} intervals across "
+                f"{len(by_interval)} populated ones — likely raw "
+                "timestamps; pick a coarser bucketing (--bucket "
+                "year/month/epoch:SECONDS)")
+        base = lo if rebase else 0
+        if not rebase and lo < 0:
+            raise CorpusFormatError(
+                f"adapter produced negative interval {lo} and "
+                "rebase is off; shift the origin or enable rebase")
+        indices = range(lo, hi + 1) if fill_gaps else sorted(by_interval)
+        for raw in indices:
+            shifted = raw - base
+            corpus.intervals[shifted] = [
+                replace(doc, interval=shifted) if doc.interval != shifted
+                else doc
+                for doc in by_interval.get(raw, [])]
+        return corpus
 
     def add_text(self, doc_id: str, interval: int, text: str) -> Document:
         """Create a :class:`Document` and insert it."""

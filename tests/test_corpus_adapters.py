@@ -1,0 +1,412 @@
+"""Golden-corpus conformance suite for :mod:`repro.corpus`.
+
+The checked-in mini DBLP fixture (``examples/data/dblp_mini.xml``)
+and its JSONL/CSV renditions must produce identical
+:class:`~repro.text.IntervalCorpus` contents through all three
+adapters, and batch vs streaming ingestion of that corpus must yield
+byte-identical stable clusters across both problems and gaps 0-2.
+Malformed input of every stripe must be skipped-and-counted or raise
+the typed :class:`~repro.corpus.CorpusFormatError` — never a bare
+stdlib exception — including under seeded random corruption of the
+golden fixture.  A Hypothesis property pins the JSONL round trip.
+"""
+
+import io
+import json
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import (
+    CorpusFormatError,
+    CSVAdapter,
+    DBLPAdapter,
+    IntervalBucketing,
+    JSONLAdapter,
+    dump_jsonl,
+    open_adapter,
+)
+from repro.pipeline import find_stable_clusters
+from repro.streaming import StreamingDocumentPipeline
+from repro.text.documents import Document, IntervalCorpus
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "examples", "data")
+GOLDEN_XML = os.path.join(DATA_DIR, "dblp_mini.xml")
+GOLDEN_JSONL = os.path.join(DATA_DIR, "dblp_mini.jsonl")
+GOLDEN_CSV = os.path.join(DATA_DIR, "dblp_mini.csv")
+
+YEAR = IntervalBucketing(mode="year")
+
+
+def golden_adapters():
+    """The three adapters over the three renditions of the fixture."""
+    return {
+        "dblp": DBLPAdapter(GOLDEN_XML),
+        "jsonl": JSONLAdapter(GOLDEN_JSONL, bucketing=YEAR,
+                              time_field="year"),
+        "csv": CSVAdapter(GOLDEN_CSV, bucketing=YEAR,
+                          time_field="year"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Golden-corpus conformance: three formats, one corpus
+# ----------------------------------------------------------------------
+
+
+class TestGoldenConformance:
+    def test_three_adapters_identical_corpus(self):
+        corpora = {name: IntervalCorpus.from_adapter(adapter)
+                   for name, adapter in golden_adapters().items()}
+        assert corpora["dblp"] == corpora["jsonl"]
+        assert corpora["dblp"] == corpora["csv"]
+        assert corpora["dblp"].num_documents == 166
+        assert corpora["dblp"].interval_indices == [0, 1, 2, 3, 4, 5]
+
+    def test_parsed_counts_agree(self):
+        for name, adapter in golden_adapters().items():
+            IntervalCorpus.from_adapter(adapter)
+            assert adapter.report.parsed == 166, name
+            assert adapter.report.malformed == 0, name
+
+    def test_dblp_report_counts_flavour_records(self):
+        adapter = DBLPAdapter(GOLDEN_XML)
+        list(adapter)
+        # One <www> homepage record skipped, three &uuml; repaired.
+        assert adapter.report.skipped == 1
+        assert adapter.report.repaired == 3
+        assert adapter.report.reasons["<www> record"] == 1
+
+    def test_markup_title_is_flattened(self):
+        corpus = IntervalCorpus.from_adapter(DBLPAdapter(GOLDEN_XML))
+        by_id = {doc.doc_id: doc
+                 for i in corpus.interval_indices
+                 for doc in corpus.documents(i)}
+        markup = by_id["conf/vldb/markup1997"]
+        assert markup.text == ("Spatial join processing over moving "
+                               "objects")
+
+    def test_report_describe_mentions_counts(self):
+        adapter = DBLPAdapter(GOLDEN_XML)
+        list(adapter)
+        text = adapter.report.describe()
+        assert "166 parsed" in text
+        assert "1 skipped" in text
+        assert "3 repaired" in text
+
+    def test_open_adapter_registry_matches_direct_construction(self):
+        via_registry = open_adapter("dblp", GOLDEN_XML)
+        assert (IntervalCorpus.from_adapter(via_registry)
+                == IntervalCorpus.from_adapter(DBLPAdapter(GOLDEN_XML)))
+
+    def test_open_adapter_rejects_unknown_format_and_dblp_fields(self):
+        with pytest.raises(ValueError, match="unknown corpus format"):
+            open_adapter("parquet", GOLDEN_XML)
+        with pytest.raises(ValueError, match="fixed schema"):
+            open_adapter("dblp", GOLDEN_XML, text_field="title")
+
+
+# ----------------------------------------------------------------------
+# Batch vs streaming: byte-identical stable clusters
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden_corpus():
+    return IntervalCorpus.from_adapter(DBLPAdapter(GOLDEN_XML))
+
+
+@pytest.mark.parametrize("problem", ["kl", "normalized"])
+@pytest.mark.parametrize("gap", [0, 1, 2])
+def test_batch_vs_streaming_identical(golden_corpus, problem, gap):
+    batch = find_stable_clusters(golden_corpus, l=3, k=5, gap=gap,
+                                 problem=problem)
+    assert batch.paths, "fixture must produce stable paths"
+    with StreamingDocumentPipeline(l=3, k=5, gap=gap,
+                                   problem=problem) as pipeline:
+        reports = pipeline.ingest_adapter(DBLPAdapter(GOLDEN_XML))
+        streamed = pipeline.top_k()
+    assert len(reports) == golden_corpus.num_intervals
+    assert ([(p.weight, p.nodes) for p in streamed]
+            == [(p.weight, p.nodes) for p in batch.paths])
+
+
+def test_ingest_adapter_replays_document_counts(golden_corpus):
+    with StreamingDocumentPipeline(l=3, k=5, gap=1) as pipeline:
+        reports = pipeline.ingest_adapter(DBLPAdapter(GOLDEN_XML))
+    assert ([r.num_documents for r in reports]
+            == [len(golden_corpus.documents(i))
+                for i in golden_corpus.interval_indices])
+
+
+# ----------------------------------------------------------------------
+# Malformed input: counted or typed, never a bare stdlib exception
+# ----------------------------------------------------------------------
+
+
+class TestMalformedInput:
+    def test_truncated_xml_raises_typed_error(self):
+        with open(GOLDEN_XML, "rb") as fh:
+            truncated = fh.read()[:5000]
+        with pytest.raises(CorpusFormatError, match="unreadable XML"):
+            list(DBLPAdapter(io.BytesIO(truncated)))
+
+    def test_empty_xml_raises_typed_error(self):
+        with pytest.raises(CorpusFormatError):
+            list(DBLPAdapter(io.BytesIO(b"")))
+
+    def test_garbage_xml_raises_typed_error(self):
+        with pytest.raises(CorpusFormatError):
+            list(DBLPAdapter(io.BytesIO(b"\x00\xff not xml at all")))
+
+    def test_missing_file_raises_typed_error(self):
+        with pytest.raises(CorpusFormatError, match="cannot open"):
+            list(DBLPAdapter("/nonexistent/dblp.xml"))
+
+    def test_undeclared_entities_are_repaired_not_fatal(self):
+        xml = (b"<dblp><article key='a'><title>caf&eacute; "
+               b"r&uuml;ckblick &amp; more</title>"
+               b"<year>1999</year></article></dblp>")
+        adapter = DBLPAdapter(io.BytesIO(xml))
+        [(year, doc)] = list(adapter)
+        assert year == 1999
+        # &amp; survives, the DTD entities become spaces.
+        assert "&" in doc.text
+        assert adapter.report.repaired == 2
+
+    def test_entity_split_across_read_chunks(self):
+        body = (b"<dblp><article key='a'><title>"
+                + b"x" * 16380 + b" r&uuml;ckblick</title>"
+                b"<year>1999</year></article></dblp>")
+        adapter = DBLPAdapter(io.BytesIO(body))
+        [(_, doc)] = list(adapter)
+        assert adapter.report.repaired == 1
+        assert "uuml" not in doc.text
+
+    def test_record_without_year_counted(self):
+        xml = (b"<dblp><article key='a'><title>no year</title>"
+               b"</article><article key='b'><title>ok</title>"
+               b"<year>1999</year></article></dblp>")
+        adapter = DBLPAdapter(io.BytesIO(xml))
+        assert len(list(adapter)) == 1
+        assert adapter.report.malformed == 1
+        assert adapter.report.reasons["record without <year>"] == 1
+
+    def test_garbage_timestamps_counted_jsonl(self):
+        lines = io.StringIO(
+            '{"interval": "soon", "text": "bad time"}\n'
+            '{"interval": 2, "text": "fine"}\n'
+            '{"text": "no time at all"}\n'
+            '{"interval": 3}\n'
+            '[1, 2, 3]\n'
+            "{broken json\n")
+        adapter = JSONLAdapter(lines)
+        docs = list(adapter)
+        assert len(docs) == 1
+        assert adapter.report.parsed == 1
+        assert adapter.report.malformed == 5
+
+    def test_strict_mode_raises_on_first_malformed(self):
+        lines = io.StringIO('{"interval": "soon", "text": "bad"}\n')
+        with pytest.raises(CorpusFormatError, match="malformed"):
+            list(JSONLAdapter(lines, strict=True))
+
+    def test_empty_jsonl_is_an_empty_corpus(self):
+        corpus = IntervalCorpus.from_adapter(JSONLAdapter(io.StringIO()))
+        assert corpus.num_documents == 0
+        assert corpus.num_intervals == 0
+
+    def test_empty_csv_raises_typed_error(self):
+        with pytest.raises(CorpusFormatError, match="empty CSV"):
+            list(CSVAdapter(io.StringIO("")))
+
+    def test_csv_missing_mapped_column_raises_typed_error(self):
+        with pytest.raises(CorpusFormatError, match="no 'text'"):
+            list(CSVAdapter(io.StringIO("id,when,body\n")))
+
+    def test_csv_short_and_empty_rows_counted(self):
+        src = io.StringIO(
+            "id,interval,text\nr1,0,fine\nr2\n\nr3,1,\nr4,zap,x\n")
+        adapter = CSVAdapter(src)
+        assert len(list(adapter)) == 1
+        assert adapter.report.malformed == 3  # short, empty text, zap
+
+    def test_mixed_encodings_repaired(self):
+        # One UTF-8 line, one latin-1 line: both parse, the fallback
+        # decode is counted as a repair.
+        payload = (json.dumps({"interval": 0, "text": "café talk"}
+                              ).encode("utf-8") + b"\n"
+                   + b'{"interval": 1, "text": "caf\xe9 again"}\n')
+        adapter = JSONLAdapter(io.BytesIO(payload))
+        docs = [doc for _, doc in adapter]
+        assert [d.text for d in docs] == ["café talk",
+                                          "café again"]
+        assert adapter.report.repaired == 1
+
+    def test_timestamp_before_origin_counted(self):
+        bucketing = IntervalBucketing(mode="year", origin=1996)
+        adapter = JSONLAdapter(io.StringIO(
+            '{"interval": 1994, "text": "too early"}\n'
+            '{"interval": 1997, "text": "in range"}\n'),
+            bucketing=bucketing, time_field="interval")
+        [(interval, _)] = list(adapter)
+        assert interval == 1
+        assert adapter.report.malformed == 1
+
+    def test_huge_timestamp_span_raises_typed_error(self):
+        adapter = JSONLAdapter(io.StringIO(
+            '{"interval": 0, "text": "epoch zero"}\n'
+            '{"interval": 1186techniques, "text": "raw"}\n'
+            .replace("techniques", "000000")))
+        with pytest.raises(CorpusFormatError, match="span"):
+            IntervalCorpus.from_adapter(adapter)
+
+
+def test_fuzz_corruption_never_raises_bare_exceptions():
+    """Seeded random corruption of the golden fixture: every mutation
+    either ingests (with counts) or raises CorpusFormatError."""
+    with open(GOLDEN_XML, "rb") as fh:
+        golden = fh.read()
+    rng = random.Random(20070823)
+    mutations = 0
+    for _ in range(40):
+        data = bytearray(golden)
+        kind = rng.randrange(3)
+        if kind == 0:  # delete a random slice
+            start = rng.randrange(len(data) - 200)
+            del data[start:start + rng.randrange(1, 200)]
+        elif kind == 1:  # overwrite a slice with random bytes
+            start = rng.randrange(len(data) - 50)
+            for i in range(start, start + rng.randrange(1, 50)):
+                data[i] = rng.randrange(256)
+        else:  # truncate
+            del data[rng.randrange(1, len(data)):]
+        try:
+            adapter = DBLPAdapter(io.BytesIO(bytes(data)))
+            report_docs = sum(1 for _ in adapter)
+            assert report_docs == adapter.report.parsed
+        except CorpusFormatError:
+            mutations += 1
+    # Most structural corruptions must surface as the typed error.
+    assert mutations > 0
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: JSONL round trip is lossless
+# ----------------------------------------------------------------------
+
+_texts = st.text(min_size=1, max_size=40).filter(
+    lambda s: bool(s.strip()))
+_documents = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=60), _texts),
+    min_size=0, max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_documents)
+def test_jsonl_round_trip_is_lossless(records):
+    original = IntervalCorpus()
+    for n, (interval, text) in enumerate(records):
+        original.add(Document(doc_id=f"doc-{n}", interval=interval,
+                              text=text))
+    buffer = io.StringIO()
+    written = dump_jsonl(original, buffer)
+    assert written == original.num_documents
+    buffer.seek(0)
+    reread = IntervalCorpus.from_adapter(
+        JSONLAdapter(buffer), rebase=False, fill_gaps=False)
+    assert reread == original  # documents, intervals, ordering
+
+
+# ----------------------------------------------------------------------
+# Interval-index validation (the silent-drop fix)
+# ----------------------------------------------------------------------
+
+
+class TestIntervalValidation:
+    def test_add_rejects_negative_interval(self):
+        corpus = IntervalCorpus()
+        with pytest.raises(ValueError, match="must be >= 0"):
+            corpus.add(Document(doc_id="d", interval=-1, text="x"))
+
+    def test_add_text_rejects_negative_interval(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            IntervalCorpus().add_text("d", -3, "x")
+
+    def test_add_rejects_non_int_interval(self):
+        corpus = IntervalCorpus()
+        with pytest.raises(ValueError, match="must be an int"):
+            corpus.add(Document(doc_id="d", interval=True, text="x"))
+
+    def test_constructor_validates_supplied_dict(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            IntervalCorpus({-1: []})
+
+    def test_interval_zero_documents_flow_end_to_end(self,
+                                                     golden_corpus):
+        # Regression: interval-0 documents must reach the cluster
+        # stage, not vanish at the boundary.
+        assert golden_corpus.documents(0)
+        result = find_stable_clusters(golden_corpus, l=5, k=3, gap=0)
+        assert result.interval_clusters[0]
+        assert any(node[0] == 0 for path in result.paths
+                   for node in path.nodes)
+
+    def test_from_adapter_refuses_negative_without_rebase(self):
+        adapter = JSONLAdapter(io.StringIO(
+            '{"interval": 1994, "text": "a year, not an index"}\n'),
+            bucketing=IntervalBucketing(mode="year", origin=1996),
+            time_field="interval")
+        # origin shifts 1994 to -2; _emit counts it instead of
+        # letting a negative index reach the corpus.
+        corpus = IntervalCorpus.from_adapter(adapter, rebase=False)
+        assert corpus.num_documents == 0
+        assert adapter.report.malformed == 1
+
+
+# ----------------------------------------------------------------------
+# Bucketing modes
+# ----------------------------------------------------------------------
+
+
+class TestBucketing:
+    def test_year_accepts_dates_and_strings(self):
+        year = IntervalBucketing(mode="year")
+        assert year.bucket_of(2007) == 2007
+        assert year.bucket_of("2007-01-15") == 2007
+        assert year.bucket_of("2007") == 2007
+
+    def test_month_buckets_are_consecutive(self):
+        month = IntervalBucketing(mode="month")
+        assert (month.bucket_of("2007-01") + 1
+                == month.bucket_of("2007-02"))
+        assert (month.bucket_of("2006-12") + 1
+                == month.bucket_of("2007-01"))
+
+    def test_epoch_width_parse(self):
+        hourly = IntervalBucketing.parse("epoch:3600")
+        assert hourly.interval_of(0) == 0
+        assert hourly.interval_of(3599.9) == 0
+        assert hourly.interval_of(3600) == 1
+
+    def test_parse_rejects_unknown_mode_and_bad_width(self):
+        with pytest.raises(ValueError):
+            IntervalBucketing.parse("decade")
+        with pytest.raises(ValueError):
+            IntervalBucketing.parse("epoch:soon")
+        with pytest.raises(ValueError):
+            IntervalBucketing(mode="epoch", width=0)
+
+    def test_origin_shifts_buckets(self):
+        year = IntervalBucketing(mode="year", origin=1994)
+        assert year.interval_of(1994) == 0
+        assert year.interval_of(1999) == 5
+
+    def test_booleans_are_not_timestamps(self):
+        for mode in ("interval", "year", "epoch"):
+            with pytest.raises(ValueError):
+                IntervalBucketing(mode=mode).bucket_of(True)

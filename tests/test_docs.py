@@ -19,8 +19,8 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOCS_DIR = os.path.join(REPO_ROOT, "docs")
 
 REQUIRED_PAGES = ("index.md", "architecture.md", "index-serving.md",
-                  "serving.md", "distributed.md", "cli.md",
-                  "tutorial.md")
+                  "serving.md", "distributed.md", "corpora.md",
+                  "cli.md", "tutorial.md")
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(#[^)\s]*)?\)")
 _HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
@@ -124,7 +124,7 @@ def test_readme_links_into_docs():
                 encoding="utf-8").read()
     for page in ("docs/tutorial.md", "docs/cli.md",
                  "docs/architecture.md", "docs/index-serving.md",
-                 "docs/distributed.md"):
+                 "docs/distributed.md", "docs/corpora.md"):
         assert page in text, f"README does not link {page}"
 
 

@@ -18,7 +18,8 @@ import repro
 # The audited public API surface (matches the pydocstyle paths in CI).
 AUDITED_PACKAGES = ("repro.engine", "repro.storage", "repro.vocab",
                     "repro.search", "repro.index", "repro.service",
-                    "repro.serving", "repro.distributed")
+                    "repro.serving", "repro.distributed",
+                    "repro.corpus")
 
 
 def _public_members(module):
